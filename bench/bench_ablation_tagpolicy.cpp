@@ -1,0 +1,85 @@
+// Tag-policy ablation: Tables 3.1/3.2 (index-aware — an intra-class
+// consequent on an INDEXED attribute is tagged optional, not redundant)
+// versus the §3.3 pseudocode simplification that ignores indexes. The
+// index-aware policy keeps introduced indexed predicates alive long
+// enough for the cost model to exploit them as access paths; the
+// simplification silently discards exactly those wins.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/plan_builder.h"
+#include "sqo/optimizer.h"
+#include "workload/constraint_gen.h"
+#include "workload/dbgen.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+int main() {
+  using namespace sqopt;
+  using bench::Check;
+  using bench::Unwrap;
+
+  Schema schema = Unwrap(BuildExperimentSchema());
+  ConstraintCatalog catalog(&schema);
+  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
+    Check(catalog.AddConstraint(std::move(clause)));
+  }
+  AccessStats access(schema.num_classes());
+  Check(catalog.Precompile(&access));
+
+  auto store =
+      Unwrap(GenerateDatabase(schema, DbSpec{"TP", 208, 616}, 33));
+  DatabaseStats stats = CollectStats(*store);
+  CostModel cost_model(&schema, &stats);
+
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 1, 5);
+  QueryGenOptions gen_options;
+  gen_options.trigger_probability = 0.9;
+  QueryGenerator gen(&schema, 33, gen_options);
+  std::vector<Query> queries = Unwrap(gen.Sample(paths, 30));
+
+  std::printf("=== Tag-policy ablation (30 queries, DB4-sized store) "
+              "===\n\n");
+  std::printf("%-16s %16s %18s %20s\n", "policy", "mean exec cost",
+              "indexed introduced", "intra made redundant");
+
+  for (TagPolicy policy :
+       {TagPolicy::kIndexAware, TagPolicy::kIgnoreIndexes}) {
+    OptimizerOptions options;
+    options.tag_policy = policy;
+    SemanticOptimizer optimizer(&schema, &catalog, &cost_model, options);
+
+    double total_cost = 0.0;
+    size_t indexed_introduced = 0, redundant_effects = 0;
+    for (const Query& query : queries) {
+      OptimizeResult result = Unwrap(optimizer.Optimize(query));
+      if (!result.empty_result) {
+        ExecutionMeter meter;
+        Check(ExecuteQuery(*store, result.query, &meter).status());
+        total_cost += meter.CostUnits();
+      }
+      for (const TransformStep& step : result.report.steps) {
+        if (step.index_introduction) ++indexed_introduced;
+        for (const auto& [pred, tag] : step.effects) {
+          if (tag == PredicateTag::kRedundant) ++redundant_effects;
+        }
+      }
+    }
+    std::printf("%-16s %16.2f %18zu %20zu\n",
+                policy == TagPolicy::kIndexAware ? "index-aware"
+                                                 : "ignore-indexes",
+                total_cost / queries.size(), indexed_introduced,
+                redundant_effects);
+  }
+
+  std::printf(
+      "\nexpected shape: index-aware introduces indexed predicates the\n"
+      "plan builder can drive scans with, yielding lower mean execution\n"
+      "cost; ignore-indexes tags every intra consequent redundant and\n"
+      "forgoes those access paths (more redundant effects, higher "
+      "cost).\n");
+  return 0;
+}

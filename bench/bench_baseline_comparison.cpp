@@ -1,0 +1,105 @@
+// Section 4 comparison: the delayed-choice algorithm versus (a) the
+// "straight-forward" immediately-apply approach over many constraint
+// orders, and (b) a bounded best-first search [SSD88]. Reports final
+// estimated costs and work counters; the paper's claim is that the
+// delayed-choice outcome is at least as good as immediate-apply under
+// any order, at polynomial cost.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/best_first_optimizer.h"
+#include "baseline/immediate_optimizer.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "exec/plan_builder.h"
+#include "sqo/optimizer.h"
+#include "workload/constraint_gen.h"
+#include "workload/dbgen.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+int main() {
+  using namespace sqopt;
+  using bench::Check;
+  using bench::Unwrap;
+
+  Schema schema = Unwrap(BuildExperimentSchema());
+  ConstraintCatalog catalog(&schema);
+  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
+    Check(catalog.AddConstraint(std::move(clause)));
+  }
+  AccessStats access(schema.num_classes());
+  Check(catalog.Precompile(&access));
+
+  auto store =
+      Unwrap(GenerateDatabase(schema, DbSpec{"BC", 208, 616}, 13));
+  DatabaseStats stats = CollectStats(*store);
+  CostModel cost_model(&schema, &stats);
+
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 2, 5);
+  QueryGenerator gen(&schema, 13);
+  std::vector<Query> queries = Unwrap(gen.Sample(paths, 20));
+
+  SemanticOptimizer sqo(&schema, &catalog, &cost_model);
+  ImmediateApplyOptimizer immediate(&schema, &catalog, &cost_model);
+  BestFirstOptimizer best_first(&schema, &catalog, &cost_model,
+                                /*max_states=*/128);
+
+  std::printf("=== Delayed-choice vs baselines (20 queries) ===\n\n");
+  std::printf("%4s %12s %22s %20s %10s\n", "q", "delayed",
+              "immediate(min..max/8 orders)", "best-first(states)",
+              "dominates");
+
+  Rng rng(99);
+  int dominated = 0;
+  double sum_delayed = 0, sum_immediate = 0, sum_bf = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& query = queries[qi];
+
+    OptimizeResult delayed = Unwrap(sqo.Optimize(query));
+    double delayed_cost =
+        delayed.empty_result ? 0.0 : cost_model.QueryCost(delayed.query);
+
+    // Immediate-apply under 8 random constraint orders.
+    std::vector<ConstraintId> order =
+        catalog.RelevantForQuery(query.classes);
+    double imm_min = 0, imm_max = 0;
+    for (int perm = 0; perm < 8; ++perm) {
+      rng.Shuffle(&order);
+      ImmediateResult r = Unwrap(immediate.OptimizeWithOrder(query, order));
+      double c = cost_model.QueryCost(r.query);
+      if (perm == 0) {
+        imm_min = imm_max = c;
+      } else {
+        imm_min = std::min(imm_min, c);
+        imm_max = std::max(imm_max, c);
+      }
+    }
+
+    BestFirstResult bf = Unwrap(best_first.Optimize(query));
+
+    bool dom = delayed_cost <= imm_min + 1e-9;
+    dominated += dom ? 1 : 0;
+    sum_delayed += delayed_cost;
+    sum_immediate += imm_min;
+    sum_bf += bf.best_cost;
+    std::printf("%4zu %12.2f %12.2f..%-10.2f %12.2f(%3zu) %10s\n", qi + 1,
+                delayed_cost, imm_min, imm_max, bf.best_cost,
+                bf.states_explored, dom ? "yes" : "NO");
+  }
+
+  std::printf("\nmean final cost: delayed %.2f | immediate(best order) "
+              "%.2f | best-first %.2f\n",
+              sum_delayed / queries.size(), sum_immediate / queries.size(),
+              sum_bf / queries.size());
+  std::printf("delayed-choice dominated immediate-apply on %d/%zu "
+              "queries\n",
+              dominated, queries.size());
+  std::printf(
+      "\nexpected shape: delayed <= immediate for every order tried\n"
+      "(the §4 dominance argument), best-first can match delayed but\n"
+      "explores up to its state budget to do so.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared setup for the benchmark/reproduction binaries.
+#ifndef SQOPT_BENCH_BENCH_UTIL_H_
+#define SQOPT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "catalog/access_stats.h"
+#include "common/status.h"
+#include "constraints/constraint_catalog.h"
+
+namespace sqopt::bench {
+
+inline void Die(const Status& status) {
+  std::fprintf(stderr, "bench error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) Die(status);
+}
+
+}  // namespace sqopt::bench
+
+#endif  // SQOPT_BENCH_BENCH_UTIL_H_

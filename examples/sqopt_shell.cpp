@@ -1,0 +1,184 @@
+// Interactive shell over the public API: parse, optimize, explain, and
+// execute queries against a generated experiment database.
+//
+//   $ ./examples/sqopt_shell
+//   sqopt> help
+//   sqopt> query {cargo.code} {} {cargo.desc = "frozen food"} {} {cargo}
+//   sqopt> explain {cargo.code} {} {cargo.desc = "frozen food"} {} {cargo}
+//   sqopt> constraints
+//   sqopt> quit
+//
+// Also accepts commands on stdin non-interactively (used in CI smoke
+// runs: `echo 'constraints' | ./examples/sqopt_shell`).
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "catalog/access_stats.h"
+#include "constraints/constraint_catalog.h"
+#include "constraints/constraint_parser.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/plan_builder.h"
+#include "query/query_parser.h"
+#include "query/query_printer.h"
+#include "sqo/optimizer.h"
+#include "workload/constraint_gen.h"
+#include "workload/dbgen.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  query <5-group query>    optimize + execute, print rows\n"
+      "  explain <5-group query>  show transformation trace and plans\n"
+      "  add <horn clause>        add a constraint (recompiles catalog)\n"
+      "  constraints              list constraints (base + derived)\n"
+      "  schema                   print the schema\n"
+      "  stats                    class cardinalities\n"
+      "  help                     this text\n"
+      "  quit\n"
+      "query form: {proj} {joins} {selects} {rels} {classes}, e.g.\n"
+      "  query {cargo.code} {} {cargo.desc = \"frozen food\"} {} {cargo}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqopt;
+
+  auto schema_result = BuildExperimentSchema();
+  if (!schema_result.ok()) return 1;
+  Schema schema = std::move(schema_result).value();
+
+  ConstraintCatalog catalog(&schema);
+  {
+    auto constraints = ExperimentConstraints(schema);
+    if (!constraints.ok()) return 1;
+    for (HornClause& clause : *constraints) {
+      if (!catalog.AddConstraint(std::move(clause)).ok()) return 1;
+    }
+  }
+  AccessStats access(schema.num_classes());
+  if (!catalog.Precompile(&access).ok()) return 1;
+
+  auto store_result =
+      GenerateDatabase(schema, DbSpec{"shell", 104, 208}, 42);
+  if (!store_result.ok()) return 1;
+  auto store = std::move(store_result).value();
+  DatabaseStats stats = CollectStats(*store);
+  CostModel cost_model(&schema, &stats);
+
+  std::printf("sqopt shell — experiment schema, 104 objects/class. "
+              "'help' for commands.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("sqopt> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    std::string rest;
+    std::getline(in, rest);
+
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (command == "schema") {
+      std::printf("%s", schema.ToString().c_str());
+      continue;
+    }
+    if (command == "stats") {
+      for (const ObjectClass& oc : schema.classes()) {
+        std::printf("  %-12s %6lld objects\n", oc.name.c_str(),
+                    static_cast<long long>(store->NumObjects(oc.id)));
+      }
+      continue;
+    }
+    if (command == "constraints") {
+      for (size_t i = 0; i < catalog.clauses().size(); ++i) {
+        const HornClause& c = catalog.clause(static_cast<ConstraintId>(i));
+        std::printf("  [%s]%s %s\n",
+                    ConstraintClassName(
+                        catalog.classification(static_cast<ConstraintId>(i))),
+                    c.is_derived() ? " (derived)" : "",
+                    c.ToString(schema).c_str());
+      }
+      continue;
+    }
+    if (command == "add") {
+      auto clause = ParseConstraint(schema, rest);
+      if (!clause.ok()) {
+        std::printf("  %s\n", clause.status().ToString().c_str());
+        continue;
+      }
+      Status s = catalog.AddConstraint(std::move(*clause));
+      if (s.ok()) s = catalog.Precompile(&access);
+      std::printf("  %s\n", s.ok() ? "ok (catalog recompiled)"
+                                   : s.ToString().c_str());
+      continue;
+    }
+    if (command == "query" || command == "explain") {
+      auto query = ParseQuery(schema, rest);
+      if (!query.ok()) {
+        std::printf("  %s\n", query.status().ToString().c_str());
+        continue;
+      }
+      access.RecordQuery(query->classes);
+      SemanticOptimizer optimizer(&schema, &catalog, &cost_model);
+      auto opt = optimizer.Optimize(*query);
+      if (!opt.ok()) {
+        std::printf("  %s\n", opt.status().ToString().c_str());
+        continue;
+      }
+      if (command == "explain") {
+        std::printf("%s", opt->report.ToString(schema).c_str());
+        std::printf("transformed: %s\n",
+                    PrintQuery(schema, opt->query).c_str());
+        if (!opt->empty_result) {
+          auto plan = BuildPlan(schema, stats, opt->query);
+          if (plan.ok()) {
+            std::printf("plan:\n%s", plan->ToString(schema).c_str());
+          }
+        }
+        continue;
+      }
+      // query: execute the transformed form.
+      ExecutionMeter meter;
+      ResultSet rows;
+      if (!opt->empty_result) {
+        auto executed = ExecuteQuery(*store, opt->query, &meter);
+        if (!executed.ok()) {
+          std::printf("  %s\n", executed.status().ToString().c_str());
+          continue;
+        }
+        rows = std::move(*executed);
+      }
+      size_t shown = 0;
+      for (const auto& row : rows.rows) {
+        if (shown++ == 10) {
+          std::printf("  ... (%zu more)\n", rows.rows.size() - 10);
+          break;
+        }
+        std::string text;
+        for (const Value& v : row) text += v.ToString() + "  ";
+        std::printf("  %s\n", text.c_str());
+      }
+      std::printf("%zu row(s), cost %.2f units, %zu transformation(s)%s\n",
+                  rows.rows.size(), meter.CostUnits(),
+                  opt->report.num_firings,
+                  opt->empty_result ? " [contradiction: no DB access]"
+                                    : "");
+      continue;
+    }
+    std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// A bounded best-first search over transformation sequences, in the
+// spirit of Shekhar, Srivastava & Dutta [SSD88] (cited in §1): each
+// state is a physically rewritten query; successors apply one
+// elimination or introduction; states are explored cheapest-estimated-
+// cost first, stopping on a node budget. Exists as a second comparison
+// point: it can match the delayed-choice result but at exponential
+// worst-case node counts, which bench_baseline_comparison quantifies.
+#ifndef SQOPT_BASELINE_BEST_FIRST_OPTIMIZER_H_
+#define SQOPT_BASELINE_BEST_FIRST_OPTIMIZER_H_
+
+#include "constraints/constraint_catalog.h"
+#include "cost/cost_model.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+struct BestFirstResult {
+  Query query;
+  double best_cost = 0.0;
+  size_t states_explored = 0;
+  size_t states_generated = 0;
+  bool exhausted_budget = false;
+};
+
+class BestFirstOptimizer {
+ public:
+  BestFirstOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+                     const CostModelInterface* cost_model,
+                     size_t max_states = 256)
+      : schema_(schema),
+        catalog_(catalog),
+        cost_model_(cost_model),
+        max_states_(max_states) {}
+
+  Result<BestFirstResult> Optimize(const Query& query) const;
+
+ private:
+  const Schema* schema_;
+  ConstraintCatalog* catalog_;
+  const CostModelInterface* cost_model_;
+  size_t max_states_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_BASELINE_BEST_FIRST_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+// The "straight-forward approach" of Section 4: walk the relevant
+// constraints in a fixed order, evaluate each possible transformation's
+// profitability with the cost model, and if profitable apply it to the
+// query IMMEDIATELY (physically rewriting it). Because an applied
+// transformation can preclude later ones — eliminating an antecedent
+// predicate disables the constraints it would have fired — the outcome
+// depends on constraint order. This is the paper's foil: the delayed-
+// choice algorithm is guaranteed to do at least as well.
+#ifndef SQOPT_BASELINE_IMMEDIATE_OPTIMIZER_H_
+#define SQOPT_BASELINE_IMMEDIATE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "constraints/constraint_catalog.h"
+#include "cost/cost_model.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+struct ImmediateResult {
+  Query query;
+  size_t transformations_applied = 0;
+  size_t transformations_considered = 0;
+  size_t passes = 0;
+};
+
+class ImmediateApplyOptimizer {
+ public:
+  ImmediateApplyOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+                          const CostModelInterface* cost_model)
+      : schema_(schema), catalog_(catalog), cost_model_(cost_model) {}
+
+  // Processes constraints in catalog order.
+  Result<ImmediateResult> Optimize(const Query& query) const;
+
+  // Processes constraints in the caller-supplied order (a permutation
+  // of the relevant constraint list) — used to demonstrate order
+  // sensitivity.
+  Result<ImmediateResult> OptimizeWithOrder(
+      const Query& query, const std::vector<ConstraintId>& order) const;
+
+ private:
+  const Schema* schema_;
+  ConstraintCatalog* catalog_;
+  const CostModelInterface* cost_model_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_BASELINE_IMMEDIATE_OPTIMIZER_H_

@@ -1,0 +1,20 @@
+#include "catalog/access_stats.h"
+
+#include <cassert>
+
+namespace sqopt {
+
+ClassId AccessStats::LeastFrequent(
+    const std::vector<ClassId>& candidates) const {
+  assert(!candidates.empty());
+  ClassId best = candidates[0];
+  for (ClassId id : candidates) {
+    if (counts_[id] < counts_[best] ||
+        (counts_[id] == counts_[best] && id < best)) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace sqopt

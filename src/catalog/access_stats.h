@@ -1,0 +1,51 @@
+// Per-class access frequency statistics. Section 3 of the paper uses
+// these to assign each semantic constraint to the group of its least
+// frequently accessed class, so that constraints over rarely-queried
+// classes are rarely fetched.
+#ifndef SQOPT_CATALOG_ACCESS_STATS_H_
+#define SQOPT_CATALOG_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace sqopt {
+
+class AccessStats {
+ public:
+  explicit AccessStats(size_t num_classes) : counts_(num_classes, 0) {}
+
+  // Records one access (one query referencing the class).
+  void RecordAccess(ClassId id) { counts_[id] += 1; }
+
+  // Records that a query referenced every class in `classes`.
+  void RecordQuery(const std::vector<ClassId>& classes) {
+    for (ClassId id : classes) RecordAccess(id);
+  }
+
+  uint64_t count(ClassId id) const { return counts_[id]; }
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  // The least frequently accessed class among `candidates`; ties broken
+  // by smaller class id for determinism. Requires non-empty candidates.
+  ClassId LeastFrequent(const std::vector<ClassId>& candidates) const;
+
+  // Overwrites the counter for a class (used by tests / what-if drills).
+  void SetCount(ClassId id, uint64_t value) { counts_[id] = value; }
+
+  void Reset() {
+    for (uint64_t& c : counts_) c = 0;
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CATALOG_ACCESS_STATS_H_

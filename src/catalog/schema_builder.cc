@@ -1,0 +1,136 @@
+#include "catalog/schema_builder.h"
+
+#include <unordered_set>
+
+namespace sqopt {
+
+SchemaBuilder::ClassBuilder& SchemaBuilder::ClassBuilder::Attr(
+    std::string name, ValueType type, bool indexed,
+    int64_t distinct_values) {
+  Attribute attr;
+  attr.name = std::move(name);
+  attr.type = type;
+  attr.indexed = indexed;
+  attr.distinct_values = distinct_values;
+  owner_->pending_classes_[index_].attributes.push_back(std::move(attr));
+  return *this;
+}
+
+SchemaBuilder::ClassBuilder& SchemaBuilder::ClassBuilder::Parent(
+    std::string parent_name) {
+  owner_->pending_classes_[index_].parent = std::move(parent_name);
+  return *this;
+}
+
+SchemaBuilder::ClassBuilder SchemaBuilder::AddClass(std::string name) {
+  PendingClass pc;
+  pc.name = std::move(name);
+  pending_classes_.push_back(std::move(pc));
+  return ClassBuilder(this, pending_classes_.size() - 1);
+}
+
+SchemaBuilder& SchemaBuilder::AddRelationship(std::string name,
+                                              std::string class_a,
+                                              std::string class_b) {
+  pending_rels_.push_back(
+      PendingRel{std::move(name), std::move(class_a), std::move(class_b)});
+  return *this;
+}
+
+Result<Schema> SchemaBuilder::Build() {
+  Schema schema;
+
+  // Pass 1: register classes.
+  for (const PendingClass& pc : pending_classes_) {
+    if (schema.class_by_name_.count(pc.name) > 0) {
+      return Status::AlreadyExists("duplicate class '" + pc.name + "'");
+    }
+    ObjectClass oc;
+    oc.id = static_cast<ClassId>(schema.classes_.size());
+    oc.name = pc.name;
+    oc.attributes = pc.attributes;
+    schema.class_by_name_[pc.name] = oc.id;
+    schema.classes_.push_back(std::move(oc));
+  }
+
+  // Pass 2: resolve parents and validate attribute uniqueness
+  // (including no shadowing of inherited attributes).
+  for (size_t i = 0; i < pending_classes_.size(); ++i) {
+    const PendingClass& pc = pending_classes_[i];
+    ObjectClass& oc = schema.classes_[i];
+    if (!pc.parent.empty()) {
+      ClassId pid = schema.FindClass(pc.parent);
+      if (pid == kInvalidClass) {
+        return Status::NotFound("class '" + pc.name +
+                                "': unknown parent '" + pc.parent + "'");
+      }
+      if (pid == oc.id) {
+        return Status::InvalidArgument("class '" + pc.name +
+                                       "' cannot be its own parent");
+      }
+      oc.parent = pid;
+    }
+  }
+  // Detect inheritance cycles before walking chains below.
+  for (const ObjectClass& oc : schema.classes_) {
+    ClassId slow = oc.id, fast = oc.id;
+    while (true) {
+      ClassId fp = schema.classes_[fast].parent;
+      if (fp == kInvalidClass) break;
+      fast = schema.classes_[fp].parent;
+      slow = schema.classes_[slow].parent;
+      if (fast == kInvalidClass) break;
+      if (slow == fast) {
+        return Status::InvalidArgument("inheritance cycle through class '" +
+                                       oc.name + "'");
+      }
+    }
+  }
+  for (const ObjectClass& oc : schema.classes_) {
+    std::unordered_set<std::string> own;
+    for (const Attribute& attr : oc.attributes) {
+      if (!own.insert(attr.name).second) {
+        return Status::AlreadyExists("class '" + oc.name +
+                                     "': duplicate attribute '" + attr.name +
+                                     "'");
+      }
+    }
+    // Shadowing of inherited attributes is rejected so that attribute
+    // identity (declaring class, slot) stays unambiguous.
+    for (ClassId cur = oc.parent; cur != kInvalidClass;
+         cur = schema.classes_[cur].parent) {
+      for (const Attribute& attr : schema.classes_[cur].attributes) {
+        if (own.count(attr.name) > 0) {
+          return Status::AlreadyExists(
+              "class '" + oc.name + "': attribute '" + attr.name +
+              "' shadows an inherited attribute");
+        }
+      }
+    }
+  }
+
+  // Pass 3: relationships.
+  for (const PendingRel& pr : pending_rels_) {
+    if (schema.rel_by_name_.count(pr.name) > 0) {
+      return Status::AlreadyExists("duplicate relationship '" + pr.name +
+                                   "'");
+    }
+    ClassId a = schema.FindClass(pr.class_a);
+    ClassId b = schema.FindClass(pr.class_b);
+    if (a == kInvalidClass || b == kInvalidClass) {
+      return Status::NotFound("relationship '" + pr.name +
+                              "' references unknown class");
+    }
+    Relationship rel;
+    rel.id = static_cast<RelId>(schema.relationships_.size());
+    rel.name = pr.name;
+    rel.a = a;
+    rel.b = b;
+    schema.rel_by_name_[pr.name] = rel.id;
+    schema.relationships_.push_back(rel);
+  }
+
+  return schema;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,66 @@
+// Fluent, validated construction of Schema objects.
+#ifndef SQOPT_CATALOG_SCHEMA_BUILDER_H_
+#define SQOPT_CATALOG_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sqopt {
+
+// Usage:
+//   SchemaBuilder b;
+//   b.AddClass("vehicle")
+//       .Attr("vehicle#", ValueType::kInt, /*indexed=*/true)
+//       .Attr("desc", ValueType::kString)
+//       .Attr("class", ValueType::kInt);
+//   b.AddRelationship("collects", "cargo", "vehicle");
+//   SQOPT_ASSIGN_OR_RETURN(Schema schema, b.Build());
+//
+// Errors (duplicate names, unknown classes, attribute shadowing) are
+// collected and reported by Build().
+class SchemaBuilder {
+ public:
+  class ClassBuilder {
+   public:
+    ClassBuilder& Attr(std::string name, ValueType type,
+                       bool indexed = false, int64_t distinct_values = 0);
+    ClassBuilder& Parent(std::string parent_name);
+
+   private:
+    friend class SchemaBuilder;
+    ClassBuilder(SchemaBuilder* owner, size_t index)
+        : owner_(owner), index_(index) {}
+    SchemaBuilder* owner_;
+    size_t index_;  // into owner_->pending_classes_
+  };
+
+  ClassBuilder AddClass(std::string name);
+  SchemaBuilder& AddRelationship(std::string name, std::string class_a,
+                                 std::string class_b);
+
+  // Validates and produces the schema. The builder may not be reused
+  // after a successful Build().
+  Result<Schema> Build();
+
+ private:
+  struct PendingClass {
+    std::string name;
+    std::string parent;  // empty = none
+    std::vector<Attribute> attributes;
+  };
+  struct PendingRel {
+    std::string name;
+    std::string class_a;
+    std::string class_b;
+  };
+
+  std::vector<PendingClass> pending_classes_;
+  std::vector<PendingRel> pending_rels_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CATALOG_SCHEMA_BUILDER_H_

@@ -1,0 +1,74 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqopt {
+
+namespace {
+
+// SplitMix64 to expand the single seed into two non-zero state words.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be non-zero
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(Next() % n);
+}
+
+size_t Rng::SkewedIndex(size_t n, double theta) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF sampling over weights 1/(k+1)^theta.
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) total += std::pow(k + 1.0, -theta);
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += std::pow(k + 1.0, -theta);
+    if (u <= acc) return k;
+  }
+  return n - 1;
+}
+
+}  // namespace sqopt

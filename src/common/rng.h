@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generator used by all workload
+// generators so that experiments are reproducible run to run.
+#ifndef SQOPT_COMMON_RNG_H_
+#define SQOPT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sqopt {
+
+// xorshift128+ generator; small, fast, and fully deterministic from the
+// seed. Not suitable for cryptography (and not used as such).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform in [0, 2^64).
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Picks a uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  // Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  // Zipf-like skewed index in [0, n): index k drawn with weight
+  // 1/(k+1)^theta. Used to model skewed class access frequencies.
+  size_t SkewedIndex(size_t n, double theta);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_COMMON_RNG_H_

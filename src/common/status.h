@@ -1,0 +1,146 @@
+// Status and Result<T>: exception-free error propagation for the sqopt
+// library. Modeled after the Status/StatusOr idiom used by large C++
+// database codebases (Arrow, RocksDB).
+#ifndef SQOPT_COMMON_STATUS_H_
+#define SQOPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqopt {
+
+// Error categories surfaced by the library. Keep the set small; the
+// message carries the details.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kParseError,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no
+// allocation); errors carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. Accessing the value of an error Result is a
+// programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites terse (`return value;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // kOk iff value_ engaged.
+};
+
+// Propagates a non-OK status out of the current function.
+#define SQOPT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::sqopt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates
+// the error. Usage: SQOPT_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define SQOPT_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define SQOPT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SQOPT_ASSIGN_OR_RETURN_NAME(x, y) SQOPT_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define SQOPT_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  SQOPT_ASSIGN_OR_RETURN_IMPL(                                            \
+      SQOPT_ASSIGN_OR_RETURN_NAME(_sqopt_result_, __LINE__), lhs, rexpr)
+
+}  // namespace sqopt
+
+#endif  // SQOPT_COMMON_STATUS_H_

@@ -1,0 +1,88 @@
+#include "constraints/constraint_catalog.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqopt {
+
+Status ConstraintCatalog::AddConstraint(HornClause clause) {
+  // Note: an empty antecedent list is legal (class-membership-only
+  // constraints such as the paper's c3/c4).
+  for (const HornClause& existing : base_) {
+    if (existing.StructurallyEquals(clause)) {
+      return Status::AlreadyExists("constraint '" + clause.label() +
+                                   "' duplicates '" + existing.label() +
+                                   "'");
+    }
+  }
+  if (clause.label().empty()) {
+    clause.set_label("c" + std::to_string(base_.size() + 1));
+  }
+  base_.push_back(std::move(clause));
+  precompiled_ = false;
+  return Status::OK();
+}
+
+Status ConstraintCatalog::Precompile(const AccessStats* stats,
+                                     const PrecompileOptions& options) {
+  if (options.materialize_closure) {
+    SQOPT_ASSIGN_OR_RETURN(ClosureResult closure,
+                           ComputeClosure(*schema_, base_, options.closure));
+    clauses_ = std::move(closure.clauses);
+    num_base_ = closure.num_base;
+  } else {
+    clauses_ = base_;
+    num_base_ = base_.size();
+  }
+
+  classes_.clear();
+  classes_.reserve(clauses_.size());
+  for (const HornClause& c : clauses_) {
+    classes_.push_back(c.Classify());
+  }
+
+  GroupingPolicy policy = options.grouping;
+  if (policy == GroupingPolicy::kLeastFrequentlyAccessed &&
+      stats == nullptr) {
+    policy = GroupingPolicy::kArbitrary;  // graceful fallback
+  }
+  grouping_.Build(*schema_, clauses_, policy, stats);
+  precompiled_ = true;
+  return Status::OK();
+}
+
+std::vector<ConstraintId> ConstraintCatalog::RetrieveForQuery(
+    const std::vector<ClassId>& query_classes) const {
+  return grouping_.Retrieve(query_classes);
+}
+
+std::vector<ConstraintId> ConstraintCatalog::RelevantConstraints(
+    const std::vector<ClassId>& query_classes,
+    const std::vector<ConstraintId>& candidates) const {
+  std::set<ClassId> in_query(query_classes.begin(), query_classes.end());
+  std::vector<ConstraintId> out;
+  for (ConstraintId id : candidates) {
+    bool relevant = true;
+    for (ClassId referenced : clauses_[id].ReferencedClasses()) {
+      if (in_query.count(referenced) == 0) {
+        relevant = false;
+        break;
+      }
+    }
+    if (relevant) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ConstraintId> ConstraintCatalog::RelevantForQuery(
+    const std::vector<ClassId>& query_classes) {
+  std::vector<ConstraintId> retrieved = RetrieveForQuery(query_classes);
+  std::vector<ConstraintId> relevant =
+      RelevantConstraints(query_classes, retrieved);
+  retrieval_stats_.queries += 1;
+  retrieval_stats_.constraints_retrieved += retrieved.size();
+  retrieval_stats_.constraints_relevant += relevant.size();
+  return relevant;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,98 @@
+// The constraint subsystem's front door. Owns the base constraint set,
+// materializes the transitive closure at precompilation, classifies each
+// clause intra/inter, assigns groups, and serves the per-query retrieval
+// + relevance filtering pipeline of Section 3.
+#ifndef SQOPT_CONSTRAINTS_CONSTRAINT_CATALOG_H_
+#define SQOPT_CONSTRAINTS_CONSTRAINT_CATALOG_H_
+
+#include <vector>
+
+#include "catalog/access_stats.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/closure.h"
+#include "constraints/grouping.h"
+#include "constraints/horn_clause.h"
+
+namespace sqopt {
+
+struct PrecompileOptions {
+  bool materialize_closure = true;  // the paper's design; false = ablation
+  ClosureOptions closure;
+  GroupingPolicy grouping = GroupingPolicy::kLeastFrequentlyAccessed;
+};
+
+// Cumulative counters for the retrieval pipeline, used by the grouping
+// ablation bench.
+struct RetrievalStats {
+  uint64_t queries = 0;
+  uint64_t constraints_retrieved = 0;  // fetched via groups
+  uint64_t constraints_relevant = 0;   // passed the relevance test
+
+  double IrrelevantFraction() const {
+    if (constraints_retrieved == 0) return 0.0;
+    return 1.0 - static_cast<double>(constraints_relevant) /
+                     static_cast<double>(constraints_retrieved);
+  }
+};
+
+class ConstraintCatalog {
+ public:
+  explicit ConstraintCatalog(const Schema* schema) : schema_(schema) {}
+
+  // Registers a base constraint. Must be called before Precompile; after
+  // Precompile, call again + re-Precompile to change the set (semantic
+  // constraints change rarely — the paper's stated justification for
+  // materializing the closure).
+  Status AddConstraint(HornClause clause);
+
+  // Runs closure + classification + grouping. Idempotent; re-runs from
+  // the base set each time.
+  Status Precompile(const AccessStats* stats,
+                    const PrecompileOptions& options = {});
+  bool precompiled() const { return precompiled_; }
+
+  // All clauses after precompilation (base then derived).
+  const std::vector<HornClause>& clauses() const { return clauses_; }
+  const HornClause& clause(ConstraintId id) const { return clauses_[id]; }
+  ConstraintClass classification(ConstraintId id) const {
+    return classes_[id];
+  }
+  size_t num_base() const { return num_base_; }
+  size_t num_derived() const { return clauses_.size() - num_base_; }
+
+  // Group-based retrieval: all constraints attached to the query's
+  // classes. Superset of the relevant constraints.
+  std::vector<ConstraintId> RetrieveForQuery(
+      const std::vector<ClassId>& query_classes) const;
+
+  // Relevance (Section 3): constraint c is relevant to query q iff every
+  // class c references appears in q. Filters `candidates` (typically the
+  // output of RetrieveForQuery) and updates the stats counters.
+  std::vector<ConstraintId> RelevantConstraints(
+      const std::vector<ClassId>& query_classes,
+      const std::vector<ConstraintId>& candidates) const;
+
+  // Convenience: RetrieveForQuery then RelevantConstraints, with
+  // counters.
+  std::vector<ConstraintId> RelevantForQuery(
+      const std::vector<ClassId>& query_classes);
+
+  const ConstraintGrouping& grouping() const { return grouping_; }
+  const RetrievalStats& retrieval_stats() const { return retrieval_stats_; }
+  void ResetRetrievalStats() { retrieval_stats_ = RetrievalStats{}; }
+
+ private:
+  const Schema* schema_;
+  std::vector<HornClause> base_;
+  std::vector<HornClause> clauses_;       // after closure
+  std::vector<ConstraintClass> classes_;  // intra/inter per clause
+  ConstraintGrouping grouping_;
+  size_t num_base_ = 0;
+  bool precompiled_ = false;
+  RetrievalStats retrieval_stats_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CONSTRAINTS_CONSTRAINT_CATALOG_H_

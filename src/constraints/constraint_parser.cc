@@ -1,0 +1,140 @@
+#include "constraints/constraint_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sqopt {
+
+namespace {
+
+// Splits on commas outside quotes (predicates may contain quoted commas).
+std::vector<std::string> SplitPredicates(std::string_view body) {
+  std::vector<std::string> out;
+  bool in_quote = false;
+  char quote = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size()) {
+      char c = body[i];
+      if (in_quote) {
+        if (c == quote) in_quote = false;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        in_quote = true;
+        quote = c;
+        continue;
+      }
+      if (c != ',') continue;
+    }
+    std::string_view piece = StripWhitespace(body.substr(start, i - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = i + 1;
+  }
+  return out;
+}
+
+// Finds "->" outside quotes. Returns npos if absent.
+size_t FindArrow(std::string_view s) {
+  bool in_quote = false;
+  char quote = 0;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    char c = s[i];
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_quote = true;
+      quote = c;
+      continue;
+    }
+    if (c == '-' && s[i + 1] == '>') return i;
+  }
+  return std::string_view::npos;
+}
+
+// Finds a label terminator ':' that precedes any predicate content.
+// A ':' is a label separator only if everything before it is a bare
+// identifier (no dots, quotes, or comparison characters).
+size_t FindLabelColon(std::string_view s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == ':') return i;
+    bool ident = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 std::isspace(static_cast<unsigned char>(c));
+    if (!ident) return std::string_view::npos;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+Result<HornClause> ParseConstraint(const Schema& schema,
+                                   std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+
+  std::string label;
+  size_t colon = FindLabelColon(s);
+  if (colon != std::string_view::npos) {
+    label = std::string(StripWhitespace(s.substr(0, colon)));
+    s = StripWhitespace(s.substr(colon + 1));
+  }
+
+  size_t arrow = FindArrow(s);
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("constraint missing '->': '" +
+                              std::string(text) + "'");
+  }
+  std::string_view lhs = StripWhitespace(s.substr(0, arrow));
+  std::string_view rhs = StripWhitespace(s.substr(arrow + 2));
+  if (rhs.empty()) {
+    return Status::ParseError("constraint has empty consequent");
+  }
+
+  std::vector<Predicate> antecedents;
+  for (const std::string& piece : SplitPredicates(lhs)) {
+    SQOPT_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(schema, piece));
+    // Deduplicate repeated antecedents.
+    bool dup = false;
+    for (const Predicate& q : antecedents) {
+      if (p == q) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) antecedents.push_back(std::move(p));
+  }
+  // An empty antecedent list is legal: it encodes a constraint
+  // conditioned only on class membership (the paper's c3/c4 — "a driver
+  // can only drive vehicles whose classification is not higher than his
+  // license classification" has no predicate antecedents). Such a
+  // constraint fires whenever its classes appear in the query.
+  SQOPT_ASSIGN_OR_RETURN(Predicate consequent, ParsePredicate(schema, rhs));
+
+  // A consequent repeating an antecedent is vacuous.
+  for (const Predicate& p : antecedents) {
+    if (p == consequent) {
+      return Status::InvalidArgument(
+          "constraint is vacuous: consequent repeats an antecedent");
+    }
+  }
+
+  return HornClause(std::move(label), std::move(antecedents),
+                    std::move(consequent));
+}
+
+Result<std::vector<HornClause>> ParseConstraintList(const Schema& schema,
+                                                    std::string_view text) {
+  std::vector<HornClause> out;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view s = StripWhitespace(line);
+    if (s.empty() || s.front() == '#') continue;
+    SQOPT_ASSIGN_OR_RETURN(HornClause clause, ParseConstraint(schema, s));
+    out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,28 @@
+// Parses Horn-clause constraints from text:
+//
+//   c1: cargo.desc = "frozen food", vehicle.desc = "refrigerated truck"
+//       -> supplier.name = "SFI"
+//
+// Grammar: [label ':'] predicate (',' predicate)* '->' predicate.
+// The leading label is optional.
+#ifndef SQOPT_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define SQOPT_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/horn_clause.h"
+
+namespace sqopt {
+
+Result<HornClause> ParseConstraint(const Schema& schema,
+                                   std::string_view text);
+
+// Parses one constraint per non-empty, non-comment ('#') line.
+Result<std::vector<HornClause>> ParseConstraintList(const Schema& schema,
+                                                    std::string_view text);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CONSTRAINTS_CONSTRAINT_PARSER_H_

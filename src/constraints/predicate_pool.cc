@@ -1,0 +1,19 @@
+#include "constraints/predicate_pool.h"
+
+namespace sqopt {
+
+PredId PredicatePool::Intern(const Predicate& p) {
+  auto it = index_.find(p);
+  if (it != index_.end()) return it->second;
+  PredId id = static_cast<PredId>(predicates_.size());
+  predicates_.push_back(p);
+  index_.emplace(p, id);
+  return id;
+}
+
+PredId PredicatePool::Find(const Predicate& p) const {
+  auto it = index_.find(p);
+  return it == index_.end() ? kInvalidPred : it->second;
+}
+
+}  // namespace sqopt

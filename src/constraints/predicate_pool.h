@@ -1,0 +1,43 @@
+// Interning store for predicates. The paper (Section 3) stores the
+// transitive closure compactly by "extracting all the predicates into a
+// separate structure, and modifying the constraints to contain only
+// pointers to relevant predicates in the structure". PredicatePool is
+// that structure: each distinct predicate is stored once and referenced
+// by a dense integer id, which also serves as the column index of the
+// transformation table.
+#ifndef SQOPT_CONSTRAINTS_PREDICATE_POOL_H_
+#define SQOPT_CONSTRAINTS_PREDICATE_POOL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/predicate.h"
+
+namespace sqopt {
+
+using PredId = int32_t;
+inline constexpr PredId kInvalidPred = -1;
+
+class PredicatePool {
+ public:
+  PredicatePool() = default;
+
+  // Returns the id of `p`, interning it on first sight.
+  PredId Intern(const Predicate& p);
+
+  // Returns the id of `p` if already interned, else kInvalidPred.
+  PredId Find(const Predicate& p) const;
+
+  const Predicate& Get(PredId id) const { return predicates_[id]; }
+  size_t size() const { return predicates_.size(); }
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::unordered_map<Predicate, PredId, PredicateHash> index_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CONSTRAINTS_PREDICATE_POOL_H_

@@ -1,0 +1,87 @@
+// The "conventional optimizer" cost model the paper delegates to for the
+// profitability function in §3.4 and for class elimination decisions.
+// Estimates the I/O + CPU cost of evaluating a query as a greedy
+// left-deep traversal of its relationship graph: pick the cheapest
+// starting class (index access when an indexed selective predicate
+// exists), then expand one relationship at a time, carrying intermediate
+// cardinalities.
+#ifndef SQOPT_COST_COST_MODEL_H_
+#define SQOPT_COST_COST_MODEL_H_
+
+#include <vector>
+
+#include "cost/selectivity.h"
+#include "cost/stats.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+struct CostModelParams {
+  double page_instances = 32;    // objects per page (blocking factor)
+  double cpu_weight = 0.02;      // cost units per predicate evaluation
+  double probe_weight = 0.05;    // cost units per index/pointer probe
+  double output_weight = 0.001;  // cost units per result row materialized
+  // Fixed overhead added to the optimized side when profitability is
+  // judged (models the transformation cost the paper includes in the
+  // optimized query's cost).
+  double optimization_overhead = 0.0;
+};
+
+// Interface so the optimizer core can be tested with stub models.
+class CostModelInterface {
+ public:
+  virtual ~CostModelInterface() = default;
+
+  // Estimated execution cost of `query`, in abstract cost units.
+  virtual double QueryCost(const Query& query) const = 0;
+};
+
+class CostModel : public CostModelInterface {
+ public:
+  CostModel(const Schema* schema, const DatabaseStats* stats,
+            CostModelParams params = {})
+      : schema_(schema), stats_(stats), params_(params) {}
+
+  double QueryCost(const Query& query) const override;
+
+  // Estimated cardinality of the query result.
+  double ResultCardinality(const Query& query) const;
+
+  // Cost of accessing one class given the selective predicates that
+  // apply to it: index scan when an indexed predicate exists, else a
+  // full extent scan. `multiplier` = how many times the access runs
+  // (1 for the driving class, intermediate-size for inner classes).
+  double ClassAccessCost(ClassId id,
+                         const std::vector<Predicate>& predicates,
+                         double multiplier) const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  double Pages(double instances) const {
+    double pages = instances / params_.page_instances;
+    return pages < 1.0 ? 1.0 : pages;
+  }
+  bool HasIndexedPredicate(ClassId id,
+                           const std::vector<Predicate>& predicates) const;
+
+  const Schema* schema_;
+  const DatabaseStats* stats_;
+  CostModelParams params_;
+};
+
+// Decision helpers shared by the SQO formulation step and the baselines.
+
+// True if dropping `p` from `query` does not increase estimated cost,
+// i.e. retaining p is NOT profitable. Exposed for symmetric use.
+bool RetainIsProfitable(const CostModelInterface& model, const Query& query,
+                        const Predicate& p);
+
+// True if `without` (the query after a candidate class elimination) is
+// estimated cheaper than `with`.
+bool EliminationIsProfitable(const CostModelInterface& model,
+                             const Query& with, const Query& without);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_COST_COST_MODEL_H_

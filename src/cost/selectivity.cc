@@ -1,0 +1,106 @@
+#include "cost/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqopt {
+
+namespace {
+
+double RangeFraction(const AttrStatsData& stats, CompareOp op,
+                     const Value& constant) {
+  if (!stats.min.has_value() || !stats.max.has_value() ||
+      !constant.is_numeric() || !stats.min->is_numeric() ||
+      !stats.max->is_numeric()) {
+    return kDefaultRangeSelectivity;
+  }
+  double lo = stats.min->AsDouble();
+  double hi = stats.max->AsDouble();
+  double c = constant.AsDouble();
+  if (hi <= lo) return kDefaultRangeSelectivity;
+  double below = std::clamp((c - lo) / (hi - lo), 0.0, 1.0);
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return std::max(below, kMinSelectivity);
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return std::max(1.0 - below, kMinSelectivity);
+    default:
+      return kDefaultRangeSelectivity;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Schema& schema, const DatabaseStats& stats,
+                           const Predicate& p) {
+  if (p.is_attr_attr()) {
+    if (p.op() == CompareOp::kEq) {
+      const AttrStatsData* l = stats.AttrStatsFor(p.lhs());
+      const AttrStatsData* r = stats.AttrStatsFor(p.rhs_attr());
+      int64_t ndv_l = (l != nullptr && l->distinct_values > 0)
+                          ? l->distinct_values
+                          : 10;
+      int64_t ndv_r = (r != nullptr && r->distinct_values > 0)
+                          ? r->distinct_values
+                          : 10;
+      return std::max(1.0 / static_cast<double>(std::max(ndv_l, ndv_r)),
+                      kMinSelectivity);
+    }
+    return kDefaultRangeSelectivity;
+  }
+
+  const AttrStatsData* attr_stats = stats.AttrStatsFor(p.lhs());
+  const Attribute& attr = schema.attribute(p.lhs());
+  int64_t ndv = 0;
+  if (attr_stats != nullptr && attr_stats->distinct_values > 0) {
+    ndv = attr_stats->distinct_values;
+  } else if (attr.distinct_values > 0) {
+    ndv = attr.distinct_values;
+  }
+
+  switch (p.op()) {
+    case CompareOp::kEq:
+      if (ndv > 0) {
+        return std::max(1.0 / static_cast<double>(ndv), kMinSelectivity);
+      }
+      return kDefaultEqSelectivity;
+    case CompareOp::kNe:
+      if (ndv > 0) {
+        return std::clamp(1.0 - 1.0 / static_cast<double>(ndv),
+                          kMinSelectivity, 1.0);
+      }
+      return 1.0 - kDefaultEqSelectivity;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      // A histogram, when collected, beats min/max interpolation.
+      if (attr_stats != nullptr && !attr_stats->histogram.empty()) {
+        return std::max(
+            attr_stats->histogram.Selectivity(p.op(), p.rhs_value(),
+                                              kDefaultRangeSelectivity),
+            kMinSelectivity);
+      }
+      if (attr_stats != nullptr) {
+        return RangeFraction(*attr_stats, p.op(), p.rhs_value());
+      }
+      return kDefaultRangeSelectivity;
+  }
+  return kDefaultRangeSelectivity;
+}
+
+double ClassSelectivity(const Schema& schema, const DatabaseStats& stats,
+                        const std::vector<Predicate>& predicates,
+                        ClassId class_id) {
+  double sel = 1.0;
+  for (const Predicate& p : predicates) {
+    if (!p.is_attr_const()) continue;
+    if (p.lhs().class_id != class_id) continue;
+    sel *= EstimateSelectivity(schema, stats, p);
+  }
+  return std::clamp(sel, kMinSelectivity, 1.0);
+}
+
+}  // namespace sqopt

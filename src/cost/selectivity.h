@@ -1,0 +1,36 @@
+// Textbook selectivity estimation (System R defaults where statistics
+// are missing). Drives both the cost model's profitability analysis and
+// the executor's plan builder.
+#ifndef SQOPT_COST_SELECTIVITY_H_
+#define SQOPT_COST_SELECTIVITY_H_
+
+#include <vector>
+
+#include "cost/stats.h"
+#include "expr/predicate.h"
+
+namespace sqopt {
+
+// Defaults used when statistics are unavailable.
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+// Fraction of a class's instances satisfying `p` (attr-const). For
+// attr-attr predicates, returns the join selectivity estimate
+// 1/max(ndv(lhs), ndv(rhs)) for equality and the range default
+// otherwise. Always in (0, 1].
+double EstimateSelectivity(const Schema& schema, const DatabaseStats& stats,
+                           const Predicate& p);
+
+// Product of selectivities of the given predicates restricted to those
+// whose lhs class is `class_id` (attr-const only). Clamped to
+// [kMinSelectivity, 1].
+double ClassSelectivity(const Schema& schema, const DatabaseStats& stats,
+                        const std::vector<Predicate>& predicates,
+                        ClassId class_id);
+
+inline constexpr double kMinSelectivity = 1e-6;
+
+}  // namespace sqopt
+
+#endif  // SQOPT_COST_SELECTIVITY_H_

@@ -1,0 +1,22 @@
+#include "cost/stats.h"
+
+namespace sqopt {
+
+int64_t DatabaseStats::ClassCardinality(ClassId id) const {
+  auto it = class_cardinality_.find(id);
+  if (it == class_cardinality_.end()) return kDefaultCardinality;
+  return it->second < 1 ? 1 : it->second;
+}
+
+int64_t DatabaseStats::RelationshipCardinality(RelId id) const {
+  auto it = rel_cardinality_.find(id);
+  if (it == rel_cardinality_.end()) return kDefaultCardinality;
+  return it->second < 0 ? 0 : it->second;
+}
+
+const AttrStatsData* DatabaseStats::AttrStatsFor(const AttrRef& ref) const {
+  auto it = attr_stats_.find(ref);
+  return it == attr_stats_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,58 @@
+// Database statistics consumed by selectivity estimation and the cost
+// model: class cardinalities, relationship cardinalities, and
+// per-attribute distinct-value counts / value ranges. Populated from an
+// ObjectStore by exec::CollectStats or synthesized directly in tests.
+#ifndef SQOPT_COST_STATS_H_
+#define SQOPT_COST_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "catalog/schema.h"
+#include "cost/histogram.h"
+#include "types/value.h"
+
+namespace sqopt {
+
+struct AttrStatsData {
+  int64_t distinct_values = 0;  // 0 = unknown
+  std::optional<Value> min;     // populated for ordered types
+  std::optional<Value> max;
+  // Optional equi-width histogram (numeric attributes); empty() when
+  // not collected. Refines range/equality selectivity when present.
+  Histogram histogram;
+};
+
+class DatabaseStats {
+ public:
+  DatabaseStats() = default;
+
+  void SetClassCardinality(ClassId id, int64_t cardinality) {
+    class_cardinality_[id] = cardinality;
+  }
+  // Unknown classes default to kDefaultCardinality: the estimator must
+  // never divide by zero or treat missing stats as empty.
+  int64_t ClassCardinality(ClassId id) const;
+
+  void SetRelationshipCardinality(RelId id, int64_t cardinality) {
+    rel_cardinality_[id] = cardinality;
+  }
+  int64_t RelationshipCardinality(RelId id) const;
+
+  void SetAttrStats(const AttrRef& ref, AttrStatsData data) {
+    attr_stats_[ref] = std::move(data);
+  }
+  const AttrStatsData* AttrStatsFor(const AttrRef& ref) const;
+
+  static constexpr int64_t kDefaultCardinality = 100;
+
+ private:
+  std::unordered_map<ClassId, int64_t> class_cardinality_;
+  std::unordered_map<RelId, int64_t> rel_cardinality_;
+  std::unordered_map<AttrRef, AttrStatsData, AttrRefHash> attr_stats_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_COST_STATS_H_

@@ -1,0 +1,239 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exec/plan_builder.h"
+
+namespace sqopt {
+
+double ExecutionMeter::CostUnits(const CostModelParams& params) const {
+  double pages =
+      static_cast<double>(instances_scanned) / params.page_instances;
+  if (instances_scanned > 0 && pages < 1.0) pages = 1.0;
+  return pages +
+         params.cpu_weight * static_cast<double>(predicate_evals) +
+         params.probe_weight *
+             static_cast<double>(index_probes + pointer_traversals) +
+         params.output_weight * static_cast<double>(rows_out);
+}
+
+namespace {
+
+std::string RowKey(const std::vector<Value>& row) {
+  std::string k;
+  for (const Value& v : row) {
+    k += v.ToString();
+    k += '\x1f';
+  }
+  return k;
+}
+
+}  // namespace
+
+bool ResultSet::SameRows(const ResultSet& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  std::multiset<std::string> a, b;
+  for (const auto& row : rows) a.insert(RowKey(row));
+  for (const auto& row : other.rows) b.insert(RowKey(row));
+  return a == b;
+}
+
+bool ResultSet::SameDistinctRows(const ResultSet& other) const {
+  std::set<std::string> a, b;
+  for (const auto& row : rows) a.insert(RowKey(row));
+  for (const auto& row : other.rows) b.insert(RowKey(row));
+  return a == b;
+}
+
+namespace {
+
+using Binding = std::vector<int64_t>;  // class id -> row (-1 unbound)
+
+const Value& AttrValue(const ObjectStore& store, const Binding& binding,
+                       const AttrRef& ref) {
+  return store.extent(ref.class_id)
+      .ValueAt(binding[ref.class_id], ref.attr_id);
+}
+
+bool EvalPredicate(const ObjectStore& store, const Binding& binding,
+                   const Predicate& p, ExecutionMeter* meter) {
+  ++meter->predicate_evals;
+  const Value& lhs = AttrValue(store, binding, p.lhs());
+  if (p.is_attr_const()) {
+    return EvalCompare(lhs, p.op(), p.rhs_value());
+  }
+  const Value& rhs = AttrValue(store, binding, p.rhs_attr());
+  return EvalCompare(lhs, p.op(), rhs);
+}
+
+}  // namespace
+
+Result<ResultSet> ExecutePlan(const ObjectStore& store, const Plan& plan,
+                              ExecutionMeter* meter) {
+  ExecutionMeter local;
+  if (meter == nullptr) meter = &local;
+  ResultSet result;
+  if (plan.empty_result) return result;
+  if (plan.steps.empty()) {
+    return Status::InvalidArgument("plan has no access steps");
+  }
+
+  const Schema& schema = store.schema();
+  size_t num_classes = schema.num_classes();
+
+  // Which join predicates / residual (cycle-closing) relationships
+  // become checkable after each step: both endpoint classes bound, and
+  // not checkable earlier.
+  std::vector<std::vector<Predicate>> joins_at(plan.steps.size());
+  std::vector<std::vector<RelId>> rels_at(plan.steps.size());
+  {
+    std::set<ClassId> bound;
+    std::vector<bool> placed(plan.join_predicates.size(), false);
+    std::vector<bool> rel_placed(plan.residual_relationships.size(),
+                                 false);
+    for (size_t s = 0; s < plan.steps.size(); ++s) {
+      bound.insert(plan.steps[s].class_id);
+      for (size_t j = 0; j < plan.join_predicates.size(); ++j) {
+        if (placed[j]) continue;
+        const Predicate& p = plan.join_predicates[j];
+        if (bound.count(p.lhs().class_id) > 0 &&
+            bound.count(p.rhs_attr().class_id) > 0) {
+          joins_at[s].push_back(p);
+          placed[j] = true;
+        }
+      }
+      for (size_t r = 0; r < plan.residual_relationships.size(); ++r) {
+        if (rel_placed[r]) continue;
+        const Relationship& rel =
+            schema.relationship(plan.residual_relationships[r]);
+        if (bound.count(rel.a) > 0 && bound.count(rel.b) > 0) {
+          rels_at[s].push_back(rel.id);
+          rel_placed[r] = true;
+        }
+      }
+    }
+    for (size_t j = 0; j < plan.join_predicates.size(); ++j) {
+      if (!placed[j]) {
+        return Status::InvalidArgument(
+            "join predicate references a class not covered by the plan");
+      }
+    }
+    for (size_t r = 0; r < plan.residual_relationships.size(); ++r) {
+      if (!rel_placed[r]) {
+        return Status::InvalidArgument(
+            "residual relationship not covered by the plan's steps");
+      }
+    }
+  }
+
+  // Membership filter for a cycle-closing relationship.
+  auto linked = [&](RelId rel_id, const Binding& binding) {
+    const Relationship& rel = schema.relationship(rel_id);
+    const std::vector<int64_t>& partners =
+        store.Partners(rel_id, rel.a, binding[rel.a]);
+    ++meter->pointer_traversals;
+    return std::find(partners.begin(), partners.end(), binding[rel.b]) !=
+           partners.end();
+  };
+
+  // Driving step: candidate rows.
+  const AccessStep& drive = plan.steps[0];
+  std::vector<Binding> bindings;
+  {
+    std::vector<int64_t> candidates;
+    if (drive.index_predicate.has_value()) {
+      const Predicate& ip = *drive.index_predicate;
+      const AttributeIndex* index = store.GetIndex(ip.lhs());
+      if (index == nullptr) {
+        return Status::Internal("plan chose a nonexistent index");
+      }
+      candidates = index->Lookup(ip.op(), ip.rhs_value());
+      ++meter->index_probes;
+      meter->instances_scanned += candidates.size();
+    } else {
+      int64_t n = store.NumObjects(drive.class_id);
+      candidates.reserve(n);
+      for (int64_t row = 0; row < n; ++row) candidates.push_back(row);
+      meter->instances_scanned += static_cast<uint64_t>(n);
+    }
+    for (int64_t row : candidates) {
+      Binding binding(num_classes, -1);
+      binding[drive.class_id] = row;
+      bool keep = true;
+      for (const Predicate& p : drive.residual_predicates) {
+        if (!EvalPredicate(store, binding, p, meter)) {
+          keep = false;
+          break;
+        }
+      }
+      for (const Predicate& p : joins_at[0]) {
+        if (!keep) break;
+        if (!EvalPredicate(store, binding, p, meter)) keep = false;
+      }
+      for (RelId rel_id : rels_at[0]) {
+        if (!keep) break;
+        if (!linked(rel_id, binding)) keep = false;
+      }
+      if (keep) bindings.push_back(std::move(binding));
+    }
+  }
+
+  // Expansion steps.
+  for (size_t s = 1; s < plan.steps.size(); ++s) {
+    const AccessStep& step = plan.steps[s];
+    std::vector<Binding> next;
+    for (const Binding& binding : bindings) {
+      int64_t from_row = binding[step.from_class];
+      const std::vector<int64_t>& partners =
+          store.Partners(step.via_rel, step.from_class, from_row);
+      ++meter->pointer_traversals;
+      meter->instances_scanned += partners.size();
+      for (int64_t partner : partners) {
+        Binding extended = binding;
+        extended[step.class_id] = partner;
+        bool keep = true;
+        for (const Predicate& p : step.residual_predicates) {
+          if (!EvalPredicate(store, extended, p, meter)) {
+            keep = false;
+            break;
+          }
+        }
+        for (const Predicate& p : joins_at[s]) {
+          if (!keep) break;
+          if (!EvalPredicate(store, extended, p, meter)) keep = false;
+        }
+        for (RelId rel_id : rels_at[s]) {
+          if (!keep) break;
+          if (!linked(rel_id, extended)) keep = false;
+        }
+        if (keep) next.push_back(std::move(extended));
+      }
+    }
+    bindings = std::move(next);
+  }
+
+  // Projection.
+  result.rows.reserve(bindings.size());
+  for (const Binding& binding : bindings) {
+    std::vector<Value> row;
+    row.reserve(plan.projection.size());
+    for (const AttrRef& ref : plan.projection) {
+      row.push_back(AttrValue(store, binding, ref));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  meter->rows_out += result.rows.size();
+  return result;
+}
+
+Result<ResultSet> ExecuteQuery(const ObjectStore& store, const Query& query,
+                               ExecutionMeter* meter) {
+  DatabaseStats stats = CollectStats(store);
+  SQOPT_ASSIGN_OR_RETURN(Plan plan,
+                         BuildPlan(store.schema(), stats, query));
+  return ExecutePlan(store, plan, meter);
+}
+
+}  // namespace sqopt

@@ -1,0 +1,50 @@
+// Plan execution with cost metering. The meter's unit accounting is the
+// measured counterpart of the CostModel's estimates, and is what the
+// Table 4.2 bench reports as "query cost".
+#ifndef SQOPT_EXEC_EXECUTOR_H_
+#define SQOPT_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "exec/plan.h"
+#include "storage/object_store.h"
+
+namespace sqopt {
+
+struct ExecutionMeter {
+  uint64_t instances_scanned = 0;   // extent objects touched
+  uint64_t index_probes = 0;        // index lookups
+  uint64_t pointer_traversals = 0;  // relationship partner fetches
+  uint64_t predicate_evals = 0;     // predicate evaluations
+  uint64_t rows_out = 0;            // result rows
+
+  // Measured cost in the same units the CostModel estimates.
+  double CostUnits(const CostModelParams& params = {}) const;
+
+  void Reset() { *this = ExecutionMeter{}; }
+};
+
+struct ResultSet {
+  std::vector<std::vector<Value>> rows;  // projection order
+
+  // Order-insensitive multiset equality (queries are unordered).
+  bool SameRows(const ResultSet& other) const;
+
+  // Set-semantics equality: same distinct rows. Class elimination (and
+  // 1991-era query semantics generally) preserves the distinct result
+  // set, not bag multiplicities — see DESIGN.md.
+  bool SameDistinctRows(const ResultSet& other) const;
+};
+
+Result<ResultSet> ExecutePlan(const ObjectStore& store, const Plan& plan,
+                              ExecutionMeter* meter);
+
+// Convenience: plan + execute in one call using the store's own stats.
+Result<ResultSet> ExecuteQuery(const ObjectStore& store, const Query& query,
+                               ExecutionMeter* meter);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXEC_EXECUTOR_H_

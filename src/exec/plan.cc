@@ -1,0 +1,54 @@
+#include "exec/plan.h"
+
+#include <sstream>
+
+namespace sqopt {
+
+std::string Plan::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  if (empty_result) {
+    os << "EmptyResult (contradiction detected)\n";
+    return os.str();
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const AccessStep& step = steps[i];
+    os << (i == 0 ? "Drive " : "Expand ");
+    os << schema.object_class(step.class_id).name;
+    if (i == 0) {
+      if (step.index_predicate.has_value()) {
+        os << " via index[" << step.index_predicate->ToString(schema) << "]";
+      } else {
+        os << " via scan";
+      }
+    } else {
+      os << " via " << schema.relationship(step.via_rel).name << " from "
+         << schema.object_class(step.from_class).name;
+    }
+    if (!step.residual_predicates.empty()) {
+      os << " filter(";
+      for (size_t j = 0; j < step.residual_predicates.size(); ++j) {
+        if (j) os << " and ";
+        os << step.residual_predicates[j].ToString(schema);
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
+  if (!join_predicates.empty()) {
+    os << "Join predicates:";
+    for (const Predicate& p : join_predicates) {
+      os << " [" << p.ToString(schema) << "]";
+    }
+    os << "\n";
+  }
+  if (!residual_relationships.empty()) {
+    os << "Cycle filters:";
+    for (RelId rel_id : residual_relationships) {
+      os << " [" << schema.relationship(rel_id).name << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqopt

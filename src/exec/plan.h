@@ -1,0 +1,53 @@
+// Physical plans: a left-deep traversal of the query's relationship
+// graph. The first step accesses the driving class (index probe or
+// extent scan); each later step expands one relationship from a bound
+// class to a new one, filtering with that class's residual predicates.
+#ifndef SQOPT_EXEC_PLAN_H_
+#define SQOPT_EXEC_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "expr/predicate.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+struct AccessStep {
+  ClassId class_id = kInvalidClass;
+
+  // Driving step only: the index predicate chosen as access path, if
+  // any. Absent => full extent scan.
+  std::optional<Predicate> index_predicate;
+
+  // Non-driving steps: the relationship used to reach this class and
+  // the already-bound class on its other end.
+  RelId via_rel = kInvalidRel;
+  ClassId from_class = kInvalidClass;
+
+  // attr-const predicates on this class evaluated on each candidate
+  // (the index predicate, when present, is not repeated here).
+  std::vector<Predicate> residual_predicates;
+};
+
+struct Plan {
+  std::vector<AccessStep> steps;
+  // attr-attr predicates, each applied at the first step where both
+  // classes are bound.
+  std::vector<Predicate> join_predicates;
+  // Relationships not used for expansion (cycles in the query graph):
+  // enforced as membership filters once both endpoints are bound.
+  std::vector<RelId> residual_relationships;
+  std::vector<AttrRef> projection;
+  // Set by the optimizer's contradiction short-circuit: executor
+  // returns an empty result without touching the store.
+  bool empty_result = false;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXEC_PLAN_H_

@@ -1,0 +1,163 @@
+#include "exec/plan_builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cost/selectivity.h"
+
+namespace sqopt {
+
+DatabaseStats CollectStats(const ObjectStore& store) {
+  const Schema& schema = store.schema();
+  DatabaseStats stats;
+  for (const ObjectClass& oc : schema.classes()) {
+    stats.SetClassCardinality(oc.id, store.NumObjects(oc.id));
+    for (AttrId attr_id : schema.LayoutOf(oc.id)) {
+      AttrRef ref{oc.id, attr_id};
+      AttrStatsData data;
+      data.distinct_values = store.DistinctValues(ref);
+      if (store.NumObjects(oc.id) > 0) {
+        auto [min, max] = store.MinMax(ref);
+        if (!min.is_null() && min.is_numeric()) {
+          data.min = min;
+          data.max = max;
+          // Numeric attribute: collect an equi-width histogram too.
+          std::vector<Value> values;
+          values.reserve(static_cast<size_t>(store.NumObjects(oc.id)));
+          const Extent& extent = store.extent(oc.id);
+          for (int64_t row = 0; row < extent.size(); ++row) {
+            values.push_back(extent.ValueAt(row, attr_id));
+          }
+          data.histogram = Histogram::Build(values);
+        }
+      }
+      stats.SetAttrStats(ref, std::move(data));
+    }
+  }
+  for (const Relationship& rel : schema.relationships()) {
+    stats.SetRelationshipCardinality(rel.id, store.NumPairs(rel.id));
+  }
+  return stats;
+}
+
+Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
+                       const Query& query) {
+  SQOPT_RETURN_IF_ERROR(ValidateQuery(schema, query));
+
+  Plan plan;
+  plan.projection = query.projection;
+  plan.join_predicates = query.join_predicates;
+
+  auto preds_on = [&](ClassId id) {
+    std::vector<Predicate> out;
+    for (const Predicate& p : query.selective_predicates) {
+      if (p.lhs().class_id == id) out.push_back(p);
+    }
+    return out;
+  };
+
+  // Driving class: estimated candidate count after its best access
+  // path; indexed predicates shrink the candidates to card * sel.
+  auto driving_estimate = [&](ClassId id, std::optional<Predicate>* best) {
+    double card = static_cast<double>(stats.ClassCardinality(id));
+    double best_cost = card;  // full scan candidate count
+    std::optional<Predicate> best_pred;
+    for (const Predicate& p : preds_on(id)) {
+      if (!schema.attribute(p.lhs()).indexed) continue;
+      if (p.op() == CompareOp::kNe) continue;  // index not useful
+      double matches = card * EstimateSelectivity(schema, stats, p);
+      if (matches < best_cost) {
+        best_cost = matches;
+        best_pred = p;
+      }
+    }
+    *best = best_pred;
+    return best_cost;
+  };
+
+  ClassId start = query.classes[0];
+  std::optional<Predicate> start_index;
+  double start_cost = 0.0;
+  {
+    bool first = true;
+    for (ClassId id : query.classes) {
+      std::optional<Predicate> candidate_index;
+      double cost = driving_estimate(id, &candidate_index);
+      // Apply residual selectivity so a heavily filtered class is
+      // preferred even without an index.
+      cost *= ClassSelectivity(schema, stats, preds_on(id), id);
+      if (first || cost < start_cost) {
+        first = false;
+        start = id;
+        start_cost = cost;
+        start_index = candidate_index;
+      }
+    }
+  }
+
+  AccessStep drive;
+  drive.class_id = start;
+  drive.index_predicate = start_index;
+  for (const Predicate& p : preds_on(start)) {
+    if (start_index.has_value() && p == *start_index) continue;
+    drive.residual_predicates.push_back(p);
+  }
+  plan.steps.push_back(std::move(drive));
+
+  std::set<ClassId> bound = {start};
+  std::set<RelId> used;
+  while (bound.size() < query.classes.size()) {
+    RelId best_rel = kInvalidRel;
+    ClassId best_from = kInvalidClass, best_to = kInvalidClass;
+    double best_size = 0.0;
+    for (RelId rel_id : query.relationships) {
+      if (used.count(rel_id) > 0) continue;
+      const Relationship& rel = schema.relationship(rel_id);
+      ClassId from, to;
+      if (bound.count(rel.a) > 0 && bound.count(rel.b) == 0) {
+        from = rel.a;
+        to = rel.b;
+      } else if (bound.count(rel.b) > 0 && bound.count(rel.a) == 0) {
+        from = rel.b;
+        to = rel.a;
+      } else {
+        continue;
+      }
+      double fanout =
+          static_cast<double>(stats.RelationshipCardinality(rel_id)) /
+          std::max(1.0, static_cast<double>(stats.ClassCardinality(from)));
+      double size =
+          fanout * ClassSelectivity(schema, stats, preds_on(to), to);
+      if (best_rel == kInvalidRel || size < best_size) {
+        best_rel = rel_id;
+        best_from = from;
+        best_to = to;
+        best_size = size;
+      }
+    }
+    if (best_rel == kInvalidRel) {
+      return Status::InvalidArgument(
+          "cannot plan: query relationship graph is disconnected");
+    }
+    AccessStep step;
+    step.class_id = best_to;
+    step.via_rel = best_rel;
+    step.from_class = best_from;
+    step.residual_predicates = preds_on(best_to);
+    plan.steps.push_back(std::move(step));
+    bound.insert(best_to);
+    used.insert(best_rel);
+  }
+
+  // Relationships not used for expansion close cycles in the query
+  // graph; the executor enforces them as membership filters once both
+  // endpoints are bound.
+  for (RelId rel_id : query.relationships) {
+    if (used.count(rel_id) == 0) {
+      plan.residual_relationships.push_back(rel_id);
+    }
+  }
+  return plan;
+}
+
+}  // namespace sqopt

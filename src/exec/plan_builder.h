@@ -1,0 +1,28 @@
+// Builds a physical Plan for a (possibly semantically optimized) query:
+// picks the cheapest driving class — preferring indexed selective
+// predicates — then greedily expands relationships by estimated
+// intermediate size. This is the "conventional optimizer" layer under
+// the semantic optimizer.
+#ifndef SQOPT_EXEC_PLAN_BUILDER_H_
+#define SQOPT_EXEC_PLAN_BUILDER_H_
+
+#include "common/status.h"
+#include "cost/stats.h"
+#include "exec/plan.h"
+#include "query/query.h"
+#include "storage/object_store.h"
+
+namespace sqopt {
+
+// `stats` drives access-path choice; use CollectStats(store) for
+// actuals or synthesize for tests.
+Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
+                       const Query& query);
+
+// Gathers cardinalities, relationship cardinalities, and per-attribute
+// distinct counts + min/max from a store.
+DatabaseStats CollectStats(const ObjectStore& store);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXEC_PLAN_BUILDER_H_

@@ -1,0 +1,22 @@
+// Reference query evaluator: brute-force nested loops over the full
+// cross product of the query's class extents, filtering by relationship
+// membership and all predicates. Exponentially slower than the planned
+// executor and used only as a differential-testing oracle — if
+// ExecutePlan and ExecuteReference ever disagree, the planner or
+// executor has a bug.
+#ifndef SQOPT_EXEC_REFERENCE_EXECUTOR_H_
+#define SQOPT_EXEC_REFERENCE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "query/query.h"
+#include "storage/object_store.h"
+
+namespace sqopt {
+
+Result<ResultSet> ExecuteReference(const ObjectStore& store,
+                                   const Query& query);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXEC_REFERENCE_EXECUTOR_H_

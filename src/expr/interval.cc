@@ -1,0 +1,165 @@
+#include "expr/interval.h"
+
+#include <map>
+
+namespace sqopt {
+
+namespace {
+
+// -1, 0, 1 comparison that asserts comparability. Values fed into one
+// Interval come from predicates on one attribute, so they share a type
+// class; incomparable pairs (string vs int) make the interval
+// indeterminate and we bail out conservatively before calling this.
+std::optional<int> Cmp(const Value& a, const Value& b) { return a.Compare(b); }
+
+}  // namespace
+
+bool Interval::Add(CompareOp op, const Value& value) {
+  if (empty_) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      // x = v: both bounds collapse to v.
+      if (lo_.has_value()) {
+        std::optional<int> c = Cmp(value, *lo_);
+        if (!c.has_value() || *c < 0 || (*c == 0 && !lo_inclusive_)) {
+          empty_ = true;
+          return false;
+        }
+      }
+      if (hi_.has_value()) {
+        std::optional<int> c = Cmp(value, *hi_);
+        if (!c.has_value() || *c > 0 || (*c == 0 && !hi_inclusive_)) {
+          empty_ = true;
+          return false;
+        }
+      }
+      lo_ = value;
+      hi_ = value;
+      lo_inclusive_ = hi_inclusive_ = true;
+      break;
+    case CompareOp::kNe:
+      excluded_.push_back(value);
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      bool inclusive = (op == CompareOp::kLe);
+      if (!hi_.has_value()) {
+        hi_ = value;
+        hi_inclusive_ = inclusive;
+      } else {
+        std::optional<int> c = Cmp(value, *hi_);
+        if (!c.has_value()) {
+          empty_ = true;
+          return false;
+        }
+        if (*c < 0 || (*c == 0 && !inclusive)) {
+          hi_ = value;
+          hi_inclusive_ = inclusive;
+        }
+      }
+      break;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      bool inclusive = (op == CompareOp::kGe);
+      if (!lo_.has_value()) {
+        lo_ = value;
+        lo_inclusive_ = inclusive;
+      } else {
+        std::optional<int> c = Cmp(value, *lo_);
+        if (!c.has_value()) {
+          empty_ = true;
+          return false;
+        }
+        if (*c > 0 || (*c == 0 && !inclusive)) {
+          lo_ = value;
+          lo_inclusive_ = inclusive;
+        }
+      }
+      break;
+    }
+  }
+  Collapse();
+  return !empty_;
+}
+
+void Interval::Collapse() {
+  if (empty_) return;
+  if (lo_.has_value() && hi_.has_value()) {
+    std::optional<int> c = Cmp(*lo_, *hi_);
+    if (!c.has_value()) {
+      empty_ = true;
+      return;
+    }
+    if (*c > 0) {
+      empty_ = true;
+      return;
+    }
+    if (*c == 0 && (!lo_inclusive_ || !hi_inclusive_)) {
+      empty_ = true;
+      return;
+    }
+    // Point interval excluded by a != constant.
+    if (*c == 0) {
+      for (const Value& ex : excluded_) {
+        std::optional<int> ce = Cmp(ex, *lo_);
+        if (ce.has_value() && *ce == 0) {
+          empty_ = true;
+          return;
+        }
+      }
+    }
+  }
+}
+
+bool Interval::IsPoint() const {
+  if (empty_ || !lo_.has_value() || !hi_.has_value()) return false;
+  std::optional<int> c = Cmp(*lo_, *hi_);
+  return c.has_value() && *c == 0 && lo_inclusive_ && hi_inclusive_;
+}
+
+std::optional<Value> Interval::PointValue() const {
+  if (!IsPoint()) return std::nullopt;
+  return lo_;
+}
+
+bool Interval::Contains(const Value& value) const {
+  if (empty_) return false;
+  if (lo_.has_value()) {
+    std::optional<int> c = Cmp(value, *lo_);
+    if (!c.has_value()) return false;
+    if (*c < 0 || (*c == 0 && !lo_inclusive_)) return false;
+  }
+  if (hi_.has_value()) {
+    std::optional<int> c = Cmp(value, *hi_);
+    if (!c.has_value()) return false;
+    if (*c > 0 || (*c == 0 && !hi_inclusive_)) return false;
+  }
+  for (const Value& ex : excluded_) {
+    std::optional<int> c = Cmp(value, ex);
+    if (c.has_value() && *c == 0) return false;
+  }
+  return true;
+}
+
+bool ConjunctionSatisfiable(const std::vector<Predicate>& predicates) {
+  std::map<AttrRef, Interval> regions;
+  for (const Predicate& p : predicates) {
+    if (p.is_attr_attr()) {
+      // x op x self-contradictions (possible after attr canonicalization
+      // only when both sides are literally the same attribute).
+      if (p.lhs() == p.rhs_attr()) {
+        if (p.op() == CompareOp::kNe || p.op() == CompareOp::kLt ||
+            p.op() == CompareOp::kGt) {
+          return false;
+        }
+      }
+      continue;  // cross-attribute reasoning is out of scope; conservative
+    }
+    Interval& region = regions[p.lhs()];
+    if (!region.Add(p.op(), p.rhs_value())) return false;
+  }
+  return true;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,62 @@
+// Interval reasoning over one attribute: the satisfiability core used for
+// contradiction detection (the "answer without going to the database"
+// short-circuit the paper alludes to in Section 4) and for implication
+// checks between attr-constant predicates.
+#ifndef SQOPT_EXPR_INTERVAL_H_
+#define SQOPT_EXPR_INTERVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "types/value.h"
+
+namespace sqopt {
+
+// The feasible region of a single attribute under a conjunction of
+// attr-constant predicates: a (possibly unbounded) interval with
+// open/closed endpoints, intersected with a set of excluded points.
+class Interval {
+ public:
+  Interval() = default;
+
+  // Narrows the region by `attr op value`. Returns false if the region
+  // becomes empty (conjunction unsatisfiable).
+  bool Add(CompareOp op, const Value& value);
+
+  // True if no values remain.
+  bool empty() const { return empty_; }
+
+  // True if the region is pinned to exactly one value (lo == hi, both
+  // inclusive, not excluded).
+  bool IsPoint() const;
+  std::optional<Value> PointValue() const;
+
+  // True if `value` lies in the region.
+  bool Contains(const Value& value) const;
+
+  const std::optional<Value>& lower() const { return lo_; }
+  const std::optional<Value>& upper() const { return hi_; }
+  bool lower_inclusive() const { return lo_inclusive_; }
+  bool upper_inclusive() const { return hi_inclusive_; }
+
+ private:
+  void Collapse();  // re-derives empty_ after a bound update
+
+  std::optional<Value> lo_;
+  std::optional<Value> hi_;
+  bool lo_inclusive_ = true;
+  bool hi_inclusive_ = true;
+  std::vector<Value> excluded_;  // from != predicates
+  bool empty_ = false;
+};
+
+// Decides whether the conjunction of `predicates` restricted to
+// attr-constant predicates is satisfiable. Attr-attr predicates are
+// checked only for trivial self-contradictions (x < x). Conservative:
+// returns true when undecided.
+bool ConjunctionSatisfiable(const std::vector<Predicate>& predicates);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXPR_INTERVAL_H_

@@ -1,0 +1,241 @@
+#include "expr/predicate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sqopt {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<CompareOp> ParseCompareOp(std::string_view symbol) {
+  std::string_view s = StripWhitespace(symbol);
+  if (s == "=" || s == "==") return CompareOp::kEq;
+  if (s == "!=" || s == "<>") return CompareOp::kNe;
+  if (s == "<") return CompareOp::kLt;
+  if (s == "<=") return CompareOp::kLe;
+  if (s == ">") return CompareOp::kGt;
+  if (s == ">=") return CompareOp::kGe;
+  return Status::ParseError("unknown comparison operator '" +
+                            std::string(symbol) + "'");
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  std::optional<int> cmp = lhs.Compare(rhs);
+  if (!cmp.has_value()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return *cmp == 0;
+    case CompareOp::kNe:
+      return *cmp != 0;
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+Predicate Predicate::AttrConst(AttrRef attr, CompareOp op, Value constant) {
+  Predicate p;
+  p.lhs_ = attr;
+  p.op_ = op;
+  p.rhs_is_attr_ = false;
+  p.rhs_value_ = std::move(constant);
+  return p;
+}
+
+Predicate Predicate::AttrAttr(AttrRef lhs, CompareOp op, AttrRef rhs) {
+  Predicate p;
+  if (rhs < lhs) {
+    std::swap(lhs, rhs);
+    op = FlipCompareOp(op);
+  }
+  p.lhs_ = lhs;
+  p.op_ = op;
+  p.rhs_is_attr_ = true;
+  p.rhs_attr_ = rhs;
+  return p;
+}
+
+std::vector<ClassId> Predicate::ReferencedClasses() const {
+  std::vector<ClassId> out;
+  out.push_back(lhs_.class_id);
+  if (rhs_is_attr_ && rhs_attr_.class_id != lhs_.class_id) {
+    out.push_back(rhs_attr_.class_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  if (lhs_ != other.lhs_ || op_ != other.op_ ||
+      rhs_is_attr_ != other.rhs_is_attr_) {
+    return false;
+  }
+  if (rhs_is_attr_) return rhs_attr_ == other.rhs_attr_;
+  return rhs_value_ == other.rhs_value_;
+}
+
+size_t Predicate::Hash() const {
+  AttrRefHash ah;
+  size_t h = ah(lhs_);
+  h = h * 31 + static_cast<size_t>(op_);
+  h = h * 31 + (rhs_is_attr_ ? 1 : 0);
+  if (rhs_is_attr_) {
+    h = h * 31 + ah(rhs_attr_);
+  } else {
+    h = h * 31 + rhs_value_.Hash();
+  }
+  return h;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  std::string out = schema.AttrRefName(lhs_);
+  out += " ";
+  out += CompareOpSymbol(op_);
+  out += " ";
+  if (rhs_is_attr_) {
+    out += schema.AttrRefName(rhs_attr_);
+  } else {
+    out += rhs_value_.ToString();
+  }
+  return out;
+}
+
+Result<Predicate> ParsePredicate(const Schema& schema,
+                                 std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  // Find the operator at depth 0, scanning left to right but skipping
+  // characters inside quoted strings. Two-char ops checked first.
+  static constexpr std::string_view kTwoCharOps[] = {"<=", ">=", "!=", "<>",
+                                                     "=="};
+  static constexpr std::string_view kOneCharOps[] = {"=", "<", ">"};
+  bool in_quote = false;
+  char quote = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_quote = true;
+      quote = c;
+      continue;
+    }
+    std::string_view op_text;
+    for (std::string_view two : kTwoCharOps) {
+      if (s.substr(i, 2) == two) {
+        op_text = two;
+        break;
+      }
+    }
+    if (op_text.empty()) {
+      for (std::string_view one : kOneCharOps) {
+        if (s.substr(i, 1) == one) {
+          op_text = one;
+          break;
+        }
+      }
+    }
+    if (op_text.empty()) continue;
+
+    SQOPT_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(op_text));
+    std::string_view lhs_text = StripWhitespace(s.substr(0, i));
+    std::string_view rhs_text =
+        StripWhitespace(s.substr(i + op_text.size()));
+    if (lhs_text.empty() || rhs_text.empty()) {
+      return Status::ParseError("malformed predicate '" + std::string(s) +
+                                "'");
+    }
+
+    // LHS must be class.attr; a constant LHS is normalized by flipping.
+    auto lhs_ref = schema.ResolveQualified(lhs_text);
+    if (!lhs_ref.ok()) {
+      // Try constant op attr.
+      auto rhs_ref = schema.ResolveQualified(rhs_text);
+      if (!rhs_ref.ok()) {
+        return Status::ParseError("predicate '" + std::string(s) +
+                                  "': neither side is a known attribute");
+      }
+      SQOPT_ASSIGN_OR_RETURN(Value lhs_val, Value::Parse(lhs_text));
+      return Predicate::AttrConst(*rhs_ref, FlipCompareOp(op),
+                                  std::move(lhs_val));
+    }
+
+    // RHS: attribute if it resolves AND contains a dot with a known class
+    // prefix; otherwise constant.
+    size_t dot = rhs_text.find('.');
+    if (dot != std::string_view::npos) {
+      std::string_view cls = StripWhitespace(rhs_text.substr(0, dot));
+      if (schema.FindClass(cls) != kInvalidClass) {
+        SQOPT_ASSIGN_OR_RETURN(AttrRef rhs_ref,
+                               schema.ResolveQualified(rhs_text));
+        return Predicate::AttrAttr(*lhs_ref, op, rhs_ref);
+      }
+    }
+    SQOPT_ASSIGN_OR_RETURN(Value rhs_val, Value::Parse(rhs_text));
+    return Predicate::AttrConst(*lhs_ref, op, std::move(rhs_val));
+  }
+  return Status::ParseError("no comparison operator in '" + std::string(s) +
+                            "'");
+}
+
+}  // namespace sqopt

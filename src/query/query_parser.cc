@@ -1,0 +1,164 @@
+#include "query/query_parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sqopt {
+
+namespace {
+
+// Extracts the contents of the next "{...}" group starting at *pos,
+// respecting quoted strings. Advances *pos past the closing brace.
+Result<std::string> NextBraceGroup(std::string_view s, size_t* pos) {
+  size_t i = *pos;
+  while (i < s.size() && s[i] != '{') ++i;
+  if (i == s.size()) {
+    return Status::ParseError("expected '{' in query text");
+  }
+  size_t start = ++i;
+  bool in_quote = false;
+  char quote = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_quote = true;
+      quote = c;
+      continue;
+    }
+    if (c == '}') {
+      *pos = i + 1;
+      return std::string(s.substr(start, i - start));
+    }
+  }
+  return Status::ParseError("unterminated '{' group in query text");
+}
+
+// Splits a brace-group body on commas, respecting quotes. Empty body
+// yields no items.
+std::vector<std::string> SplitItems(std::string_view body) {
+  std::vector<std::string> out;
+  bool in_quote = false;
+  char quote = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size()) {
+      char c = body[i];
+      if (in_quote) {
+        if (c == quote) in_quote = false;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        in_quote = true;
+        quote = c;
+        continue;
+      }
+      if (c != ',') continue;
+    }
+    std::string_view piece = StripWhitespace(body.substr(start, i - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = i + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(const Schema& schema, std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  // Strip optional outer parens and SELECT keyword.
+  if (!s.empty() && s.front() == '(' && s.back() == ')') {
+    s = StripWhitespace(s.substr(1, s.size() - 2));
+  }
+  if (StartsWith(ToLower(std::string(s.substr(0, 6))), "select")) {
+    s = StripWhitespace(s.substr(6));
+  }
+
+  size_t pos = 0;
+  std::string groups[5];
+  for (std::string& group : groups) {
+    SQOPT_ASSIGN_OR_RETURN(group, NextBraceGroup(s, &pos));
+  }
+  if (!StripWhitespace(s.substr(pos)).empty()) {
+    return Status::ParseError("trailing text after fifth query group");
+  }
+
+  Query query;
+
+  // Group 5 first: classes, so predicate parsing can resolve names.
+  for (const std::string& item : SplitItems(groups[4])) {
+    ClassId id = schema.FindClass(item);
+    if (id == kInvalidClass) {
+      return Status::NotFound("unknown class '" + item + "' in class list");
+    }
+    query.classes.push_back(id);
+  }
+
+  // Group 1: projection. The paper sometimes annotates projections with
+  // introduced predicates ("cargo.desc=\"frozen food\""); we accept and
+  // ignore any "=..." suffix, keeping only the attribute.
+  for (const std::string& item : SplitItems(groups[0])) {
+    std::string attr_part = item;
+    // Scan for '=' outside quotes.
+    bool in_quote = false;
+    char quote = 0;
+    for (size_t i = 0; i < item.size(); ++i) {
+      char c = item[i];
+      if (in_quote) {
+        if (c == quote) in_quote = false;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        in_quote = true;
+        quote = c;
+        continue;
+      }
+      if (c == '=') {
+        attr_part = item.substr(0, i);
+        break;
+      }
+    }
+    SQOPT_ASSIGN_OR_RETURN(
+        AttrRef ref,
+        schema.ResolveQualified(StripWhitespace(attr_part)));
+    query.projection.push_back(ref);
+  }
+
+  // Group 2: join predicates.
+  for (const std::string& item : SplitItems(groups[1])) {
+    SQOPT_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(schema, item));
+    if (!p.is_attr_attr()) {
+      return Status::ParseError("join predicate group contains '" + item +
+                                "', which is not attr-attr");
+    }
+    query.join_predicates.push_back(std::move(p));
+  }
+
+  // Group 3: selective predicates.
+  for (const std::string& item : SplitItems(groups[2])) {
+    SQOPT_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(schema, item));
+    if (!p.is_attr_const()) {
+      return Status::ParseError("selective predicate group contains '" +
+                                item + "', which is not attr-const");
+    }
+    query.selective_predicates.push_back(std::move(p));
+  }
+
+  // Group 4: relationships.
+  for (const std::string& item : SplitItems(groups[3])) {
+    RelId id = schema.FindRelationship(item);
+    if (id == kInvalidRel) {
+      return Status::NotFound("unknown relationship '" + item + "'");
+    }
+    query.relationships.push_back(id);
+  }
+
+  SQOPT_RETURN_IF_ERROR(ValidateQuery(schema, query));
+  return query;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,27 @@
+// Parser for the paper's textual query form:
+//
+//   (SELECT {vehicle.vehicle#, cargo.desc}
+//           {}
+//           {vehicle.desc = "refrigerated truck"}
+//           {collects, supplies}
+//           {supplier, cargo, vehicle})
+//
+// Outer parentheses and the SELECT keyword are optional; the five brace
+// groups are required (empty groups allowed).
+#ifndef SQOPT_QUERY_QUERY_PARSER_H_
+#define SQOPT_QUERY_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+// Parses and validates. Predicates found in the join group must be
+// attr-attr, those in the selective group attr-const.
+Result<Query> ParseQuery(const Schema& schema, std::string_view text);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_QUERY_QUERY_PARSER_H_

@@ -1,0 +1,293 @@
+#include "sqo/formulation.h"
+
+#include <algorithm>
+
+#include "expr/implication.h"
+#include "expr/interval.h"
+
+namespace sqopt {
+
+namespace {
+
+// True if `p` references class `id` (either side for attr-attr).
+bool PredicateTouchesClass(const Predicate& p, ClassId id) {
+  for (ClassId c : p.ReferencedClasses()) {
+    if (c == id) return true;
+  }
+  return false;
+}
+
+// Removes class `id` from `query` along with its relationships and
+// every predicate touching it.
+void RemoveClass(const Schema& schema, Query* query, ClassId id) {
+  query->classes.erase(
+      std::remove(query->classes.begin(), query->classes.end(), id),
+      query->classes.end());
+  query->relationships.erase(
+      std::remove_if(query->relationships.begin(),
+                     query->relationships.end(),
+                     [&](RelId rel_id) {
+                       return schema.relationship(rel_id).Involves(id);
+                     }),
+      query->relationships.end());
+  auto drop_preds = [&](std::vector<Predicate>* preds) {
+    preds->erase(std::remove_if(preds->begin(), preds->end(),
+                                [&](const Predicate& p) {
+                                  return PredicateTouchesClass(p, id);
+                                }),
+                 preds->end());
+  };
+  drop_preds(&query->join_predicates);
+  drop_preds(&query->selective_predicates);
+}
+
+// Entailment oracle: saturates `preds` by firing every relevant clause
+// whose antecedents are implied by the accumulated set, then answers
+// implication queries against the saturated set.
+class EntailmentOracle {
+ public:
+  EntailmentOracle(const ConstraintCatalog& catalog,
+                   const std::vector<ConstraintId>& relevant)
+      : catalog_(catalog), relevant_(relevant) {}
+
+  // Returns the saturated predicate set for `preds`.
+  std::vector<Predicate> Saturate(std::vector<Predicate> preds) const {
+    std::vector<bool> fired(relevant_.size(), false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < relevant_.size(); ++i) {
+        if (fired[i]) continue;
+        const HornClause& clause = catalog_.clause(relevant_[i]);
+        bool all_present = true;
+        for (const Predicate& a : clause.antecedents()) {
+          if (!ConjunctionImplies(preds, a)) {
+            all_present = false;
+            break;
+          }
+        }
+        if (!all_present) continue;
+        fired[i] = true;
+        preds.push_back(clause.consequent());
+        changed = true;
+      }
+    }
+    return preds;
+  }
+
+  // True if `target` is entailed by `saturated` (a Saturate() result).
+  static bool Entails(const std::vector<Predicate>& saturated,
+                      const Predicate& target) {
+    return ConjunctionImplies(saturated, target);
+  }
+
+ private:
+  const ConstraintCatalog& catalog_;
+  const std::vector<ConstraintId>& relevant_;
+};
+
+}  // namespace
+
+FormulationResult FormulateQuery(const Schema& schema,
+                                 const Query& original,
+                                 const TransformationTable& table,
+                                 const ConstraintCatalog& catalog,
+                                 const std::vector<ConstraintId>& relevant,
+                                 const CostModelInterface* cost_model,
+                                 const OptimizerOptions& options) {
+  FormulationResult result;
+  EntailmentOracle oracle(catalog, relevant);
+
+  // 1. Final tag per pool predicate. A predicate participates in the
+  // final query iff it was in the original query or was introduced
+  // (its column acquired a tag cell).
+  struct Tagged {
+    PredId col;
+    PredicateTag tag;
+    bool in_query;
+  };
+  std::vector<Tagged> tagged;
+  for (PredId col = 0; col < static_cast<PredId>(table.num_cols()); ++col) {
+    bool in_query = table.InQuery(col);
+    bool has_tag = table.HasTagCell(col);
+    if (!in_query && !has_tag) continue;  // never materialized
+    PredicateTag tag =
+        has_tag ? table.FinalTag(col) : PredicateTag::kImperative;
+    tagged.push_back(Tagged{col, tag, in_query});
+  }
+
+  // 2. Contradiction short-circuit (extension, §4 hint): everything
+  // tagged — imperative, optional, or redundant — is entailed for any
+  // qualifying tuple, so an unsatisfiable conjunction means the answer
+  // is empty in every consistent database state.
+  if (options.enable_contradiction_detection) {
+    std::vector<Predicate> entailed;
+    for (const Tagged& t : tagged) entailed.push_back(table.pool().Get(t.col));
+    if (!ConjunctionSatisfiable(entailed)) {
+      result.empty_result = true;
+      result.query = original;
+      for (const Tagged& t : tagged) {
+        result.final_predicates.push_back(FinalPredicate{
+            table.pool().Get(t.col), t.tag, t.in_query, false});
+      }
+      return result;
+    }
+  }
+
+  // 3. Build the working query: imperative + optional predicates.
+  // Redundant-tagged ORIGINAL predicates may only stay out while the
+  // remaining predicates entail them (checked in step 6's guard loop).
+  Query working = original;
+  working.join_predicates.clear();
+  working.selective_predicates.clear();
+  for (const Tagged& t : tagged) {
+    if (t.tag == PredicateTag::kRedundant) continue;
+    const Predicate& p = table.pool().Get(t.col);
+    if (p.is_attr_attr()) {
+      working.join_predicates.push_back(p);
+    } else {
+      working.selective_predicates.push_back(p);
+    }
+  }
+
+  // Original predicates, for the entailment guards.
+  std::vector<Predicate> original_preds = original.AllPredicates();
+
+  // 4. Class elimination (King's rule): a class with no projected
+  // attributes, no imperative predicate, and exactly one relationship
+  // link is dangling. Guard: every ORIGINAL predicate on the class must
+  // remain entailed by the query that is left after the elimination.
+  // Iterate: removals can expose new dangling classes.
+  if (options.enable_class_elimination) {
+    auto has_imperative_pred = [&](ClassId id) {
+      for (const Tagged& t : tagged) {
+        if (t.tag != PredicateTag::kImperative) continue;
+        if (PredicateTouchesClass(table.pool().Get(t.col), id)) return true;
+      }
+      return false;
+    };
+    bool changed = true;
+    while (changed && working.classes.size() > 1) {
+      changed = false;
+      for (ClassId id : working.classes) {
+        if (working.ProjectsFrom(id)) continue;
+        if (working.RelationshipDegree(id, schema) != 1) continue;
+        if (has_imperative_pred(id)) continue;
+        Query without = working;
+        RemoveClass(schema, &without, id);
+
+        // Soundness guard: the surviving predicates must still entail
+        // every original predicate that touches the eliminated class.
+        std::vector<Predicate> saturated =
+            oracle.Saturate(without.AllPredicates());
+        bool sound = true;
+        for (const Predicate& p : original_preds) {
+          if (!PredicateTouchesClass(p, id)) continue;
+          if (!EntailmentOracle::Entails(saturated, p)) {
+            sound = false;
+            break;
+          }
+        }
+        if (!sound) continue;
+
+        if (cost_model != nullptr &&
+            options.enable_profitability_analysis &&
+            !EliminationIsProfitable(*cost_model, working, without)) {
+          continue;
+        }
+        working = std::move(without);
+        result.eliminated_classes.push_back(id);
+        changed = true;
+        break;  // class list changed; restart the scan
+      }
+    }
+  }
+
+  // 5. Profitability of the surviving optional predicates: greedily
+  // drop any whose retention does not lower estimated cost. Optionals
+  // on eliminated classes are already gone. Original-query optionals
+  // additionally require the remaining predicates to entail them.
+  auto still_in_working = [&](const Predicate& p) {
+    const auto& list =
+        p.is_attr_attr() ? working.join_predicates
+                         : working.selective_predicates;
+    return std::find(list.begin(), list.end(), p) != list.end();
+  };
+  for (Tagged& t : tagged) {
+    if (t.tag != PredicateTag::kOptional) continue;
+    const Predicate& p = table.pool().Get(t.col);
+    if (!still_in_working(p)) continue;
+    if (cost_model == nullptr || !options.enable_profitability_analysis) {
+      continue;
+    }
+    if (RetainIsProfitable(*cost_model, working, p)) continue;
+    if (t.in_query) {
+      Query without = working;
+      auto& wlist = without.join_predicates;
+      auto& slist = without.selective_predicates;
+      wlist.erase(std::remove(wlist.begin(), wlist.end(), p), wlist.end());
+      slist.erase(std::remove(slist.begin(), slist.end(), p), slist.end());
+      std::vector<Predicate> saturated =
+          oracle.Saturate(without.AllPredicates());
+      if (!EntailmentOracle::Entails(saturated, p)) continue;  // keep it
+    }
+    // §3.4: non-profitable optional predicates are re-classified as
+    // redundant and dropped.
+    t.tag = PredicateTag::kRedundant;
+    auto& list = p.is_attr_attr() ? working.join_predicates
+                                  : working.selective_predicates;
+    list.erase(std::remove(list.begin(), list.end(), p), list.end());
+  }
+
+  // 6. Entailment guard for redundant-tagged original predicates on
+  // surviving classes: re-add any that the final predicate set does not
+  // entail (the mutual-implication cycle protection). Re-adding only
+  // grows the entailed set, so a single fixpoint loop suffices.
+  {
+    bool readded = true;
+    while (readded) {
+      readded = false;
+      std::vector<Predicate> saturated =
+          oracle.Saturate(working.AllPredicates());
+      for (Tagged& t : tagged) {
+        if (!t.in_query || t.tag != PredicateTag::kRedundant) continue;
+        const Predicate& p = table.pool().Get(t.col);
+        // Skip predicates on eliminated classes (guarded in step 4).
+        bool on_surviving = true;
+        for (ClassId c : p.ReferencedClasses()) {
+          if (!working.ReferencesClass(c)) on_surviving = false;
+        }
+        if (!on_surviving) continue;
+        if (still_in_working(p)) continue;
+        if (EntailmentOracle::Entails(saturated, p)) continue;
+        // Not entailed: the drop was unsound — retain as optional.
+        t.tag = PredicateTag::kOptional;
+        if (p.is_attr_attr()) {
+          working.join_predicates.push_back(p);
+        } else {
+          working.selective_predicates.push_back(p);
+        }
+        readded = true;
+      }
+    }
+  }
+
+  // 7. Emit.
+  result.query = std::move(working);
+  for (const Tagged& t : tagged) {
+    const Predicate& p = table.pool().Get(t.col);
+    bool retained =
+        t.tag != PredicateTag::kRedundant &&
+        [&] {
+          const auto& list = p.is_attr_attr()
+                                 ? result.query.join_predicates
+                                 : result.query.selective_predicates;
+          return std::find(list.begin(), list.end(), p) != list.end();
+        }();
+    result.final_predicates.push_back(
+        FinalPredicate{p, t.tag, t.in_query, retained});
+  }
+  return result;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,42 @@
+// Query formulation (§3.4): derive each predicate's final tag from the
+// transformation table, apply class elimination, run the cost-benefit
+// analysis on optional predicates, and emit the transformed query.
+#ifndef SQOPT_SQO_FORMULATION_H_
+#define SQOPT_SQO_FORMULATION_H_
+
+#include "cost/cost_model.h"
+#include "query/query.h"
+#include "sqo/options.h"
+#include "sqo/report.h"
+#include "sqo/transformation_table.h"
+
+namespace sqopt {
+
+struct FormulationResult {
+  Query query;  // the transformed query
+  bool empty_result = false;
+  std::vector<FinalPredicate> final_predicates;
+  std::vector<ClassId> eliminated_classes;
+};
+
+// `cost_model` may be null: every optional predicate is then retained
+// and class elimination is applied whenever structurally legal.
+//
+// Soundness guard (the §2 pitfall: "special effort needs to be taken to
+// prevent the introduction of predicates which were previously
+// eliminated and vice versa"): a predicate of the ORIGINAL query may
+// only be dropped — by redundancy, by failed profitability, or together
+// with an eliminated class — while it stays entailed by the predicates
+// that remain, chained through the relevant constraints. This blocks
+// the unsound mutual-implication cycle where A is dropped because B
+// implies it and B is dropped because A implies it.
+FormulationResult FormulateQuery(const Schema& schema, const Query& original,
+                                 const TransformationTable& table,
+                                 const ConstraintCatalog& catalog,
+                                 const std::vector<ConstraintId>& relevant,
+                                 const CostModelInterface* cost_model,
+                                 const OptimizerOptions& options);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_FORMULATION_H_

@@ -1,0 +1,51 @@
+// The semantic query optimizer (Sections 3.1–3.4): tentatively applies
+// every possible transformation by re-classifying predicate tags in the
+// transformation table, then formulates the transformed query once, at
+// the end. Transformation order is immaterial and the transformation
+// step runs in O(m·n) tag lowerings (m = distinct predicates, n =
+// relevant constraints).
+#ifndef SQOPT_SQO_OPTIMIZER_H_
+#define SQOPT_SQO_OPTIMIZER_H_
+
+#include "constraints/constraint_catalog.h"
+#include "cost/cost_model.h"
+#include "query/query.h"
+#include "sqo/options.h"
+#include "sqo/report.h"
+#include "sqo/transformation_table.h"
+
+namespace sqopt {
+
+struct OptimizeResult {
+  Query query;  // the transformed query (== input when nothing applied)
+  bool empty_result = false;
+  OptimizationReport report;
+};
+
+class SemanticOptimizer {
+ public:
+  // `catalog` must outlive the optimizer and be Precompile()d before
+  // Optimize() is called. `cost_model` may be null (all optional
+  // predicates retained; class elimination applied whenever legal).
+  SemanticOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+                    const CostModelInterface* cost_model,
+                    OptimizerOptions options = {})
+      : schema_(schema),
+        catalog_(catalog),
+        cost_model_(cost_model),
+        options_(options) {}
+
+  Result<OptimizeResult> Optimize(const Query& query);
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const Schema* schema_;
+  ConstraintCatalog* catalog_;
+  const CostModelInterface* cost_model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_OPTIMIZER_H_

@@ -1,0 +1,52 @@
+#include "sqo/report.h"
+
+#include <sstream>
+
+namespace sqopt {
+
+std::string OptimizationReport::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "semantic optimization report\n"
+     << "  relevant constraints (n): " << num_relevant_constraints << "\n"
+     << "  distinct predicates  (m): " << num_distinct_predicates << "\n"
+     << "  firings: " << num_firings << ", cell writes: " << cell_writes
+     << ", queue updates: " << queue_updates << "\n";
+  if (budget_exhausted) os << "  (transformation budget exhausted)\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const TransformStep& step = steps[i];
+    os << "  #" << (i + 1) << " fire " << step.constraint_label;
+    if (step.index_introduction) {
+      os << " [index introduction]";
+    } else if (step.introduced) {
+      os << " [restriction introduction]";
+    } else {
+      os << " [restriction elimination]";
+    }
+    os << ":";
+    for (const auto& [pred, tag] : step.effects) {
+      os << " {" << pred.ToString(schema) << " -> "
+         << PredicateTagName(tag) << "}";
+    }
+    os << "\n";
+  }
+  os << "  final predicate tags:\n";
+  for (const FinalPredicate& fp : final_predicates) {
+    os << "    " << fp.predicate.ToString(schema) << ": "
+       << PredicateTagName(fp.tag)
+       << (fp.in_original_query ? " (from query)" : " (introduced)")
+       << (fp.retained ? " [retained]" : " [dropped]") << "\n";
+  }
+  for (ClassId id : eliminated_classes) {
+    os << "  eliminated class: " << schema.object_class(id).name << "\n";
+  }
+  if (empty_result) {
+    os << "  contradiction detected: query answered without database "
+          "access (empty result)\n";
+  }
+  os << "  timing: init " << init_ns / 1000 << "us, transform "
+     << transform_ns / 1000 << "us, formulate " << formulate_ns / 1000
+     << "us, total " << total_ns / 1000 << "us\n";
+  return os.str();
+}
+
+}  // namespace sqopt

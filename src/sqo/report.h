@@ -1,0 +1,64 @@
+// Structured trace of one optimization run: which constraints fired,
+// what each firing did, final predicate tags, and phase timings. The
+// benches read counters from here; the examples pretty-print it.
+#ifndef SQOPT_SQO_REPORT_H_
+#define SQOPT_SQO_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "constraints/horn_clause.h"
+#include "expr/predicate.h"
+#include "sqo/tags.h"
+
+namespace sqopt {
+
+// One constraint firing.
+struct TransformStep {
+  ConstraintId constraint = kInvalidConstraint;
+  std::string constraint_label;
+  // Predicates whose tag this firing lowered/introduced, with the tag.
+  std::vector<std::pair<Predicate, PredicateTag>> effects;
+  // True if any effect introduced a predicate absent from the query.
+  bool introduced = false;
+  // True if any introduced predicate sits on an indexed attribute.
+  bool index_introduction = false;
+};
+
+struct FinalPredicate {
+  Predicate predicate;
+  PredicateTag tag = PredicateTag::kImperative;
+  bool in_original_query = false;
+  bool retained = false;  // appears in the transformed query
+};
+
+struct OptimizationReport {
+  // Sizes: m = distinct predicates (columns), n = relevant constraints
+  // (rows) — the O(m·n) bound's parameters.
+  size_t num_relevant_constraints = 0;
+  size_t num_distinct_predicates = 0;
+
+  size_t num_firings = 0;
+  uint64_t cell_writes = 0;
+  size_t queue_updates = 0;  // Update-Transformation-Queue passes
+
+  std::vector<TransformStep> steps;
+  std::vector<FinalPredicate> final_predicates;
+  std::vector<ClassId> eliminated_classes;
+  bool empty_result = false;
+  bool budget_exhausted = false;
+
+  // Phase timings, nanoseconds (steady clock).
+  int64_t init_ns = 0;
+  int64_t transform_ns = 0;
+  int64_t formulate_ns = 0;
+  int64_t total_ns = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_REPORT_H_

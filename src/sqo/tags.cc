@@ -1,0 +1,37 @@
+#include "sqo/tags.h"
+
+namespace sqopt {
+
+const char* PredicateTagName(PredicateTag tag) {
+  switch (tag) {
+    case PredicateTag::kImperative:
+      return "imperative";
+    case PredicateTag::kOptional:
+      return "optional";
+    case PredicateTag::kRedundant:
+      return "redundant";
+  }
+  return "unknown";
+}
+
+const char* CellStateName(CellState state) {
+  switch (state) {
+    case CellState::kNotInConstraint:
+      return "_";
+    case CellState::kAbsentAntecedent:
+      return "AbsentAntecedent";
+    case CellState::kPresentAntecedent:
+      return "PresentAntecedent";
+    case CellState::kAbsentConsequent:
+      return "AbsentConsequent";
+    case CellState::kImperative:
+      return "Imperative";
+    case CellState::kOptional:
+      return "Optional";
+    case CellState::kRedundant:
+      return "Redundant";
+  }
+  return "unknown";
+}
+
+}  // namespace sqopt

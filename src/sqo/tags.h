@@ -1,0 +1,82 @@
+// Predicate tags and transformation-table cell states (Section 3.1).
+//
+// Tags form the lattice  imperative > optional > redundant ; every
+// transformation lowers tags monotonically, which is what makes the
+// order of transformations immaterial and the algorithm polynomial.
+#ifndef SQOPT_SQO_TAGS_H_
+#define SQOPT_SQO_TAGS_H_
+
+#include <cstdint>
+
+namespace sqopt {
+
+// Final classification of a predicate (Definition, §3.1):
+//  * imperative: removal would change the query's results;
+//  * optional:   result-neutral, but may change execution efficiency
+//                (index use, smaller intermediates) — kept only if the
+//                cost model finds it profitable;
+//  * redundant:  affects neither results nor efficiency — dropped.
+enum class PredicateTag : uint8_t {
+  kImperative = 0,
+  kOptional = 1,
+  kRedundant = 2,
+};
+
+const char* PredicateTagName(PredicateTag tag);
+
+// Returns the lower (more discardable) of two tags.
+inline PredicateTag LowerTag(PredicateTag a, PredicateTag b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+// True if `a` is strictly lower than `b` in the lattice.
+inline bool TagLowerThan(PredicateTag a, PredicateTag b) {
+  return static_cast<uint8_t>(a) > static_cast<uint8_t>(b);
+}
+
+// Cell states of the transformation table T (§3.1). `_` in the paper is
+// kNotInConstraint.
+enum class CellState : uint8_t {
+  kNotInConstraint = 0,  // predicate does not appear in the constraint
+  kAbsentAntecedent,     // antecedent of the constraint, not in query
+  kPresentAntecedent,    // antecedent of the constraint, in query
+  kAbsentConsequent,     // consequent of the constraint, not in query
+  kImperative,           // consequent, in query, currently imperative
+  kOptional,             // consequent-related, currently optional
+  kRedundant,            // consequent-related, currently redundant
+};
+
+const char* CellStateName(CellState state);
+
+// True if the cell carries a predicate tag (imperative/optional/
+// redundant) rather than a positional marker.
+inline bool IsTagState(CellState state) {
+  return state == CellState::kImperative || state == CellState::kOptional ||
+         state == CellState::kRedundant;
+}
+
+inline PredicateTag TagOfState(CellState state) {
+  switch (state) {
+    case CellState::kOptional:
+      return PredicateTag::kOptional;
+    case CellState::kRedundant:
+      return PredicateTag::kRedundant;
+    default:
+      return PredicateTag::kImperative;
+  }
+}
+
+inline CellState StateOfTag(PredicateTag tag) {
+  switch (tag) {
+    case PredicateTag::kImperative:
+      return CellState::kImperative;
+    case PredicateTag::kOptional:
+      return CellState::kOptional;
+    case PredicateTag::kRedundant:
+      return CellState::kRedundant;
+  }
+  return CellState::kImperative;
+}
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_TAGS_H_

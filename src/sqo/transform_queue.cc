@@ -1,0 +1,39 @@
+#include "sqo/transform_queue.h"
+
+#include <algorithm>
+
+namespace sqopt {
+
+void TransformQueue::Push(size_t row, TransformPriority priority) {
+  if (Contains(row)) return;
+  entries_.push_back(Entry{row, priority, next_seq_++});
+}
+
+bool TransformQueue::Contains(size_t row) const {
+  for (const Entry& e : entries_) {
+    if (e.row == row) return true;
+  }
+  return false;
+}
+
+size_t TransformQueue::Pop() {
+  if (discipline_ == QueueDiscipline::kFifo) {
+    Entry e = entries_.front();
+    entries_.pop_front();
+    return e.row;
+  }
+  // Priority: lowest (priority, seq). Queue sizes are tiny (bounded by
+  // the number of relevant constraints), so a linear scan is fine.
+  auto best = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->priority < best->priority ||
+        (it->priority == best->priority && it->seq < best->seq)) {
+      best = it;
+    }
+  }
+  Entry e = *best;
+  entries_.erase(best);
+  return e.row;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,55 @@
+// The transformation queue Q (§3.2). FIFO by default; with
+// QueueDiscipline::kPriority it becomes a priority queue ordered by
+// transformation rule desirability (§4: index introduction, then
+// restriction elimination, then restriction introduction), used together
+// with a transformation budget.
+#ifndef SQOPT_SQO_TRANSFORM_QUEUE_H_
+#define SQOPT_SQO_TRANSFORM_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sqo/options.h"
+
+namespace sqopt {
+
+// Rule priorities; lower value = processed earlier.
+enum class TransformPriority : uint8_t {
+  kIndexIntroduction = 0,
+  kRestrictionElimination = 1,
+  kRestrictionIntroduction = 2,
+};
+
+class TransformQueue {
+ public:
+  explicit TransformQueue(QueueDiscipline discipline)
+      : discipline_(discipline) {}
+
+  // Enqueues table row `row`. Duplicate rows are ignored while queued.
+  void Push(size_t row, TransformPriority priority);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Removes and returns the next row: insertion order under kFifo,
+  // (priority, insertion order) under kPriority.
+  size_t Pop();
+
+  bool Contains(size_t row) const;
+
+ private:
+  struct Entry {
+    size_t row;
+    TransformPriority priority;
+    uint64_t seq;
+  };
+
+  QueueDiscipline discipline_;
+  std::deque<Entry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_TRANSFORM_QUEUE_H_

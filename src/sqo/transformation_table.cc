@@ -1,0 +1,132 @@
+#include "sqo/transformation_table.h"
+
+#include <sstream>
+
+#include "expr/implication.h"
+
+namespace sqopt {
+
+TransformationTable TransformationTable::Build(
+    const Schema& /*schema*/, const ConstraintCatalog& catalog,
+    const std::vector<ConstraintId>& relevant, const Query& query,
+    const OptimizerOptions& options) {
+  TransformationTable table;
+
+  // Intern every predicate: query predicates first (their columns are
+  // marked in-query), then constraint predicates.
+  std::vector<Predicate> query_preds = query.AllPredicates();
+  for (const Predicate& p : query_preds) {
+    table.pool_.Intern(p);
+  }
+  for (ConstraintId id : relevant) {
+    const HornClause& clause = catalog.clause(id);
+    for (const Predicate& p : clause.antecedents()) table.pool_.Intern(p);
+    table.pool_.Intern(clause.consequent());
+  }
+  table.num_cols_ = table.pool_.size();
+  table.in_query_.assign(table.num_cols_, false);
+  for (const Predicate& p : query_preds) {
+    table.in_query_[table.pool_.Find(p)] = true;
+  }
+
+  // "Appears in the query" test per match mode.
+  auto present_in_query = [&](const Predicate& p) {
+    if (table.in_query_[table.pool_.Find(p)]) return true;
+    if (options.match_mode == MatchMode::kImplied) {
+      return ConjunctionImplies(query_preds, p);
+    }
+    return false;
+  };
+
+  table.rows_.reserve(relevant.size());
+  table.cells_.assign(relevant.size() * table.num_cols_,
+                      CellState::kNotInConstraint);
+
+  for (size_t r = 0; r < relevant.size(); ++r) {
+    const HornClause& clause = catalog.clause(relevant[r]);
+    Row row;
+    row.constraint = relevant[r];
+    row.classification = catalog.classification(relevant[r]);
+    for (const Predicate& a : clause.antecedents()) {
+      row.antecedents.push_back(table.pool_.Find(a));
+    }
+    row.consequent = table.pool_.Find(clause.consequent());
+
+    // Initialization algorithm (§3.1): consequent cell.
+    if (table.in_query_[row.consequent]) {
+      table.set_state(r, row.consequent, CellState::kImperative);
+    } else {
+      table.set_state(r, row.consequent, CellState::kAbsentConsequent);
+    }
+    row.fire_targets.push_back(row.consequent);
+
+    // MatchMode::kImplied: the consequent can also eliminate weaker
+    // query predicates it implies (constraint ⊨ consequent ⊨ q).
+    if (options.match_mode == MatchMode::kImplied) {
+      for (PredId col = 0; col < static_cast<PredId>(table.num_cols_);
+           ++col) {
+        if (!table.in_query_[col] || col == row.consequent) continue;
+        if (Implies(clause.consequent(), table.pool_.Get(col))) {
+          table.set_state(r, col, CellState::kImperative);
+          row.fire_targets.push_back(col);
+        }
+      }
+    }
+
+    // Antecedent cells. A predicate that is both an antecedent and (per
+    // implication) eliminable would be ambiguous; antecedent role wins
+    // because firing requires it (the parser rejects the exact-duplicate
+    // case already).
+    for (PredId a : row.antecedents) {
+      CellState st = present_in_query(table.pool_.Get(a))
+                         ? CellState::kPresentAntecedent
+                         : CellState::kAbsentAntecedent;
+      table.set_state(r, a, st);
+    }
+
+    table.rows_.push_back(std::move(row));
+  }
+  table.cell_writes_ = 0;  // construction writes don't count as updates
+  return table;
+}
+
+bool TransformationTable::AllAntecedentsPresent(size_t row) const {
+  for (PredId a : rows_[row].antecedents) {
+    if (state(row, a) != CellState::kPresentAntecedent) return false;
+  }
+  return true;
+}
+
+PredicateTag TransformationTable::FinalTag(PredId col) const {
+  PredicateTag tag = PredicateTag::kImperative;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    CellState st = state(r, col);
+    if (IsTagState(st)) tag = LowerTag(tag, TagOfState(st));
+  }
+  return tag;
+}
+
+bool TransformationTable::HasTagCell(PredId col) const {
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (IsTagState(state(r, col))) return true;
+  }
+  return false;
+}
+
+std::string TransformationTable::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << "c" << rows_[r].constraint << " ["
+       << ConstraintClassName(rows_[r].classification) << "]:";
+    for (PredId c = 0; c < static_cast<PredId>(num_cols_); ++c) {
+      CellState st = state(r, c);
+      if (st == CellState::kNotInConstraint) continue;
+      os << "  (" << pool_.Get(c).ToString(schema) << " -> "
+         << CellStateName(st) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqopt

@@ -1,0 +1,88 @@
+// The transformation table T of Section 3.1: rows are the relevant
+// semantic constraints, columns are the distinct predicates occurring in
+// the query or in any relevant constraint (interned in a local
+// PredicatePool). Cell t(c_i, p_j) records the role and current tag of
+// p_j with respect to c_i. The optimizer mutates cells only downward
+// (tag lattice), so the table doubles as the algorithm's entire state.
+#ifndef SQOPT_SQO_TRANSFORMATION_TABLE_H_
+#define SQOPT_SQO_TRANSFORMATION_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint_catalog.h"
+#include "constraints/predicate_pool.h"
+#include "query/query.h"
+#include "sqo/options.h"
+#include "sqo/tags.h"
+
+namespace sqopt {
+
+class TransformationTable {
+ public:
+  struct Row {
+    ConstraintId constraint = kInvalidConstraint;  // catalog id
+    ConstraintClass classification = ConstraintClass::kInter;
+    std::vector<PredId> antecedents;
+    PredId consequent = kInvalidPred;
+    // Columns this row lowers when fired: the consequent plus (in
+    // MatchMode::kImplied) any query predicate the consequent implies.
+    std::vector<PredId> fire_targets;
+    bool removed = false;  // removed from C by Update-Queue
+    bool fired = false;    // has effected its transformation
+  };
+
+  // Builds the initialized table per the §3.1 Initialization algorithm.
+  // `relevant` indexes into catalog.clauses().
+  static TransformationTable Build(const Schema& schema,
+                                   const ConstraintCatalog& catalog,
+                                   const std::vector<ConstraintId>& relevant,
+                                   const Query& query,
+                                   const OptimizerOptions& options);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return pool_.size(); }
+
+  CellState state(size_t row, PredId col) const {
+    return cells_[row * num_cols_ + static_cast<size_t>(col)];
+  }
+  void set_state(size_t row, PredId col, CellState state) {
+    cells_[row * num_cols_ + static_cast<size_t>(col)] = state;
+    ++cell_writes_;
+  }
+
+  const Row& row(size_t index) const { return rows_[index]; }
+  Row& mutable_row(size_t index) { return rows_[index]; }
+
+  const PredicatePool& pool() const { return pool_; }
+  bool InQuery(PredId id) const { return in_query_[id]; }
+
+  // True if every antecedent cell of `row` is PresentAntecedent.
+  bool AllAntecedentsPresent(size_t row) const;
+
+  // Final tag of a predicate column (§3.4 Query Formulation): the lowest
+  // tag among the column's tag-bearing cells, or imperative when none.
+  PredicateTag FinalTag(PredId col) const;
+
+  // True if the column holds any tag-bearing cell, i.e. the predicate is
+  // either a query predicate touched by some constraint or was
+  // introduced during transformation.
+  bool HasTagCell(PredId col) const;
+
+  uint64_t cell_writes() const { return cell_writes_; }
+
+  // Debug rendering of the full table.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<CellState> cells_;  // rows_ x pool_ row-major
+  size_t num_cols_ = 0;
+  PredicatePool pool_;
+  std::vector<bool> in_query_;  // per pool predicate
+  uint64_t cell_writes_ = 0;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_SQO_TRANSFORMATION_TABLE_H_

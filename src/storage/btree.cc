@@ -1,0 +1,294 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqopt {
+
+namespace {
+
+// Total-order helpers over Value (operator< orders by type class then
+// value; numerics interleave).
+bool KeyLess(const Value& a, const Value& b) { return a < b; }
+bool KeyEq(const Value& a, const Value& b) { return !(a < b) && !(b < a); }
+
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  // Leaf: entry keys (sorted, duplicates allowed) parallel to `rows`.
+  // Internal: separator keys; children[i] holds keys <= keys[i] (with
+  // duplicates allowed to sit on either side), children.back() the
+  // rest.
+  std::vector<Value> keys;
+  std::vector<int64_t> rows;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf chain
+};
+
+BTree::BTree(int order) : order_(order < 4 ? 4 : order) {
+  root_ = std::make_unique<Node>();
+}
+
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+namespace {
+
+// Child index for descending: first separator strictly greater than
+// `key` (duplicates route left so searches find the leftmost run).
+int RouteIndex(const std::vector<Value>& separators, const Value& key) {
+  int idx = 0;
+  while (idx < static_cast<int>(separators.size()) &&
+         !KeyLess(key, separators[idx])) {
+    ++idx;
+  }
+  return idx;
+}
+
+}  // namespace
+
+void BTree::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[index].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+
+  if (child->leaf) {
+    // Right leaf takes entries [mid, end); separator is a copy of the
+    // right leaf's first key.
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->rows.assign(child->rows.begin() + mid, child->rows.end());
+    child->keys.resize(mid);
+    child->rows.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    parent->keys.insert(parent->keys.begin() + index, right->keys.front());
+  } else {
+    // Internal: median key moves up; right takes keys (mid, end) and
+    // children [mid+1, end).
+    Value median = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + index, std::move(median));
+  }
+  parent->children.insert(parent->children.begin() + index + 1,
+                          std::move(right));
+}
+
+void BTree::Insert(const Value& key, int64_t row) {
+  size_t max_keys = static_cast<size_t>(order_ - 1);
+
+  if (root_->keys.size() >= max_keys) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+
+  Node* node = root_.get();
+  while (!node->leaf) {
+    int idx = RouteIndex(node->keys, key);
+    Node* child = node->children[idx].get();
+    if (child->keys.size() >= max_keys) {
+      SplitChild(node, idx);
+      // The new separator sits at node->keys[idx]; re-route.
+      if (!KeyLess(key, node->keys[idx])) ++idx;
+      child = node->children[idx].get();
+    }
+    node = child;
+  }
+
+  // Insert after any equal run (stable for duplicates).
+  auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                             KeyLess);
+  size_t pos = static_cast<size_t>(it - node->keys.begin());
+  node->keys.insert(it, key);
+  node->rows.insert(node->rows.begin() + pos, row);
+  ++size_;
+}
+
+bool BTree::Remove(const Value& key, int64_t row) {
+  Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (KeyLess(leaf->keys[i], key)) continue;
+      if (!KeyEq(leaf->keys[i], key)) {
+        past = true;
+        break;
+      }
+      if (leaf->rows[i] == row) {
+        leaf->keys.erase(leaf->keys.begin() + i);
+        leaf->rows.erase(leaf->rows.begin() + i);
+        --size_;
+        return true;
+      }
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+BTree::Node* BTree::FindLeaf(const Value& key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    // Route duplicates LEFT on lookup so the leftmost equal entry is
+    // reachable: first separator >= key bounds the left descent.
+    int idx = 0;
+    while (idx < static_cast<int>(node->keys.size()) &&
+           KeyLess(node->keys[idx], key)) {
+      ++idx;
+    }
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+std::vector<int64_t> BTree::Equal(const Value& key) const {
+  std::vector<int64_t> out;
+  const Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (KeyLess(leaf->keys[i], key)) continue;
+      if (KeyEq(leaf->keys[i], key)) {
+        out.push_back(leaf->rows[i]);
+      } else {
+        past = true;
+        break;
+      }
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<int64_t> BTree::LessThan(const Value& bound,
+                                     bool inclusive) const {
+  std::vector<int64_t> out;
+  // Leftmost leaf.
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      bool in = inclusive ? !KeyLess(bound, leaf->keys[i])
+                          : KeyLess(leaf->keys[i], bound);
+      if (in) {
+        out.push_back(leaf->rows[i]);
+      } else {
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> BTree::GreaterThan(const Value& bound,
+                                        bool inclusive) const {
+  std::vector<int64_t> out;
+  const Node* leaf = FindLeaf(bound);
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      bool in = inclusive ? !KeyLess(leaf->keys[i], bound)
+                          : KeyLess(bound, leaf->keys[i]);
+      if (in) out.push_back(leaf->rows[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Value, int64_t>> BTree::Scan() const {
+  std::vector<std::pair<Value, int64_t>> out;
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      out.emplace_back(leaf->keys[i], leaf->rows[i]);
+    }
+  }
+  return out;
+}
+
+int BTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+size_t BTree::num_nodes() const {
+  size_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& child : node->children) {
+      stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+bool BTree::CheckInvariants() const {
+  // 1. Uniform leaf depth + ordering within nodes + separator bounds.
+  struct Frame {
+    const Node* node;
+    int depth;
+    const Value* lo;  // keys must be >= *lo (or null)
+    const Value* hi;  // keys must be <= *hi (or null)
+  };
+  int leaf_depth = -1;
+  std::vector<Frame> stack = {{root_.get(), 0, nullptr, nullptr}};
+  size_t leaf_entries = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node* node = f.node;
+    // Keys sorted (non-strict: duplicates allowed).
+    for (size_t i = 1; i < node->keys.size(); ++i) {
+      if (KeyLess(node->keys[i], node->keys[i - 1])) return false;
+    }
+    for (const Value& key : node->keys) {
+      if (f.lo != nullptr && KeyLess(key, *f.lo)) return false;
+      if (f.hi != nullptr && KeyLess(*f.hi, key)) return false;
+    }
+    if (node->leaf) {
+      if (node->keys.size() != node->rows.size()) return false;
+      if (leaf_depth == -1) leaf_depth = f.depth;
+      if (leaf_depth != f.depth) return false;
+      leaf_entries += node->keys.size();
+    } else {
+      if (node->children.size() != node->keys.size() + 1) return false;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const Value* lo = (i == 0) ? f.lo : &node->keys[i - 1];
+        const Value* hi =
+            (i == node->keys.size()) ? f.hi : &node->keys[i];
+        stack.push_back({node->children[i].get(), f.depth + 1, lo, hi});
+      }
+    }
+  }
+  if (leaf_entries != size_) return false;
+
+  // 2. Leaf chain yields a sorted full scan.
+  auto scan = Scan();
+  if (scan.size() != size_) return false;
+  for (size_t i = 1; i < scan.size(); ++i) {
+    if (KeyLess(scan[i].first, scan[i - 1].first)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,75 @@
+// In-memory B+-tree keyed by Value: the index structure behind
+// AttributeIndex. Leaf-linked for range scans, fixed fanout, duplicate
+// keys allowed (one entry per (key, row) pair). This replaces the
+// std::multimap stand-in with the structure an actual database kernel
+// would use, and exposes node/height statistics so benches and the cost
+// model can reason about probe depth.
+#ifndef SQOPT_STORAGE_BTREE_H_
+#define SQOPT_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sqopt {
+
+class BTree {
+ public:
+  // Order = max children of an internal node; leaves hold up to
+  // kOrder - 1 entries. 64 keeps trees shallow at our scales while
+  // still exercising splits in tests (which use a smaller order).
+  explicit BTree(int order = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept;             // defined in .cc (Node incomplete)
+  BTree& operator=(BTree&&) noexcept;  // defined in .cc
+
+  void Insert(const Value& key, int64_t row);
+
+  // Removes one (key, row) entry. Returns false if no such entry
+  // exists. Deletion is lazy: leaves may become underfull or empty (the
+  // tree never rebalances downward), which preserves all lookup
+  // invariants and suits the store's update-in-place workload where
+  // deletes are immediately followed by a reinsertion.
+  bool Remove(const Value& key, int64_t row);
+
+  // All rows whose key compares equal to `key`.
+  std::vector<int64_t> Equal(const Value& key) const;
+
+  // All rows with key < / <= / > / >= bound, via leaf-chain scans.
+  std::vector<int64_t> LessThan(const Value& bound, bool inclusive) const;
+  std::vector<int64_t> GreaterThan(const Value& bound,
+                                   bool inclusive) const;
+
+  // Full in-order (key, row) traversal.
+  std::vector<std::pair<Value, int64_t>> Scan() const;
+
+  size_t size() const { return size_; }
+  int height() const;
+  size_t num_nodes() const;
+
+  // Validates the B+-tree invariants (ordering, fill, uniform leaf
+  // depth, leaf-chain consistency). Test hook; returns false on any
+  // violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  // Descends to the leaf that should contain `key`.
+  Node* FindLeaf(const Value& key) const;
+  // Splits `node` (leaf or internal) known to be overfull.
+  void SplitChild(Node* parent, int index);
+
+  int order_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_BTREE_H_

@@ -1,0 +1,50 @@
+#include "storage/extent.h"
+
+namespace sqopt {
+
+Extent::Extent(const Schema* schema, ClassId class_id)
+    : schema_(schema), class_id_(class_id) {
+  std::vector<AttrId> layout = schema_->LayoutOf(class_id);
+  for (size_t i = 0; i < layout.size(); ++i) {
+    slot_of_[layout[i]] = static_cast<int>(i);
+  }
+}
+
+Result<int64_t> Extent::Insert(Object obj) {
+  if (obj.values.size() != slot_of_.size()) {
+    return Status::InvalidArgument(
+        "object for class '" + schema_->object_class(class_id_).name +
+        "' has " + std::to_string(obj.values.size()) + " values, expected " +
+        std::to_string(slot_of_.size()));
+  }
+  objects_.push_back(std::move(obj));
+  return static_cast<int64_t>(objects_.size() - 1);
+}
+
+const Value& Extent::ValueAt(int64_t row, AttrId attr_id) const {
+  static const Value kNull = Value::Null();
+  int slot = SlotOf(attr_id);
+  if (slot < 0) return kNull;
+  return objects_[row].values[slot];
+}
+
+Status Extent::SetValue(int64_t row, AttrId attr_id, Value value) {
+  if (row < 0 || row >= size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range");
+  }
+  int slot = SlotOf(attr_id);
+  if (slot < 0) {
+    return Status::NotFound("attribute does not belong to class '" +
+                            schema_->object_class(class_id_).name + "'");
+  }
+  objects_[row].values[slot] = std::move(value);
+  return Status::OK();
+}
+
+int Extent::SlotOf(AttrId attr_id) const {
+  auto it = slot_of_.find(attr_id);
+  return it == slot_of_.end() ? -1 : it->second;
+}
+
+}  // namespace sqopt

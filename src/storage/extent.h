@@ -1,0 +1,52 @@
+// The extent of an object class: all its stored instances, with a slot
+// layout covering inherited attributes (root ancestor's attributes
+// first, then each subclass's own, declaration order within each).
+#ifndef SQOPT_STORAGE_EXTENT_H_
+#define SQOPT_STORAGE_EXTENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/object.h"
+
+namespace sqopt {
+
+class Extent {
+ public:
+  Extent(const Schema* schema, ClassId class_id);
+
+  ClassId class_id() const { return class_id_; }
+  int64_t size() const { return static_cast<int64_t>(objects_.size()); }
+  size_t num_slots() const { return slot_of_.size(); }
+
+  // Inserts an object; `obj.values` must have exactly num_slots()
+  // entries in layout order. Returns the new row id.
+  Result<int64_t> Insert(Object obj);
+
+  const Object& object(int64_t row) const { return objects_[row]; }
+
+  // Value of attribute `ref.attr_id` in row `row`. `ref` must resolve on
+  // this class (possibly via inheritance).
+  const Value& ValueAt(int64_t row, AttrId attr_id) const;
+
+  // Overwrites one attribute value. Returns kNotFound when the
+  // attribute does not belong to this class, kOutOfRange for bad rows.
+  // Index maintenance is the ObjectStore's job (UpdateAttribute).
+  Status SetValue(int64_t row, AttrId attr_id, Value value);
+
+  // Slot offset of an attribute id in this extent's layout, -1 if the
+  // attribute does not belong to this class.
+  int SlotOf(AttrId attr_id) const;
+
+ private:
+  const Schema* schema_;
+  ClassId class_id_;
+  std::vector<Object> objects_;
+  std::unordered_map<AttrId, int> slot_of_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_EXTENT_H_

@@ -1,0 +1,35 @@
+#include "storage/index.h"
+
+namespace sqopt {
+
+std::vector<int64_t> AttributeIndex::Equal(const Value& key) const {
+  ++probes;
+  return tree_.Equal(key);
+}
+
+std::vector<int64_t> AttributeIndex::Lookup(CompareOp op,
+                                            const Value& value) const {
+  ++probes;
+  switch (op) {
+    case CompareOp::kEq:
+      return tree_.Equal(value);
+    case CompareOp::kLt:
+      return tree_.LessThan(value, /*inclusive=*/false);
+    case CompareOp::kLe:
+      return tree_.LessThan(value, /*inclusive=*/true);
+    case CompareOp::kGt:
+      return tree_.GreaterThan(value, /*inclusive=*/false);
+    case CompareOp::kGe:
+      return tree_.GreaterThan(value, /*inclusive=*/true);
+    case CompareOp::kNe: {
+      std::vector<int64_t> out;
+      for (const auto& [key, row] : tree_.Scan()) {
+        if (EvalCompare(key, CompareOp::kNe, value)) out.push_back(row);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace sqopt

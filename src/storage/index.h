@@ -1,0 +1,45 @@
+// Ordered attribute index: Value -> row ids, backed by the B+-tree in
+// storage/btree.h. Supports equality probes and one-sided range scans,
+// which is all the access planner needs.
+#ifndef SQOPT_STORAGE_INDEX_H_
+#define SQOPT_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "storage/btree.h"
+#include "types/value.h"
+
+namespace sqopt {
+
+class AttributeIndex {
+ public:
+  void Insert(const Value& key, int64_t row) { tree_.Insert(key, row); }
+  bool Remove(const Value& key, int64_t row) {
+    return tree_.Remove(key, row);
+  }
+
+  size_t size() const { return tree_.size(); }
+  int height() const { return tree_.height(); }
+
+  // Rows whose key equals `key`.
+  std::vector<int64_t> Equal(const Value& key) const;
+
+  // Rows satisfying `key_attr op value` for op in {<, <=, >, >=, =}.
+  // != falls back to a full leaf-chain walk (callers normally don't use
+  // an index for it, but correctness first).
+  std::vector<int64_t> Lookup(CompareOp op, const Value& value) const;
+
+  const BTree& tree() const { return tree_; }
+
+  // Probe count bookkeeping for the execution meter.
+  mutable uint64_t probes = 0;
+
+ private:
+  BTree tree_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_INDEX_H_

@@ -1,0 +1,19 @@
+// An object instance: a row of attribute values belonging to one object
+// class. Attribute slots follow the class's declaration order, with
+// inherited attributes (parent chain) prepended root-first.
+#ifndef SQOPT_STORAGE_OBJECT_H_
+#define SQOPT_STORAGE_OBJECT_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace sqopt {
+
+struct Object {
+  std::vector<Value> values;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_OBJECT_H_

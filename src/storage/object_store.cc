@@ -1,0 +1,123 @@
+#include "storage/object_store.h"
+
+#include <set>
+
+namespace sqopt {
+
+const std::vector<int64_t> ObjectStore::kNoPartners = {};
+
+ObjectStore::ObjectStore(const Schema* schema) : schema_(schema) {
+  extents_.reserve(schema_->num_classes());
+  for (size_t i = 0; i < schema_->num_classes(); ++i) {
+    extents_.push_back(
+        std::make_unique<Extent>(schema_, static_cast<ClassId>(i)));
+  }
+  pairs_.resize(schema_->num_relationships());
+  adj_a_.resize(schema_->num_relationships());
+  adj_b_.resize(schema_->num_relationships());
+
+  // One index per (class, indexed attribute), including inherited
+  // indexed attributes on subclasses.
+  for (const ObjectClass& oc : schema_->classes()) {
+    for (AttrId attr_id : schema_->LayoutOf(oc.id)) {
+      AttrRef ref{oc.id, attr_id};
+      if (schema_->attribute(ref).indexed) {
+        indexes_[{oc.id, attr_id}] = std::make_unique<AttributeIndex>();
+      }
+    }
+  }
+}
+
+Result<int64_t> ObjectStore::Insert(ClassId class_id, Object obj) {
+  SQOPT_ASSIGN_OR_RETURN(int64_t row,
+                         extents_[class_id]->Insert(std::move(obj)));
+  for (auto& [key, index] : indexes_) {
+    if (key.first != class_id) continue;
+    index->Insert(extents_[class_id]->ValueAt(row, key.second), row);
+  }
+  return row;
+}
+
+Status ObjectStore::Link(RelId rel_id, int64_t row_a, int64_t row_b) {
+  const Relationship& rel = schema_->relationship(rel_id);
+  if (row_a < 0 || row_a >= NumObjects(rel.a) || row_b < 0 ||
+      row_b >= NumObjects(rel.b)) {
+    return Status::OutOfRange("relationship '" + rel.name +
+                              "' links a nonexistent row");
+  }
+  // Relationship instances form a SET of pairs: a duplicate link would
+  // silently double rows produced by pointer-traversal joins.
+  auto it = adj_a_[rel_id].find(row_a);
+  if (it != adj_a_[rel_id].end()) {
+    for (int64_t existing : it->second) {
+      if (existing == row_b) {
+        return Status::AlreadyExists("relationship '" + rel.name +
+                                     "' already links this pair");
+      }
+    }
+  }
+  pairs_[rel_id].emplace_back(row_a, row_b);
+  adj_a_[rel_id][row_a].push_back(row_b);
+  adj_b_[rel_id][row_b].push_back(row_a);
+  return Status::OK();
+}
+
+Status ObjectStore::UpdateAttribute(ClassId class_id, int64_t row,
+                                    AttrId attr_id, Value value) {
+  Extent& extent = *extents_[class_id];
+  if (row < 0 || row >= extent.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  auto it = indexes_.find({class_id, attr_id});
+  if (it != indexes_.end()) {
+    Value old = extent.ValueAt(row, attr_id);
+    SQOPT_RETURN_IF_ERROR(extent.SetValue(row, attr_id, value));
+    it->second->Remove(old, row);
+    it->second->Insert(value, row);
+    return Status::OK();
+  }
+  return extent.SetValue(row, attr_id, std::move(value));
+}
+
+const std::vector<int64_t>& ObjectStore::Partners(RelId rel_id,
+                                                  ClassId from_class,
+                                                  int64_t row) const {
+  const Relationship& rel = schema_->relationship(rel_id);
+  const auto& adjacency =
+      (from_class == rel.a) ? adj_a_[rel_id] : adj_b_[rel_id];
+  auto it = adjacency.find(row);
+  return it == adjacency.end() ? kNoPartners : it->second;
+}
+
+const AttributeIndex* ObjectStore::GetIndex(const AttrRef& ref) const {
+  auto it = indexes_.find({ref.class_id, ref.attr_id});
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+int64_t ObjectStore::DistinctValues(const AttrRef& ref) const {
+  const Extent& extent = *extents_[ref.class_id];
+  std::set<Value> distinct;
+  for (int64_t row = 0; row < extent.size(); ++row) {
+    distinct.insert(extent.ValueAt(row, ref.attr_id));
+  }
+  return static_cast<int64_t>(distinct.size());
+}
+
+std::pair<Value, Value> ObjectStore::MinMax(const AttrRef& ref) const {
+  const Extent& extent = *extents_[ref.class_id];
+  if (extent.size() == 0) return {Value::Null(), Value::Null()};
+  Value min = extent.ValueAt(0, ref.attr_id);
+  Value max = min;
+  for (int64_t row = 1; row < extent.size(); ++row) {
+    const Value& v = extent.ValueAt(row, ref.attr_id);
+    if (v < min) min = v;
+    if (max < v) max = v;
+  }
+  return {min, max};
+}
+
+void ObjectStore::ResetMeters() {
+  for (auto& [key, index] : indexes_) index->probes = 0;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,85 @@
+// The in-memory OODB store: one extent per class, adjacency lists per
+// relationship, and attribute indexes for every attribute declared
+// `indexed` in the schema. This is the substrate the executor runs
+// against (the paper executed against a relational DBMS; see DESIGN.md
+// §2 "Substitutions").
+#ifndef SQOPT_STORAGE_OBJECT_STORE_H_
+#define SQOPT_STORAGE_OBJECT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/extent.h"
+#include "storage/index.h"
+
+namespace sqopt {
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  // Inserts an object into `class_id`'s extent, maintaining indexes.
+  Result<int64_t> Insert(ClassId class_id, Object obj);
+
+  // Registers an instance (pair) of relationship `rel_id` between a row
+  // of the relationship's class `a` and a row of class `b`. Duplicate
+  // pairs are rejected with kAlreadyExists.
+  Status Link(RelId rel_id, int64_t row_a, int64_t row_b);
+
+  // Overwrites one attribute of an existing object, keeping any index
+  // on the attribute consistent. `attr_id` must resolve on the class.
+  Status UpdateAttribute(ClassId class_id, int64_t row, AttrId attr_id,
+                         Value value);
+
+  const Extent& extent(ClassId class_id) const {
+    return *extents_[class_id];
+  }
+  int64_t NumObjects(ClassId class_id) const {
+    return extents_[class_id]->size();
+  }
+  int64_t NumPairs(RelId rel_id) const {
+    return static_cast<int64_t>(pairs_[rel_id].size());
+  }
+
+  // Partner rows of `row` (a row of `from_class`) across `rel_id`.
+  // `from_class` must be one of the relationship's endpoints.
+  const std::vector<int64_t>& Partners(RelId rel_id, ClassId from_class,
+                                       int64_t row) const;
+
+  // The index on `ref`, or null if the attribute is not indexed.
+  const AttributeIndex* GetIndex(const AttrRef& ref) const;
+
+  // Statistics raw material.
+  int64_t DistinctValues(const AttrRef& ref) const;
+  std::pair<Value, Value> MinMax(const AttrRef& ref) const;  // null/null
+                                                             // if empty
+
+  // Resets the probe counters on all indexes.
+  void ResetMeters();
+
+ private:
+  // Index key: (class, attr id) — inherited attributes are indexed per
+  // concrete class.
+  using IndexKey = std::pair<ClassId, AttrId>;
+
+  const Schema* schema_;
+  std::vector<std::unique_ptr<Extent>> extents_;
+  // Per relationship: the pair list and both adjacency directions.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> pairs_;
+  std::vector<std::unordered_map<int64_t, std::vector<int64_t>>> adj_a_;
+  std::vector<std::unordered_map<int64_t, std::vector<int64_t>>> adj_b_;
+  std::map<IndexKey, std::unique_ptr<AttributeIndex>> indexes_;
+
+  static const std::vector<int64_t> kNoPartners;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_OBJECT_STORE_H_

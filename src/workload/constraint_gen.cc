@@ -1,0 +1,49 @@
+#include "workload/constraint_gen.h"
+
+#include "constraints/constraint_parser.h"
+
+namespace sqopt {
+
+Result<std::vector<HornClause>> ExperimentConstraints(const Schema& schema) {
+  // All hold on GenerateDatabase output (segment construction):
+  // segment 0 <=> {refrigerated truck, frozen food, region west,
+  // rating >= 8, top secret, securityClass 4, licenseClass 4, ...}.
+  return ParseConstraintList(schema, R"(
+# --- inter-class ---
+x1: vehicle.desc = "refrigerated truck" -> cargo.desc = "frozen food"
+x2: cargo.desc = "frozen food" -> supplier.region = "west"
+x3: cargo.desc = "frozen food" -> vehicle.desc = "refrigerated truck"
+x4: department.securityClass >= 4 -> driver.clearance = "top secret"
+x5: driver.clearance = "top secret" -> department.securityClass >= 4
+x6: vehicle.vclass >= 3 -> driver.licenseClass >= 3
+x7: supplier.region = "west" -> cargo.weight <= 40
+x8: driver.rank = "senior" -> vehicle.capacity >= 20
+# --- intra-class ---
+i1: supplier.rating >= 8 -> supplier.region = "west"
+i2: cargo.desc = "frozen food" -> cargo.weight <= 40
+i3: vehicle.desc = "refrigerated truck" -> vehicle.capacity >= 20
+i4: driver.clearance = "top secret" -> driver.licenseClass >= 4
+i5: department.securityClass >= 4 -> department.budget >= 100000
+i6: cargo.quantity >= 500 -> cargo.weight >= 41
+i7: vehicle.vclass >= 4 -> vehicle.desc = "refrigerated truck"
+)");
+}
+
+std::vector<HornClause> SyntheticChainConstraints(const Schema& schema,
+                                                  const AttrRef& target,
+                                                  int count) {
+  std::vector<HornClause> out;
+  out.reserve(count);
+  (void)schema;
+  for (int k = 1; k <= count; ++k) {
+    Predicate antecedent =
+        Predicate::AttrConst(target, CompareOp::kGe, Value::Int(k));
+    Predicate consequent =
+        Predicate::AttrConst(target, CompareOp::kGe, Value::Int(k - 1));
+    out.emplace_back("chain" + std::to_string(k),
+                     std::vector<Predicate>{antecedent}, consequent);
+  }
+  return out;
+}
+
+}  // namespace sqopt

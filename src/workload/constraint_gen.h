@@ -1,0 +1,32 @@
+// The experiment constraint set: 15 hand-designed Horn clauses (about 3
+// per class, matching §4's "each object class had an average of 3
+// semantic constraints attached to it") that hold on every database
+// produced by GenerateDatabase thanks to the segment construction.
+// Also provides a synthetic constraint generator for the Fig 4.1
+// transformation-time sweeps, where only the count of relevant
+// constraints matters.
+#ifndef SQOPT_WORKLOAD_CONSTRAINT_GEN_H_
+#define SQOPT_WORKLOAD_CONSTRAINT_GEN_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/horn_clause.h"
+
+namespace sqopt {
+
+// Requires the experiment schema (BuildExperimentSchema).
+Result<std::vector<HornClause>> ExperimentConstraints(const Schema& schema);
+
+// Synthetic chain constraints over one class's integer attribute for
+// complexity sweeps: attr >= k -> attr >= k-1, for k = 1..count. All
+// intra-class, all relevant to any query touching `target`, and they
+// chain, so closure size and firing counts scale with `count`.
+std::vector<HornClause> SyntheticChainConstraints(const Schema& schema,
+                                                  const AttrRef& target,
+                                                  int count);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_CONSTRAINT_GEN_H_

@@ -1,0 +1,74 @@
+#include "workload/example_schema.h"
+
+#include "catalog/schema_builder.h"
+#include "constraints/constraint_parser.h"
+#include "query/query_parser.h"
+
+namespace sqopt {
+
+Result<Schema> BuildFigure21Schema() {
+  SchemaBuilder b;
+  b.AddClass("supplier")
+      .Attr("name", ValueType::kString, /*indexed=*/true)
+      .Attr("address", ValueType::kString);
+  b.AddClass("cargo")
+      .Attr("code", ValueType::kString, /*indexed=*/true)
+      .Attr("desc", ValueType::kString, /*indexed=*/true)
+      .Attr("quantity", ValueType::kInt);
+  b.AddClass("vehicle")
+      .Attr("vehicle#", ValueType::kInt, /*indexed=*/true)
+      .Attr("desc", ValueType::kString, /*indexed=*/true)
+      .Attr("class", ValueType::kInt);
+  b.AddClass("engine")
+      .Attr("engine#", ValueType::kInt, /*indexed=*/true)
+      .Attr("capacity", ValueType::kInt);
+  b.AddClass("employee")
+      .Attr("name", ValueType::kString, /*indexed=*/true)
+      .Attr("clearance", ValueType::kString)
+      .Attr("rank", ValueType::kString);
+  b.AddClass("manager").Parent("employee");
+  b.AddClass("driver")
+      .Parent("employee")
+      .Attr("license#", ValueType::kInt)
+      .Attr("licenseClass", ValueType::kInt)
+      .Attr("licenseDate", ValueType::kString);
+  b.AddClass("supervisor").Parent("driver");
+  b.AddClass("department")
+      .Attr("name", ValueType::kString, /*indexed=*/true)
+      .Attr("securityClass", ValueType::kInt);
+
+  b.AddRelationship("supplies", "supplier", "cargo");
+  b.AddRelationship("collects", "cargo", "vehicle");
+  b.AddRelationship("engComp", "vehicle", "engine");
+  b.AddRelationship("drives", "driver", "vehicle");
+  b.AddRelationship("belongsTo", "employee", "department");
+  return b.Build();
+}
+
+Result<std::vector<HornClause>> Figure22Constraints(const Schema& schema) {
+  // Textual form of Figure 2.2 (the paper writes them with class
+  // templates; predicates here carry the same content):
+  //  c1: refrigerated trucks only carry frozen food
+  //  c2: frozen food comes only from SFI
+  //  c3: a driver's license classification bounds the vehicle's class
+  //  c4: only research staff members are managers
+  //  c5: development-department staff have top-secret clearance
+  return ParseConstraintList(schema, R"(
+c1: vehicle.desc = "refrigerated truck" -> cargo.desc = "frozen food"
+c2: cargo.desc = "frozen food" -> supplier.name = "SFI"
+c3: -> driver.licenseClass >= vehicle.class
+c4: -> manager.rank = "research staff member"
+c5: department.name = "development" -> employee.clearance = "top secret"
+)");
+}
+
+Result<Query> Figure23SampleQuery(const Schema& schema) {
+  return ParseQuery(schema, R"(
+(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity}
+        {}
+        {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+        {collects, supplies}
+        {supplier, cargo, vehicle}))");
+}
+
+}  // namespace sqopt

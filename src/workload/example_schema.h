@@ -1,0 +1,31 @@
+// The paper's running example: the Figure 2.1 database schema, the five
+// Figure 2.2 semantic constraints, and the Figure 2.3 sample query.
+// Used by the quickstart example and the paper-example integration test.
+#ifndef SQOPT_WORKLOAD_EXAMPLE_SCHEMA_H_
+#define SQOPT_WORKLOAD_EXAMPLE_SCHEMA_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/horn_clause.h"
+#include "query/query.h"
+
+namespace sqopt {
+
+// Figure 2.1: supplier, cargo, vehicle, engine, employee (with manager,
+// driver, supervisor subclasses), department; relationships supplies,
+// collects, engComp, drives, belongsTo. Pointer attributes in the paper
+// become Relationship entries here.
+Result<Schema> BuildFigure21Schema();
+
+// Figure 2.2: c1..c5. c3 and c4 have no predicate antecedents (they are
+// conditioned on class membership alone).
+Result<std::vector<HornClause>> Figure22Constraints(const Schema& schema);
+
+// Figure 2.3's sample query: refrigerated trucks sent to SFI.
+Result<Query> Figure23SampleQuery(const Schema& schema);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_EXAMPLE_SCHEMA_H_

@@ -1,0 +1,82 @@
+#include "workload/path_enum.h"
+
+#include <set>
+#include <sstream>
+
+namespace sqopt {
+
+std::string SchemaPath::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (i > 0) {
+      os << " -[" << schema.relationship(relationships[i - 1]).name
+         << "]- ";
+    }
+    os << schema.object_class(classes[i]).name;
+  }
+  return os.str();
+}
+
+namespace {
+
+void Extend(const Schema& schema, SchemaPath* current,
+            std::set<ClassId>* used_classes, std::set<RelId>* used_rels,
+            size_t min_classes, size_t max_classes,
+            std::vector<SchemaPath>* out) {
+  if (current->classes.size() >= min_classes) {
+    // Deduplicate reversals: keep only paths whose endpoints are in
+    // non-decreasing (class id, first rel) order.
+    bool canonical = true;
+    if (current->classes.size() >= 2) {
+      ClassId front = current->classes.front();
+      ClassId back = current->classes.back();
+      if (front > back) canonical = false;
+      if (front == back) {
+        // Palindromic endpoints: compare relationship sequences.
+        const std::vector<RelId>& rels = current->relationships;
+        std::vector<RelId> reversed(rels.rbegin(), rels.rend());
+        if (reversed < rels) canonical = false;
+      }
+    }
+    if (canonical) out->push_back(*current);
+  }
+  if (current->classes.size() >= max_classes) return;
+
+  ClassId tip = current->classes.back();
+  for (const Relationship& rel : schema.relationships()) {
+    if (!rel.Involves(tip)) continue;
+    if (used_rels->count(rel.id) > 0) continue;
+    ClassId next = rel.Other(tip);
+    if (used_classes->count(next) > 0) continue;
+
+    current->classes.push_back(next);
+    current->relationships.push_back(rel.id);
+    used_classes->insert(next);
+    used_rels->insert(rel.id);
+    Extend(schema, current, used_classes, used_rels, min_classes,
+           max_classes, out);
+    used_rels->erase(rel.id);
+    used_classes->erase(next);
+    current->relationships.pop_back();
+    current->classes.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SchemaPath> EnumerateSimplePaths(const Schema& schema,
+                                             size_t min_classes,
+                                             size_t max_classes) {
+  std::vector<SchemaPath> out;
+  for (const ObjectClass& oc : schema.classes()) {
+    SchemaPath path;
+    path.classes.push_back(oc.id);
+    std::set<ClassId> used_classes = {oc.id};
+    std::set<RelId> used_rels;
+    Extend(schema, &path, &used_classes, &used_rels, min_classes,
+           max_classes, &out);
+  }
+  return out;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,33 @@
+// Schema path enumeration (§4): "All possible paths in this schema were
+// identified, where a path consists of a series of interconnecting
+// object classes and relationships, and no object class or relationship
+// appears more than once. A query was formulated for each such path."
+#ifndef SQOPT_WORKLOAD_PATH_ENUM_H_
+#define SQOPT_WORKLOAD_PATH_ENUM_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace sqopt {
+
+struct SchemaPath {
+  std::vector<ClassId> classes;     // length k
+  std::vector<RelId> relationships;  // length k-1
+
+  std::string ToString(const Schema& schema) const;
+};
+
+// Every simple path (classes and relationships each used at most once)
+// with between `min_classes` and `max_classes` classes. Paths are
+// reported once per direction-free identity (the reverse of a path is
+// not re-reported). Single-class "paths" are included when
+// min_classes == 1.
+std::vector<SchemaPath> EnumerateSimplePaths(const Schema& schema,
+                                             size_t min_classes,
+                                             size_t max_classes);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_PATH_ENUM_H_

@@ -1,0 +1,125 @@
+#include "workload/query_gen.h"
+
+#include <array>
+
+#include "expr/predicate.h"
+
+namespace sqopt {
+
+QueryGenerator::QueryGenerator(const Schema* schema, uint64_t seed,
+                               QueryGenOptions options)
+    : schema_(schema), rng_(seed), options_(options) {}
+
+Result<Predicate> QueryGenerator::TriggerPredicate(ClassId class_id) {
+  const std::string& name = schema_->object_class(class_id).name;
+  // Menu of predicates that appear as constraint antecedents (so the
+  // optimizer has transformations to find) or as strong filters.
+  std::vector<std::string> menu;
+  if (name == "supplier") {
+    menu = {"supplier.region = \"west\"", "supplier.rating >= 8",
+            "supplier.rating <= 3"};
+  } else if (name == "cargo") {
+    menu = {"cargo.desc = \"frozen food\"", "cargo.quantity >= 500",
+            "cargo.desc = \"fuel\"", "cargo.weight <= 40"};
+  } else if (name == "vehicle") {
+    menu = {"vehicle.desc = \"refrigerated truck\"", "vehicle.vclass >= 4",
+            "vehicle.desc = \"van\"", "vehicle.vclass >= 3"};
+  } else if (name == "driver") {
+    menu = {"driver.clearance = \"top secret\"", "driver.rank = \"senior\"",
+            "driver.licenseClass >= 4"};
+  } else if (name == "department") {
+    menu = {"department.securityClass >= 4",
+            "department.budget >= 100000",
+            "department.securityClass <= 2"};
+  } else {
+    return Status::InvalidArgument("QueryGenerator: unexpected class '" +
+                                   name + "'");
+  }
+  return ParsePredicate(*schema_, menu[rng_.Index(menu.size())]);
+}
+
+Result<Predicate> QueryGenerator::NeutralPredicate(ClassId class_id) {
+  const std::string& name = schema_->object_class(class_id).name;
+  // Range filters on uniform attributes: do not interact with the
+  // constraint set, exist so that some queries gain nothing from SQO.
+  std::string text;
+  if (name == "supplier") {
+    text = "supplier.rating >= " + std::to_string(rng_.UniformInt(1, 5));
+  } else if (name == "cargo") {
+    text = "cargo.quantity <= " + std::to_string(rng_.UniformInt(300, 900));
+  } else if (name == "vehicle") {
+    text = "vehicle.capacity >= " + std::to_string(rng_.UniformInt(5, 25));
+  } else if (name == "driver") {
+    text =
+        "driver.licenseClass >= " + std::to_string(rng_.UniformInt(1, 3));
+  } else if (name == "department") {
+    text = "department.budget >= " +
+           std::to_string(rng_.UniformInt(20000, 80000));
+  } else {
+    return Status::InvalidArgument("QueryGenerator: unexpected class '" +
+                                   name + "'");
+  }
+  return ParsePredicate(*schema_, text);
+}
+
+Result<Query> QueryGenerator::FromPath(const SchemaPath& path) {
+  Query query;
+  query.classes = path.classes;
+  query.relationships = path.relationships;
+
+  // Projection: 1..max_projection attributes spread over path classes.
+  size_t num_proj = 1 + rng_.Index(options_.max_projection);
+  for (size_t i = 0; i < num_proj; ++i) {
+    ClassId cid = path.classes[rng_.Index(path.classes.size())];
+    const std::vector<AttrId> layout = schema_->LayoutOf(cid);
+    AttrId attr = layout[rng_.Index(layout.size())];
+    AttrRef ref{cid, attr};
+    bool dup = false;
+    for (const AttrRef& existing : query.projection) {
+      if (existing == ref) dup = true;
+    }
+    if (!dup) query.projection.push_back(ref);
+  }
+
+  // Selective predicates.
+  for (ClassId cid : path.classes) {
+    if (!rng_.Bernoulli(options_.predicate_probability)) continue;
+    Result<Predicate> pred = rng_.Bernoulli(options_.trigger_probability)
+                                 ? TriggerPredicate(cid)
+                                 : NeutralPredicate(cid);
+    SQOPT_RETURN_IF_ERROR(pred.status());
+    bool dup = false;
+    for (const Predicate& existing : query.selective_predicates) {
+      if (existing == *pred) dup = true;
+    }
+    if (!dup) query.selective_predicates.push_back(std::move(*pred));
+  }
+
+  SQOPT_RETURN_IF_ERROR(ValidateQuery(*schema_, query));
+  return query;
+}
+
+Result<std::vector<Query>> QueryGenerator::Sample(
+    const std::vector<SchemaPath>& paths, size_t count) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no paths to sample from");
+  }
+  std::vector<size_t> order(paths.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.Shuffle(&order);
+
+  std::vector<Query> out;
+  out.reserve(count);
+  size_t cursor = 0;
+  while (out.size() < count) {
+    if (cursor == order.size()) {
+      rng_.Shuffle(&order);
+      cursor = 0;
+    }
+    SQOPT_ASSIGN_OR_RETURN(Query q, FromPath(paths[order[cursor++]]));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace sqopt

@@ -1,0 +1,56 @@
+// Path-query generation (§4): one query per schema path, decorated with
+// selective predicates drawn from a menu designed to trigger the
+// experiment constraints (the paper's queries over its schema play the
+// same role). Deterministic from the seed.
+#ifndef SQOPT_WORKLOAD_QUERY_GEN_H_
+#define SQOPT_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "workload/path_enum.h"
+
+namespace sqopt {
+
+struct QueryGenOptions {
+  // Probability that a class contributes one selective predicate.
+  double predicate_probability = 0.6;
+  // Probability a contributed predicate is drawn from the
+  // constraint-triggering menu (vs a neutral id-range predicate).
+  double trigger_probability = 0.7;
+  // Max projected attributes (always >= 1, from the first path class).
+  size_t max_projection = 3;
+};
+
+class QueryGenerator {
+ public:
+  // Requires the experiment schema (BuildExperimentSchema).
+  QueryGenerator(const Schema* schema, uint64_t seed,
+                 QueryGenOptions options = {});
+
+  // Builds a query over `path`: classes + relationships from the path,
+  // projection from path classes, selective predicates sampled per
+  // class.
+  Result<Query> FromPath(const SchemaPath& path);
+
+  // `count` queries sampled (with replacement across paths, without
+  // replacement within a draw round) from `paths`.
+  Result<std::vector<Query>> Sample(const std::vector<SchemaPath>& paths,
+                                    size_t count);
+
+ private:
+  // A selective predicate likely to interact with the constraint set.
+  Result<Predicate> TriggerPredicate(ClassId class_id);
+  // A neutral predicate on the class's id-like attribute.
+  Result<Predicate> NeutralPredicate(ClassId class_id);
+
+  const Schema* schema_;
+  Rng rng_;
+  QueryGenOptions options_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_QUERY_GEN_H_

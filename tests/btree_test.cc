@@ -1,0 +1,198 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sqopt {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Equal(Value::Int(1)).empty());
+  EXPECT_TRUE(tree.Scan().empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, SingleInsertAndLookup) {
+  BTree tree;
+  tree.Insert(Value::Int(5), 100);
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<int64_t> rows = tree.Equal(Value::Int(5));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 100);
+  EXPECT_TRUE(tree.Equal(Value::Int(6)).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, SplitsIncreaseHeight) {
+  BTree tree(/*order=*/4);  // tiny order forces splits early
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Value::Int(i), i);
+    ASSERT_TRUE(tree.CheckInvariants()) << "after insert " << i;
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_GT(tree.num_nodes(), 10u);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int64_t> rows = tree.Equal(Value::Int(i));
+    ASSERT_EQ(rows.size(), 1u) << i;
+    EXPECT_EQ(rows[0], i);
+  }
+}
+
+TEST(BTreeTest, ReverseAndZigzagInsertionOrders) {
+  for (int pattern = 0; pattern < 2; ++pattern) {
+    BTree tree(4);
+    for (int i = 0; i < 200; ++i) {
+      int key = pattern == 0 ? 199 - i : (i % 2 == 0 ? i / 2 : 199 - i / 2);
+      tree.Insert(Value::Int(key), key);
+    }
+    ASSERT_TRUE(tree.CheckInvariants());
+    auto scan = tree.Scan();
+    ASSERT_EQ(scan.size(), 200u);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(scan[i].first, Value::Int(i));
+    }
+  }
+}
+
+TEST(BTreeTest, DuplicateKeysAllFound) {
+  BTree tree(4);
+  for (int i = 0; i < 60; ++i) {
+    tree.Insert(Value::Int(i % 3), i);  // 20 copies of each key
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int k = 0; k < 3; ++k) {
+    std::vector<int64_t> rows = tree.Equal(Value::Int(k));
+    EXPECT_EQ(rows.size(), 20u) << "key " << k;
+    for (int64_t row : rows) {
+      EXPECT_EQ(row % 3, k);
+    }
+  }
+}
+
+TEST(BTreeTest, MassiveDuplicateRun) {
+  BTree tree(4);
+  for (int i = 0; i < 100; ++i) tree.Insert(Value::Int(7), i);
+  tree.Insert(Value::Int(3), -1);
+  tree.Insert(Value::Int(9), -2);
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Equal(Value::Int(7)).size(), 100u);
+  EXPECT_EQ(tree.Equal(Value::Int(3)).size(), 1u);
+  EXPECT_EQ(tree.Equal(Value::Int(9)).size(), 1u);
+}
+
+TEST(BTreeTest, RangeScans) {
+  BTree tree(6);
+  for (int i = 0; i < 50; ++i) tree.Insert(Value::Int(i), i);
+  EXPECT_EQ(tree.LessThan(Value::Int(10), false).size(), 10u);
+  EXPECT_EQ(tree.LessThan(Value::Int(10), true).size(), 11u);
+  EXPECT_EQ(tree.GreaterThan(Value::Int(40), false).size(), 9u);
+  EXPECT_EQ(tree.GreaterThan(Value::Int(40), true).size(), 10u);
+  EXPECT_EQ(tree.GreaterThan(Value::Int(-5), true).size(), 50u);
+  EXPECT_EQ(tree.LessThan(Value::Int(100), true).size(), 50u);
+  EXPECT_TRUE(tree.LessThan(Value::Int(0), false).empty());
+  EXPECT_TRUE(tree.GreaterThan(Value::Int(49), false).empty());
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTree tree(4);
+  std::vector<std::string> words = {"delta", "alpha", "echo", "charlie",
+                                    "bravo"};
+  for (size_t i = 0; i < words.size(); ++i) {
+    tree.Insert(Value::String(words[i]), static_cast<int64_t>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Equal(Value::String("charlie")).size(), 1u);
+  EXPECT_EQ(tree.LessThan(Value::String("c"), false).size(), 2u);
+  auto scan = tree.Scan();
+  EXPECT_EQ(scan.front().first, Value::String("alpha"));
+  EXPECT_EQ(scan.back().first, Value::String("echo"));
+}
+
+TEST(BTreeTest, MixedNumericKeysInterleave) {
+  BTree tree(4);
+  tree.Insert(Value::Int(2), 1);
+  tree.Insert(Value::Double(2.5), 2);
+  tree.Insert(Value::Int(3), 3);
+  EXPECT_EQ(tree.GreaterThan(Value::Int(2), false).size(), 2u);
+  EXPECT_EQ(tree.Equal(Value::Double(3.0)).size(), 1u);  // 3 == 3.0
+}
+
+// Randomized differential test against std::multimap across orders.
+class BTreeFuzzTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(BTreeFuzzTest, MatchesMultimapOracle) {
+  const auto& [order, seed] = GetParam();
+  BTree tree(order);
+  std::multimap<int64_t, int64_t> oracle;
+  Rng rng(static_cast<uint64_t>(seed));
+
+  for (int i = 0; i < 800; ++i) {
+    int64_t key = rng.UniformInt(0, 60);  // heavy duplicate pressure
+    tree.Insert(Value::Int(key), i);
+    oracle.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), oracle.size());
+
+  for (int64_t key = -2; key <= 62; ++key) {
+    // Equality.
+    std::vector<int64_t> got = tree.Equal(Value::Int(key));
+    std::vector<int64_t> want;
+    auto [lo, hi] = oracle.equal_range(key);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "Equal(" << key << ")";
+
+    // Ranges.
+    auto count_lt = [&](bool inclusive) {
+      size_t n = 0;
+      for (const auto& [k, v] : oracle) {
+        if (k < key || (inclusive && k == key)) ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(tree.LessThan(Value::Int(key), false).size(),
+              count_lt(false));
+    EXPECT_EQ(tree.LessThan(Value::Int(key), true).size(), count_lt(true));
+    EXPECT_EQ(tree.GreaterThan(Value::Int(key), false).size(),
+              oracle.size() - count_lt(true));
+    EXPECT_EQ(tree.GreaterThan(Value::Int(key), true).size(),
+              oracle.size() - count_lt(false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSeeds, BTreeFuzzTest,
+    ::testing::Combine(::testing::Values(4, 6, 16, 64),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(BTreeTest, HeightStaysLogarithmic) {
+  BTree tree(64);
+  for (int i = 0; i < 100000; ++i) tree.Insert(Value::Int(i), i);
+  // 100k entries at order 64: height must stay tiny.
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, MoveSemantics) {
+  BTree a(4);
+  for (int i = 0; i < 32; ++i) a.Insert(Value::Int(i), i);
+  BTree b = std::move(a);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_TRUE(b.CheckInvariants());
+  EXPECT_EQ(b.Equal(Value::Int(7)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sqopt

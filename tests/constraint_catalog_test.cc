@@ -1,0 +1,120 @@
+#include "constraints/constraint_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "tests/test_util.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+class ConstraintCatalogTest : public ExperimentFixture {};
+
+TEST_F(ConstraintCatalogTest, PrecompileMaterializesClosure) {
+  EXPECT_TRUE(catalog_->precompiled());
+  EXPECT_EQ(catalog_->num_base(), 15u);
+  EXPECT_GT(catalog_->num_derived(), 0u);
+}
+
+TEST_F(ConstraintCatalogTest, RejectsDuplicateConstraints) {
+  auto dup = ParseConstraint(
+      schema_,
+      "dup: vehicle.desc = \"refrigerated truck\" -> cargo.desc = "
+      "\"frozen food\"");
+  ASSERT_TRUE(dup.ok());
+  Status s = catalog_->AddConstraint(std::move(*dup));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ConstraintCatalogTest, AddInvalidatesPrecompilation) {
+  auto extra = ParseConstraint(
+      schema_, "extra: cargo.weight <= 5 -> cargo.quantity <= 10");
+  ASSERT_TRUE(extra.ok());
+  ASSERT_OK(catalog_->AddConstraint(std::move(*extra)));
+  EXPECT_FALSE(catalog_->precompiled());
+  ASSERT_OK(catalog_->Precompile(stats_.get()));
+  EXPECT_TRUE(catalog_->precompiled());
+  EXPECT_EQ(catalog_->num_base(), 16u);
+}
+
+TEST_F(ConstraintCatalogTest, ClassificationMatchesClauses) {
+  for (size_t i = 0; i < catalog_->clauses().size(); ++i) {
+    EXPECT_EQ(catalog_->classification(static_cast<ConstraintId>(i)),
+              catalog_->clause(static_cast<ConstraintId>(i)).Classify());
+  }
+}
+
+TEST_F(ConstraintCatalogTest, RelevanceFiltersToQueryClasses) {
+  ClassId cargo = schema_.FindClass("cargo");
+  ClassId vehicle = schema_.FindClass("vehicle");
+  std::vector<ConstraintId> relevant =
+      catalog_->RelevantForQuery({cargo, vehicle});
+  EXPECT_FALSE(relevant.empty());
+  for (ConstraintId id : relevant) {
+    for (ClassId ref : catalog_->clause(id).ReferencedClasses()) {
+      EXPECT_TRUE(ref == cargo || ref == vehicle)
+          << catalog_->clause(id).ToString(schema_);
+    }
+  }
+}
+
+TEST_F(ConstraintCatalogTest, SingleClassQueryGetsIntraOnly) {
+  ClassId cargo = schema_.FindClass("cargo");
+  std::vector<ConstraintId> relevant = catalog_->RelevantForQuery({cargo});
+  EXPECT_FALSE(relevant.empty());
+  for (ConstraintId id : relevant) {
+    EXPECT_EQ(catalog_->classification(id), ConstraintClass::kIntra);
+  }
+}
+
+TEST_F(ConstraintCatalogTest, RetrievalStatsAccumulate) {
+  catalog_->ResetRetrievalStats();
+  ClassId cargo = schema_.FindClass("cargo");
+  ClassId vehicle = schema_.FindClass("vehicle");
+  catalog_->RelevantForQuery({cargo, vehicle});
+  catalog_->RelevantForQuery({cargo});
+  const RetrievalStats& stats = catalog_->retrieval_stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_GE(stats.constraints_retrieved, stats.constraints_relevant);
+  EXPECT_GT(stats.constraints_retrieved, 0u);
+}
+
+TEST_F(ConstraintCatalogTest, NoClosureAblationKeepsBaseOnly) {
+  PrecompileOptions options;
+  options.materialize_closure = false;
+  ASSERT_OK(catalog_->Precompile(stats_.get(), options));
+  EXPECT_EQ(catalog_->num_base(), 15u);
+  EXPECT_EQ(catalog_->num_derived(), 0u);
+}
+
+TEST_F(ConstraintCatalogTest, RelevanceCompletenessRequiresClosure) {
+  // The key §3 observation: with the closure, a query over {vehicle,
+  // supplier} still sees the chained consequence of x1 (vehicle->cargo)
+  // and x2 (cargo->supplier), because the derived clause references only
+  // vehicle and supplier. Without the closure it is invisible.
+  ClassId vehicle = schema_.FindClass("vehicle");
+  ClassId supplier = schema_.FindClass("supplier");
+
+  std::vector<ConstraintId> with_closure =
+      catalog_->RelevantForQuery({vehicle, supplier});
+  bool found_chain = false;
+  for (ConstraintId id : with_closure) {
+    if (catalog_->clause(id).is_derived()) found_chain = true;
+  }
+  EXPECT_TRUE(found_chain);
+
+  PrecompileOptions no_closure;
+  no_closure.materialize_closure = false;
+  ASSERT_OK(catalog_->Precompile(stats_.get(), no_closure));
+  std::vector<ConstraintId> without =
+      catalog_->RelevantForQuery({vehicle, supplier});
+  for (ConstraintId id : without) {
+    EXPECT_FALSE(catalog_->clause(id).is_derived());
+  }
+  EXPECT_LT(without.size(), with_closure.size());
+}
+
+}  // namespace
+}  // namespace sqopt

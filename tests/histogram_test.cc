@@ -1,0 +1,123 @@
+#include "cost/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sqopt {
+namespace {
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int(x));
+  return out;
+}
+
+TEST(HistogramTest, EmptyOnTooFewValues) {
+  EXPECT_TRUE(Histogram::Build({}).empty());
+  EXPECT_TRUE(Histogram::Build(Ints({5})).empty());
+  // Constant attribute: no spread, no histogram.
+  EXPECT_TRUE(Histogram::Build(Ints({5, 5, 5})).empty());
+}
+
+TEST(HistogramTest, IgnoresNonNumericValues) {
+  std::vector<Value> values = {Value::String("a"), Value::Int(1),
+                               Value::Int(10), Value::Null()};
+  Histogram h = Histogram::Build(values);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(HistogramTest, EmptyFallsBackToDefault) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kLt, Value::Int(5), 0.33),
+                   0.33);
+}
+
+TEST(HistogramTest, UniformDataMatchesLinearEstimate) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int(i));
+  Histogram h = Histogram::Build(values, 16);
+  EXPECT_EQ(h.total(), 1000);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, Value::Int(250), 0.5), 0.25,
+              0.02);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kGe, Value::Int(750), 0.5), 0.25,
+              0.02);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLe, Value::Int(999), 0.5), 1.0,
+              0.02);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kGt, Value::Int(999), 0.5), 0.0,
+              0.02);
+}
+
+TEST(HistogramTest, SkewedDataBeatsMinMaxInterpolation) {
+  // 90% of the mass at [0, 10), a thin tail to 1000.
+  std::vector<Value> values;
+  Rng rng(5);
+  for (int i = 0; i < 900; ++i) {
+    values.push_back(Value::Int(rng.UniformInt(0, 9)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(Value::Int(rng.UniformInt(10, 1000)));
+  }
+  Histogram h = Histogram::Build(values, 32);
+  // True selectivity of x < 40 is ~0.903; min/max interpolation says
+  // 0.04. The histogram must land near the truth.
+  double sel = h.Selectivity(CompareOp::kLt, Value::Int(40), 0.33);
+  EXPECT_GT(sel, 0.80);
+  EXPECT_LT(sel, 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeConstants) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Int(i));
+  Histogram h = Histogram::Build(values);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kLt, Value::Int(-10), 0.5),
+                   0.0);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kGe, Value::Int(-10), 0.5),
+                   1.0);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kGt, Value::Int(500), 0.5),
+                   0.0);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kLe, Value::Int(500), 0.5),
+                   1.0);
+}
+
+TEST(HistogramTest, ComplementsSumToOne) {
+  std::vector<Value> values;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(Value::Int(rng.UniformInt(0, 200)));
+  }
+  Histogram h = Histogram::Build(values);
+  for (int64_t c : {10, 50, 100, 150, 190}) {
+    double lt = h.Selectivity(CompareOp::kLt, Value::Int(c), 0.5);
+    double ge = h.Selectivity(CompareOp::kGe, Value::Int(c), 0.5);
+    EXPECT_NEAR(lt + ge, 1.0, 1e-9) << c;
+    double le = h.Selectivity(CompareOp::kLe, Value::Int(c), 0.5);
+    double gt = h.Selectivity(CompareOp::kGt, Value::Int(c), 0.5);
+    EXPECT_NEAR(le + gt, 1.0, 1e-9) << c;
+  }
+}
+
+TEST(HistogramTest, MonotoneInConstant) {
+  std::vector<Value> values;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(Value::Double(rng.UniformDouble() * 100));
+  }
+  Histogram h = Histogram::Build(values);
+  double prev = -1.0;
+  for (int c = 0; c <= 100; c += 5) {
+    double sel = h.Selectivity(CompareOp::kLe, Value::Int(c), 0.5);
+    EXPECT_GE(sel, prev - 1e-9) << c;
+    prev = sel;
+  }
+}
+
+TEST(HistogramTest, NonNumericConstantUsesFallback) {
+  std::vector<Value> values = Ints({1, 2, 3, 4, 5});
+  Histogram h = Histogram::Build(values);
+  EXPECT_DOUBLE_EQ(
+      h.Selectivity(CompareOp::kLt, Value::String("x"), 0.42), 0.42);
+}
+
+}  // namespace
+}  // namespace sqopt

@@ -1,0 +1,148 @@
+#include "constraints/horn_clause.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "tests/test_util.h"
+#include "workload/dbgen.h"
+#include "workload/example_schema.h"
+
+namespace sqopt {
+namespace {
+
+class HornClauseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(schema_, BuildExperimentSchema());
+  }
+  HornClause C(const std::string& text) {
+    auto c = ParseConstraint(schema_, text);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+  Schema schema_;
+};
+
+TEST_F(HornClauseTest, ParseLabeled) {
+  HornClause c =
+      C("c1: vehicle.desc = \"refrigerated truck\" -> cargo.desc = "
+        "\"frozen food\"");
+  EXPECT_EQ(c.label(), "c1");
+  EXPECT_EQ(c.antecedents().size(), 1u);
+  EXPECT_TRUE(c.consequent().is_attr_const());
+}
+
+TEST_F(HornClauseTest, ParseUnlabeled) {
+  HornClause c = C("cargo.weight <= 40 -> cargo.quantity <= 499");
+  EXPECT_EQ(c.label(), "");
+  EXPECT_EQ(c.antecedents().size(), 1u);
+}
+
+TEST_F(HornClauseTest, ParseMultipleAntecedents) {
+  HornClause c =
+      C("cargo.weight <= 40, cargo.quantity <= 499 -> cargo.desc = "
+        "\"frozen food\"");
+  EXPECT_EQ(c.antecedents().size(), 2u);
+}
+
+TEST_F(HornClauseTest, ParseEmptyAntecedents) {
+  // Class-membership-only constraint (paper's c3/c4).
+  HornClause c = C("-> driver.licenseClass >= vehicle.vclass");
+  EXPECT_TRUE(c.antecedents().empty());
+  EXPECT_TRUE(c.consequent().is_attr_attr());
+}
+
+TEST_F(HornClauseTest, ParseDeduplicatesAntecedents) {
+  HornClause c =
+      C("cargo.weight <= 40, cargo.weight <= 40 -> cargo.quantity <= 499");
+  EXPECT_EQ(c.antecedents().size(), 1u);
+}
+
+TEST_F(HornClauseTest, ParseRejectsVacuous) {
+  EXPECT_FALSE(
+      ParseConstraint(schema_, "cargo.weight <= 40 -> cargo.weight <= 40")
+          .ok());
+}
+
+TEST_F(HornClauseTest, ParseRejectsMissingArrow) {
+  EXPECT_FALSE(ParseConstraint(schema_, "cargo.weight <= 40").ok());
+}
+
+TEST_F(HornClauseTest, ParseRejectsEmptyConsequent) {
+  EXPECT_FALSE(ParseConstraint(schema_, "cargo.weight <= 40 -> ").ok());
+}
+
+TEST_F(HornClauseTest, ClassifyIntraVsInter) {
+  EXPECT_EQ(C("cargo.weight <= 40 -> cargo.quantity <= 499").Classify(),
+            ConstraintClass::kIntra);
+  EXPECT_EQ(C("vehicle.desc = \"van\" -> cargo.desc = \"parcels\"")
+                .Classify(),
+            ConstraintClass::kInter);
+  // Attr-attr consequent spanning two classes is inter even with a
+  // single-class antecedent.
+  EXPECT_EQ(
+      C("driver.rank = \"senior\" -> driver.licenseClass >= vehicle.vclass")
+          .Classify(),
+      ConstraintClass::kInter);
+}
+
+TEST_F(HornClauseTest, ReferencedClassesSortedDeduped) {
+  HornClause c = C(
+      "vehicle.desc = \"refrigerated truck\", cargo.weight <= 40 -> "
+      "cargo.desc = \"frozen food\"");
+  std::vector<ClassId> classes = c.ReferencedClasses();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_LT(classes[0], classes[1]);
+}
+
+TEST_F(HornClauseTest, StructuralEqualityIgnoresOrderAndLabel) {
+  HornClause a =
+      C("a: cargo.weight <= 40, cargo.quantity <= 499 -> cargo.desc = "
+        "\"frozen food\"");
+  HornClause b =
+      C("b: cargo.quantity <= 499, cargo.weight <= 40 -> cargo.desc = "
+        "\"frozen food\"");
+  EXPECT_TRUE(a.StructurallyEquals(b));
+  EXPECT_EQ(a.StructuralHash(), b.StructuralHash());
+
+  HornClause c =
+      C("cargo.weight <= 40 -> cargo.desc = \"frozen food\"");
+  EXPECT_FALSE(a.StructurallyEquals(c));
+}
+
+TEST_F(HornClauseTest, ToStringRoundTripsThroughParser) {
+  HornClause c =
+      C("c9: vehicle.desc = \"van\" -> cargo.desc = \"parcels\"");
+  ASSERT_OK_AND_ASSIGN(HornClause again,
+                       ParseConstraint(schema_, c.ToString(schema_)));
+  EXPECT_TRUE(c.StructurallyEquals(again));
+  EXPECT_EQ(again.label(), "c9");
+}
+
+TEST_F(HornClauseTest, ParseConstraintListSkipsCommentsAndBlanks) {
+  ASSERT_OK_AND_ASSIGN(std::vector<HornClause> list,
+                       ParseConstraintList(schema_, R"(
+# comment line
+
+a: cargo.weight <= 40 -> cargo.quantity <= 499
+b: vehicle.vclass >= 4 -> vehicle.desc = "refrigerated truck"
+)"));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(Figure22Test, ParsesAllFiveConstraints) {
+  auto schema = BuildFigure21Schema();
+  ASSERT_TRUE(schema.ok());
+  auto constraints = Figure22Constraints(*schema);
+  ASSERT_TRUE(constraints.ok()) << constraints.status().ToString();
+  ASSERT_EQ(constraints->size(), 5u);
+  // c4 (managers are research staff) is the only intra-class one.
+  int intra = 0;
+  for (const HornClause& c : *constraints) {
+    if (c.Classify() == ConstraintClass::kIntra) ++intra;
+  }
+  EXPECT_EQ(intra, 1);
+}
+
+}  // namespace
+}  // namespace sqopt

@@ -1,0 +1,137 @@
+// End-to-end integration: generate data, optimize, plan, execute, meter
+// — the full Table 4.2 pipeline at test scale.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/plan_builder.h"
+#include "query/query_parser.h"
+#include "query/query_printer.h"
+#include "sqo/optimizer.h"
+#include "tests/test_util.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+class IntegrationTest : public ExperimentFixture {
+ protected:
+  void SetUp() override {
+    ExperimentFixture::SetUp();
+    ASSERT_OK_AND_ASSIGN(
+        store_, GenerateDatabase(schema_, DbSpec{"IT", 104, 208}, 2024));
+    stats_db_ = CollectStats(*store_);
+    cost_model_ = std::make_unique<CostModel>(&schema_, &stats_db_);
+  }
+  Query Q(const std::string& text) {
+    auto q = ParseQuery(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+  double MeasuredCost(const Query& q, bool empty = false) {
+    Plan plan;
+    if (empty) {
+      plan.empty_result = true;
+    } else {
+      auto p = BuildPlan(schema_, stats_db_, q);
+      EXPECT_TRUE(p.ok()) << p.status().ToString();
+      plan = std::move(p).value();
+    }
+    ExecutionMeter meter;
+    auto rs = ExecutePlan(*store_, plan, &meter);
+    EXPECT_TRUE(rs.ok());
+    return meter.CostUnits();
+  }
+
+  std::unique_ptr<ObjectStore> store_;
+  DatabaseStats stats_db_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+TEST_F(IntegrationTest, IndexIntroductionSpeedsUpExecution) {
+  // weight <= 40 is unindexed and selects segment 0; the optimizer can
+  // introduce desc = "frozen food" (x-constraints chain: weight has no
+  // direct constraint, so use the quantity route): quantity >= 500
+  // implies weight >= 41 via i6 — instead test the refrigerated-truck
+  // query where x1 introduces an indexed cargo predicate.
+  Query query = Q(R"(
+(SELECT {cargo.code, vehicle.vehicleNo} {}
+        {vehicle.desc = "refrigerated truck"}
+        {collects} {cargo, vehicle}))");
+
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), cost_model_.get());
+  ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+  ASSERT_FALSE(opt.empty_result);
+
+  // The optimizer introduced the indexed cargo.desc predicate.
+  bool has_cargo_desc = false;
+  for (const Predicate& p : opt.query.selective_predicates) {
+    if (p.ToString(schema_) == "cargo.desc = \"frozen food\"") {
+      has_cargo_desc = true;
+    }
+  }
+  EXPECT_TRUE(has_cargo_desc);
+
+  // Results identical; measured cost not worse.
+  ASSERT_OK_AND_ASSIGN(ResultSet orig, ExecuteQuery(*store_, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(ResultSet trans,
+                       ExecuteQuery(*store_, opt.query, nullptr));
+  EXPECT_TRUE(orig.SameRows(trans));
+  EXPECT_LE(MeasuredCost(opt.query), MeasuredCost(query) * 1.05);
+}
+
+TEST_F(IntegrationTest, ContradictoryQueryExecutesForFree) {
+  Query query = Q(R"(
+(SELECT {cargo.code} {}
+        {vehicle.desc = "refrigerated truck", cargo.desc = "fuel"}
+        {collects} {cargo, vehicle}))");
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), cost_model_.get());
+  ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+  EXPECT_TRUE(opt.empty_result);
+
+  // Original execution confirms the result is indeed empty.
+  ASSERT_OK_AND_ASSIGN(ResultSet orig, ExecuteQuery(*store_, query, nullptr));
+  EXPECT_TRUE(orig.rows.empty());
+  // And the short-circuited execution costs nothing.
+  EXPECT_EQ(MeasuredCost(opt.query, /*empty=*/true), 0.0);
+  EXPECT_GT(MeasuredCost(query), 0.0);
+}
+
+TEST_F(IntegrationTest, ClassEliminationRemovesJoinWork) {
+  // supplier contributes nothing but a constraint-implied filter: after
+  // x2-based elimination the supplier join disappears.
+  Query query = Q(R"(
+(SELECT {cargo.code} {}
+        {cargo.desc = "frozen food", supplier.region = "west"}
+        {supplies} {supplier, cargo}))");
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), cost_model_.get());
+  ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+
+  ClassId supplier = schema_.FindClass("supplier");
+  EXPECT_FALSE(opt.query.ReferencesClass(supplier));
+
+  ASSERT_OK_AND_ASSIGN(ResultSet orig, ExecuteQuery(*store_, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(ResultSet trans,
+                       ExecuteQuery(*store_, opt.query, nullptr));
+  // Class elimination drops the supplier join, which *can* change row
+  // multiplicity when a cargo links to several suppliers — the paper
+  // (and King's rule) treat path queries as semi-join shaped, and our
+  // workload compares distinct content. Here we check containment-free
+  // equality of the distinct row sets.
+  EXPECT_TRUE(orig.SameDistinctRows(trans));
+  EXPECT_LT(MeasuredCost(opt.query), MeasuredCost(query));
+}
+
+TEST_F(IntegrationTest, NeutralQueryUnharmed) {
+  Query query = Q("{driver.name} {} {driver.licenseClass >= 1} {} {driver}");
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), cost_model_.get());
+  ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+  ASSERT_OK_AND_ASSIGN(ResultSet orig, ExecuteQuery(*store_, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(ResultSet trans,
+                       ExecuteQuery(*store_, opt.query, nullptr));
+  EXPECT_TRUE(orig.SameRows(trans));
+}
+
+}  // namespace
+}  // namespace sqopt

@@ -1,0 +1,173 @@
+// Structural properties of the transformation algorithm claimed in the
+// paper: order immateriality, monotone tag lowering, and the O(m·n)
+// work bound (each relevant constraint fires O(1) times; each firing
+// touches one column of n rows).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/query_printer.h"
+#include "sqo/optimizer.h"
+#include "tests/test_util.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+class BoundsTest : public ExperimentFixture,
+                   public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BoundsTest, FiringsAndWritesWithinPolynomialBound) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, GetParam());
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 20));
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), nullptr);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+    const OptimizationReport& r = opt.report;
+    size_t m = r.num_distinct_predicates;
+    size_t n = r.num_relevant_constraints;
+    // Each constraint fires at most twice (once to optional via an
+    // inter row, once more to redundant via an intra row in the same
+    // column) — bounded by 2n.
+    EXPECT_LE(r.num_firings, 2 * n) << PrintQuery(schema_, query);
+    // Each firing writes at most its fire-target columns (≤ m cells
+    // each of n rows): total cell writes within c·m·n.
+    EXPECT_LE(r.cell_writes, 2 * m * n + m) << PrintQuery(schema_, query);
+    // Queue update passes are bounded by firings + 1 final empty pass.
+    EXPECT_LE(r.queue_updates, r.num_firings + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class OrderImmaterialTest : public ExperimentFixture {};
+
+// The headline claim: the order in which transformations are applied
+// does not change the outcome. We permute the relevant-constraint
+// order via the priority queue (which reorders processing) and by
+// reversing the grouping retrieval order, then compare final tags.
+TEST_F(OrderImmaterialTest, FifoAndPriorityQueueAgreeOnFinalQuery) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, 777);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 25));
+
+  OptimizerOptions fifo;
+  fifo.queue = QueueDiscipline::kFifo;
+  OptimizerOptions prio;
+  prio.queue = QueueDiscipline::kPriority;
+
+  SemanticOptimizer opt_fifo(&schema_, catalog_.get(), nullptr, fifo);
+  SemanticOptimizer opt_prio(&schema_, catalog_.get(), nullptr, prio);
+
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult a, opt_fifo.Optimize(query));
+    ASSERT_OK_AND_ASSIGN(OptimizeResult b, opt_prio.Optimize(query));
+    Query qa = a.query, qb = b.query;
+    qa.Normalize();
+    qb.Normalize();
+    EXPECT_EQ(qa, qb) << PrintQuery(schema_, query);
+    EXPECT_EQ(a.empty_result, b.empty_result);
+  }
+}
+
+TEST_F(OrderImmaterialTest, FinalTagsIndependentOfConstraintOrder) {
+  // Build two catalogs whose base constraints are added in opposite
+  // orders; relevant lists then come back in different orders.
+  auto constraints = ExperimentConstraints(schema_);
+  ASSERT_TRUE(constraints.ok());
+
+  ConstraintCatalog forward(&schema_);
+  for (const HornClause& c : *constraints) {
+    ASSERT_OK(forward.AddConstraint(c));
+  }
+  ConstraintCatalog backward(&schema_);
+  for (auto it = constraints->rbegin(); it != constraints->rend(); ++it) {
+    ASSERT_OK(backward.AddConstraint(*it));
+  }
+  AccessStats stats(schema_.num_classes());
+  ASSERT_OK(forward.Precompile(&stats));
+  ASSERT_OK(backward.Precompile(&stats));
+
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, 31337);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 25));
+
+  SemanticOptimizer opt_fwd(&schema_, &forward, nullptr);
+  SemanticOptimizer opt_bwd(&schema_, &backward, nullptr);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult a, opt_fwd.Optimize(query));
+    ASSERT_OK_AND_ASSIGN(OptimizeResult b, opt_bwd.Optimize(query));
+
+    // Compare final tag per predicate (keyed by printed form).
+    std::map<std::string, PredicateTag> tags_a, tags_b;
+    for (const FinalPredicate& fp : a.report.final_predicates) {
+      tags_a[fp.predicate.ToString(schema_)] = fp.tag;
+    }
+    for (const FinalPredicate& fp : b.report.final_predicates) {
+      tags_b[fp.predicate.ToString(schema_)] = fp.tag;
+    }
+    EXPECT_EQ(tags_a, tags_b) << PrintQuery(schema_, query);
+
+    Query qa = a.query, qb = b.query;
+    qa.Normalize();
+    qb.Normalize();
+    EXPECT_EQ(qa, qb);
+  }
+}
+
+class MonotonicityTest : public ExperimentFixture {};
+
+TEST_F(MonotonicityTest, StepsOnlyLowerTags) {
+  // Within any single run, once a predicate is recorded at a tag, any
+  // later effect on the same predicate must be at the same or lower
+  // tag.
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, 909);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 25));
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), nullptr);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+    std::map<std::string, PredicateTag> seen;
+    for (const TransformStep& step : opt.report.steps) {
+      for (const auto& [pred, tag] : step.effects) {
+        std::string key = pred.ToString(schema_);
+        auto it = seen.find(key);
+        if (it != seen.end()) {
+          EXPECT_FALSE(TagLowerThan(it->second, tag))
+              << key << " was raised from "
+              << PredicateTagName(it->second) << " to "
+              << PredicateTagName(tag);
+        }
+        seen[key] = tag;
+      }
+    }
+  }
+}
+
+TEST_F(MonotonicityTest, OptimizationIsIdempotent) {
+  // Optimizing an already-optimized query must be a no-op on results:
+  // re-optimizing yields the same final query (tags can re-derive, but
+  // the formulated output is stable).
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, 515);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 15));
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), nullptr);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult once, optimizer.Optimize(query));
+    if (once.empty_result) continue;
+    ASSERT_OK_AND_ASSIGN(OptimizeResult twice,
+                         optimizer.Optimize(once.query));
+    Query qa = once.query, qb = twice.query;
+    qa.Normalize();
+    qb.Normalize();
+    EXPECT_EQ(qa, qb) << PrintQuery(schema_, query);
+  }
+}
+
+}  // namespace
+}  // namespace sqopt

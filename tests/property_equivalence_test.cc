@@ -1,0 +1,111 @@
+// THE soundness property of semantic query optimization: the transformed
+// query returns exactly the same answer as the original in every
+// (consistent) database state. Checked end-to-end over the generated
+// path-query workload against generated database instances.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/plan_builder.h"
+#include "query/query_printer.h"
+#include "sqo/optimizer.h"
+#include "tests/test_util.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+struct EquivalenceParam {
+  uint64_t seed;
+  MatchMode match_mode;
+  bool with_cost_model;
+};
+
+class EquivalenceTest
+    : public ExperimentFixture,
+      public ::testing::WithParamInterface<EquivalenceParam> {};
+
+TEST_P(EquivalenceTest, OptimizedQueryReturnsSameRows) {
+  const EquivalenceParam& param = GetParam();
+
+  ASSERT_OK_AND_ASSIGN(
+      auto store,
+      GenerateDatabase(schema_, DbSpec{"EQ", 48, 96}, param.seed));
+  DatabaseStats stats = CollectStats(*store);
+  CostModel cost_model(&schema_, &stats);
+
+  OptimizerOptions options;
+  options.match_mode = param.match_mode;
+  SemanticOptimizer optimizer(
+      &schema_, catalog_.get(),
+      param.with_cost_model ? &cost_model : nullptr, options);
+
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, param.seed * 977 + 13);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 25));
+
+  int optimized_count = 0;
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(ResultSet original,
+                         ExecuteQuery(*store, query, nullptr));
+
+    ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+    if (opt.report.num_firings > 0) ++optimized_count;
+
+    ResultSet transformed;
+    if (opt.empty_result) {
+      // Contradiction short-circuit: answer without the store.
+    } else {
+      ASSERT_OK_AND_ASSIGN(transformed,
+                           ExecuteQuery(*store, opt.query, nullptr));
+    }
+    // Predicate-only rewrites preserve bags; class elimination preserves
+    // the distinct result set (set semantics, see DESIGN.md).
+    bool same = opt.report.eliminated_classes.empty()
+                    ? original.SameRows(transformed)
+                    : original.SameDistinctRows(transformed);
+    EXPECT_TRUE(same)
+        << "MISMATCH\n  original:    " << PrintQuery(schema_, query)
+        << "\n  transformed: " << PrintQuery(schema_, opt.query)
+        << "\n  empty_result: " << opt.empty_result << "\n  rows "
+        << original.rows.size() << " vs " << transformed.rows.size();
+  }
+  // The workload must actually exercise the optimizer.
+  EXPECT_GT(optimized_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{1, MatchMode::kImplied, true},
+        EquivalenceParam{2, MatchMode::kImplied, true},
+        EquivalenceParam{3, MatchMode::kImplied, false},
+        EquivalenceParam{4, MatchMode::kExact, true},
+        EquivalenceParam{5, MatchMode::kExact, false},
+        EquivalenceParam{6, MatchMode::kImplied, true},
+        EquivalenceParam{7, MatchMode::kExact, true},
+        EquivalenceParam{8, MatchMode::kImplied, false}));
+
+// Projection classes are never eliminated: checked across the workload.
+class ProjectionGuardTest : public ExperimentFixture {};
+
+TEST_F(ProjectionGuardTest, ProjectedClassesSurviveOptimization) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, 4242);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 30));
+  SemanticOptimizer optimizer(&schema_, catalog_.get(), nullptr);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(OptimizeResult opt, optimizer.Optimize(query));
+    for (const AttrRef& ref : query.projection) {
+      EXPECT_TRUE(opt.query.ReferencesClass(ref.class_id))
+          << PrintQuery(schema_, query);
+    }
+    EXPECT_OK(ValidateQuery(schema_, opt.query));
+  }
+}
+
+}  // namespace
+}  // namespace sqopt

@@ -1,0 +1,159 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/query_parser.h"
+#include "query/query_printer.h"
+#include "tests/test_util.h"
+#include "workload/dbgen.h"
+
+namespace sqopt {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(schema_, BuildExperimentSchema());
+  }
+  Schema schema_;
+};
+
+constexpr const char* kSample = R"(
+(SELECT {vehicle.vehicleNo, cargo.desc}
+        {}
+        {vehicle.desc = "refrigerated truck", supplier.region = "west"}
+        {collects, supplies}
+        {supplier, cargo, vehicle}))";
+
+TEST_F(QueryTest, ParseSample) {
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(schema_, kSample));
+  EXPECT_EQ(q.projection.size(), 2u);
+  EXPECT_EQ(q.join_predicates.size(), 0u);
+  EXPECT_EQ(q.selective_predicates.size(), 2u);
+  EXPECT_EQ(q.relationships.size(), 2u);
+  EXPECT_EQ(q.classes.size(), 3u);
+}
+
+TEST_F(QueryTest, ParseWithoutParensOrSelect) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery(schema_, "{cargo.desc} {} {} {} {cargo}"));
+  EXPECT_EQ(q.classes.size(), 1u);
+  EXPECT_TRUE(q.relationships.empty());
+}
+
+TEST_F(QueryTest, ParseJoinPredicateGroup) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery(schema_,
+                 "{driver.name} {driver.licenseClass >= vehicle.vclass} "
+                 "{} {drives} {driver, vehicle}"));
+  EXPECT_EQ(q.join_predicates.size(), 1u);
+  EXPECT_TRUE(q.join_predicates[0].is_attr_attr());
+}
+
+TEST_F(QueryTest, ParseRejectsJoinInSelectiveGroup) {
+  EXPECT_FALSE(
+      ParseQuery(schema_,
+                 "{driver.name} {} {driver.licenseClass >= vehicle.vclass} "
+                 "{drives} {driver, vehicle}")
+          .ok());
+}
+
+TEST_F(QueryTest, ParseRejectsSelectiveInJoinGroup) {
+  EXPECT_FALSE(ParseQuery(schema_,
+                          "{driver.name} {driver.licenseClass >= 3} {} "
+                          "{drives} {driver, vehicle}")
+                   .ok());
+}
+
+TEST_F(QueryTest, ParseIgnoresProjectionAnnotations) {
+  // The paper writes introduced predicates inline in the projection:
+  // {cargo.desc="frozen food"}. Parser keeps only the attribute.
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery(schema_,
+                          "{cargo.desc=\"frozen food\"} {} {} {} {cargo}"));
+  EXPECT_EQ(q.projection.size(), 1u);
+}
+
+TEST_F(QueryTest, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(ParseQuery(schema_, "{x.y} {} {} {} {ghost}").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{cargo.desc} {} {} {ghostrel} {cargo}").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{cargo.ghost} {} {} {} {cargo}").ok());
+}
+
+TEST_F(QueryTest, ParseRejectsMissingGroups) {
+  EXPECT_FALSE(ParseQuery(schema_, "{cargo.desc} {} {} {}").ok());
+  EXPECT_FALSE(ParseQuery(schema_, "").ok());
+}
+
+TEST_F(QueryTest, ParseRejectsTrailingGarbage) {
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{cargo.desc} {} {} {} {cargo} trailing").ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsForeignClassPredicates) {
+  // vehicle predicate while only cargo is listed.
+  EXPECT_FALSE(
+      ParseQuery(schema_,
+                 "{cargo.desc} {} {vehicle.vclass >= 3} {} {cargo}")
+          .ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsDisconnectedGraph) {
+  // Two classes, no relationship.
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{cargo.desc} {} {} {} {cargo, vehicle}").ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsRelationshipOutsideClassList) {
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{cargo.desc} {} {} {collects} {cargo}").ok());
+}
+
+TEST_F(QueryTest, PrintParseRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(schema_, kSample));
+  std::string printed = PrintQuery(schema_, q);
+  ASSERT_OK_AND_ASSIGN(Query q2, ParseQuery(schema_, printed));
+  EXPECT_EQ(q, q2);
+  // Pretty form parses too.
+  ASSERT_OK_AND_ASSIGN(Query q3,
+                       ParseQuery(schema_, PrintQueryPretty(schema_, q)));
+  EXPECT_EQ(q, q3);
+}
+
+TEST_F(QueryTest, NormalizeMakesOrderIrrelevant) {
+  ASSERT_OK_AND_ASSIGN(
+      Query a,
+      ParseQuery(schema_,
+                 "{cargo.desc} {} {cargo.weight <= 40, cargo.quantity >= "
+                 "500} {} {cargo}"));
+  ASSERT_OK_AND_ASSIGN(
+      Query b,
+      ParseQuery(schema_,
+                 "{cargo.desc} {} {cargo.quantity >= 500, cargo.weight <= "
+                 "40} {} {cargo}"));
+  EXPECT_FALSE(a == b);
+  a.Normalize();
+  b.Normalize();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(QueryTest, StructureQueries) {
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(schema_, kSample));
+  ClassId supplier = schema_.FindClass("supplier");
+  ClassId cargo = schema_.FindClass("cargo");
+  ClassId driver = schema_.FindClass("driver");
+  EXPECT_TRUE(q.ReferencesClass(supplier));
+  EXPECT_FALSE(q.ReferencesClass(driver));
+  EXPECT_EQ(q.RelationshipDegree(supplier, schema_), 1);
+  EXPECT_EQ(q.RelationshipDegree(cargo, schema_), 2);
+  EXPECT_TRUE(q.ProjectsFrom(cargo));
+  EXPECT_FALSE(q.ProjectsFrom(supplier));
+  EXPECT_EQ(q.AllPredicates().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqopt

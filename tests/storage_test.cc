@@ -1,0 +1,160 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/dbgen.h"
+
+namespace sqopt {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(schema_, BuildExperimentSchema());
+    store_ = std::make_unique<ObjectStore>(&schema_);
+    cargo_ = schema_.FindClass("cargo");
+    vehicle_ = schema_.FindClass("vehicle");
+    collects_ = schema_.FindRelationship("collects");
+  }
+
+  Object Cargo(const std::string& code, const std::string& desc,
+               int64_t quantity, int64_t weight) {
+    Object o;
+    o.values = {Value::String(code), Value::String(desc),
+                Value::Int(quantity), Value::Int(weight)};
+    return o;
+  }
+  Object Vehicle(int64_t no, const std::string& desc, int64_t vclass,
+                 int64_t capacity) {
+    Object o;
+    o.values = {Value::Int(no), Value::String(desc), Value::Int(vclass),
+                Value::Int(capacity)};
+    return o;
+  }
+
+  Schema schema_;
+  std::unique_ptr<ObjectStore> store_;
+  ClassId cargo_, vehicle_;
+  RelId collects_;
+};
+
+TEST_F(StorageTest, InsertAndReadBack) {
+  ASSERT_OK_AND_ASSIGN(int64_t row,
+                       store_->Insert(cargo_, Cargo("c1", "fuel", 10, 50)));
+  EXPECT_EQ(row, 0);
+  EXPECT_EQ(store_->NumObjects(cargo_), 1);
+  AttrRef desc = schema_.ResolveQualified("cargo.desc").value();
+  EXPECT_EQ(store_->extent(cargo_).ValueAt(0, desc.attr_id),
+            Value::String("fuel"));
+}
+
+TEST_F(StorageTest, InsertRejectsWrongArity) {
+  Object bad;
+  bad.values = {Value::Int(1)};
+  auto result = store_->Insert(cargo_, std::move(bad));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageTest, IndexesMaintainedOnInsert) {
+  ASSERT_OK(store_->Insert(cargo_, Cargo("a", "fuel", 1, 1)).status());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("b", "frozen food", 2, 2)).status());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("c", "fuel", 3, 3)).status());
+
+  AttrRef desc = schema_.ResolveQualified("cargo.desc").value();
+  const AttributeIndex* index = store_->GetIndex(desc);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 3u);
+  std::vector<int64_t> fuel = index->Equal(Value::String("fuel"));
+  EXPECT_EQ(fuel.size(), 2u);
+  std::vector<int64_t> nothing = index->Equal(Value::String("timber"));
+  EXPECT_TRUE(nothing.empty());
+}
+
+TEST_F(StorageTest, NoIndexOnUnindexedAttribute) {
+  AttrRef weight = schema_.ResolveQualified("cargo.weight").value();
+  EXPECT_EQ(store_->GetIndex(weight), nullptr);
+}
+
+TEST_F(StorageTest, IndexRangeLookups) {
+  AttrRef vno = schema_.ResolveQualified("vehicle.vehicleNo").value();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_OK(store_->Insert(vehicle_, Vehicle(i, "van", 1, 10)).status());
+  }
+  const AttributeIndex* index = store_->GetIndex(vno);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Lookup(CompareOp::kLt, Value::Int(3)).size(), 3u);
+  EXPECT_EQ(index->Lookup(CompareOp::kLe, Value::Int(3)).size(), 4u);
+  EXPECT_EQ(index->Lookup(CompareOp::kGt, Value::Int(7)).size(), 2u);
+  EXPECT_EQ(index->Lookup(CompareOp::kGe, Value::Int(7)).size(), 3u);
+  EXPECT_EQ(index->Lookup(CompareOp::kNe, Value::Int(5)).size(), 9u);
+  EXPECT_EQ(index->Lookup(CompareOp::kEq, Value::Int(5)).size(), 1u);
+}
+
+TEST_F(StorageTest, LinkAndPartners) {
+  ASSERT_OK(store_->Insert(cargo_, Cargo("a", "fuel", 1, 1)).status());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("b", "fuel", 2, 2)).status());
+  ASSERT_OK(store_->Insert(vehicle_, Vehicle(1, "van", 1, 10)).status());
+  ASSERT_OK(store_->Link(collects_, /*cargo=*/0, /*vehicle=*/0));
+  ASSERT_OK(store_->Link(collects_, /*cargo=*/1, /*vehicle=*/0));
+
+  EXPECT_EQ(store_->NumPairs(collects_), 2);
+  // From the cargo side.
+  EXPECT_EQ(store_->Partners(collects_, cargo_, 0).size(), 1u);
+  // From the vehicle side: both cargos.
+  EXPECT_EQ(store_->Partners(collects_, vehicle_, 0).size(), 2u);
+  // Unlinked row: empty, not a crash.
+  EXPECT_TRUE(store_->Partners(collects_, cargo_, 1).size() == 1u);
+}
+
+TEST_F(StorageTest, LinkRejectsBadRows) {
+  ASSERT_OK(store_->Insert(cargo_, Cargo("a", "fuel", 1, 1)).status());
+  Status s = store_->Link(collects_, 0, 99);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, DistinctValuesAndMinMax) {
+  ASSERT_OK(store_->Insert(cargo_, Cargo("a", "fuel", 5, 10)).status());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("b", "fuel", 7, 30)).status());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("c", "timber", 5, 20)).status());
+  AttrRef desc = schema_.ResolveQualified("cargo.desc").value();
+  AttrRef weight = schema_.ResolveQualified("cargo.weight").value();
+  EXPECT_EQ(store_->DistinctValues(desc), 2);
+  EXPECT_EQ(store_->DistinctValues(weight), 3);
+  auto [min, max] = store_->MinMax(weight);
+  EXPECT_EQ(min, Value::Int(10));
+  EXPECT_EQ(max, Value::Int(30));
+}
+
+TEST_F(StorageTest, MinMaxOnEmptyExtent) {
+  AttrRef weight = schema_.ResolveQualified("cargo.weight").value();
+  auto [min, max] = store_->MinMax(weight);
+  EXPECT_TRUE(min.is_null());
+  EXPECT_TRUE(max.is_null());
+}
+
+TEST(ExtentInheritanceTest, SubclassLayoutIncludesInheritedSlots) {
+  auto schema = BuildFigure21Schema();
+  ASSERT_TRUE(schema.ok());
+  ObjectStore store(&*schema);
+  ClassId driver = schema->FindClass("driver");
+  // driver: name, clearance, rank (inherited) + license#, licenseClass,
+  // licenseDate.
+  Object d;
+  d.values = {Value::String("bob"),  Value::String("secret"),
+              Value::String("staff"), Value::Int(77),
+              Value::Int(3),          Value::String("2026-01-01")};
+  ASSERT_TRUE(store.Insert(driver, std::move(d)).ok());
+  AttrRef name = schema->ResolveQualified("driver.name").value();
+  AttrRef lic = schema->ResolveQualified("driver.licenseClass").value();
+  EXPECT_EQ(store.extent(driver).ValueAt(0, name.attr_id),
+            Value::String("bob"));
+  EXPECT_EQ(store.extent(driver).ValueAt(0, lic.attr_id), Value::Int(3));
+  // The inherited indexed attribute (employee.name) got a per-class
+  // index on driver.
+  EXPECT_NE(store.GetIndex(name), nullptr);
+}
+
+}  // namespace
+}  // namespace sqopt

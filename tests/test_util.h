@@ -1,0 +1,85 @@
+// Shared fixtures/helpers for sqopt tests.
+#ifndef SQOPT_TESTS_TEST_UTIL_H_
+#define SQOPT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/access_stats.h"
+#include "catalog/schema.h"
+#include "constraints/constraint_catalog.h"
+#include "workload/constraint_gen.h"
+#include "workload/dbgen.h"
+#include "workload/example_schema.h"
+
+// Unwraps a Result<T>, failing the test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                          \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                      \
+      SQOPT_ASSIGN_OR_RETURN_NAME(_test_result_, __LINE__), lhs, rexpr)
+#define ASSERT_OK_AND_ASSIGN_IMPL(var, lhs, rexpr)                \
+  auto var = (rexpr);                                             \
+  ASSERT_TRUE(var.ok()) << var.status().ToString();               \
+  lhs = std::move(var).value()
+
+#define ASSERT_OK(expr)                          \
+  do {                                           \
+    ::sqopt::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();     \
+  } while (0)
+
+#define EXPECT_OK(expr)                          \
+  do {                                           \
+    ::sqopt::Status _st = (expr);                \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();     \
+  } while (0)
+
+namespace sqopt::testing {
+
+// Figure 2.1 schema + Figure 2.2 constraints, precompiled.
+class PaperExampleFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BuildFigure21Schema();
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = std::move(schema).value();
+    catalog_ = std::make_unique<ConstraintCatalog>(&schema_);
+    auto constraints = Figure22Constraints(schema_);
+    ASSERT_TRUE(constraints.ok()) << constraints.status().ToString();
+    for (HornClause& clause : *constraints) {
+      ASSERT_TRUE(catalog_->AddConstraint(std::move(clause)).ok());
+    }
+    stats_ = std::make_unique<AccessStats>(schema_.num_classes());
+    ASSERT_TRUE(catalog_->Precompile(stats_.get()).ok());
+  }
+
+  Schema schema_;
+  std::unique_ptr<ConstraintCatalog> catalog_;
+  std::unique_ptr<AccessStats> stats_;
+};
+
+// Experiment schema + 15 constraints, precompiled.
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BuildExperimentSchema();
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = std::move(schema).value();
+    catalog_ = std::make_unique<ConstraintCatalog>(&schema_);
+    auto constraints = ExperimentConstraints(schema_);
+    ASSERT_TRUE(constraints.ok()) << constraints.status().ToString();
+    for (HornClause& clause : *constraints) {
+      ASSERT_TRUE(catalog_->AddConstraint(std::move(clause)).ok());
+    }
+    stats_ = std::make_unique<AccessStats>(schema_.num_classes());
+    ASSERT_TRUE(catalog_->Precompile(stats_.get()).ok());
+  }
+
+  Schema schema_;
+  std::unique_ptr<ConstraintCatalog> catalog_;
+  std::unique_ptr<AccessStats> stats_;
+};
+
+}  // namespace sqopt::testing
+
+#endif  // SQOPT_TESTS_TEST_UTIL_H_

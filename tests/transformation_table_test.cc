@@ -1,0 +1,156 @@
+#include "sqo/transformation_table.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "query/query_parser.h"
+#include "tests/test_util.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::PaperExampleFixture;
+
+// Section 3.5, Step 1: the initialized table for the Figure 2.3 query
+// must be exactly
+//   T = ( PresentAntecedent  _           AbsentConsequent )
+//       ( _                  Imperative  AbsentAntecedent )
+// over P = {p1 = vehicle.desc = "refrigerated truck",
+//           p2 = supplier.name = "SFI",
+//           p3 = cargo.desc = "frozen food"}.
+class TableInitTest : public PaperExampleFixture {
+ protected:
+  void SetUp() override {
+    PaperExampleFixture::SetUp();
+    auto query = Figure23SampleQuery(schema_);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    query_ = std::move(query).value();
+  }
+
+  PredId Col(const TransformationTable& table, const std::string& text) {
+    auto p = ParsePredicate(schema_, text);
+    EXPECT_TRUE(p.ok());
+    PredId id = table.pool().Find(*p);
+    EXPECT_NE(id, kInvalidPred) << text;
+    return id;
+  }
+
+  // Row index whose constraint has the given label.
+  size_t RowOf(const TransformationTable& table, const std::string& label) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (catalog_->clause(table.row(r).constraint).label() == label) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "no row for constraint " << label;
+    return 0;
+  }
+
+  Query query_;
+};
+
+TEST_F(TableInitTest, MatchesPaperStep1) {
+  std::vector<ConstraintId> relevant =
+      catalog_->RelevantForQuery(query_.classes);
+  // c1 and c2 are relevant to {supplier, cargo, vehicle} (and possibly
+  // the derived c1*c2).
+  OptimizerOptions options;
+  options.match_mode = MatchMode::kExact;  // the paper's exposition
+  TransformationTable table = TransformationTable::Build(
+      schema_, *catalog_, relevant, query_, options);
+
+  EXPECT_EQ(table.num_rows(), relevant.size());
+  PredId p1 = Col(table, "vehicle.desc = \"refrigerated truck\"");
+  PredId p2 = Col(table, "supplier.name = \"SFI\"");
+  PredId p3 = Col(table, "cargo.desc = \"frozen food\"");
+
+  size_t c1 = RowOf(table, "c1");
+  size_t c2 = RowOf(table, "c2");
+
+  EXPECT_EQ(table.state(c1, p1), CellState::kPresentAntecedent);
+  EXPECT_EQ(table.state(c1, p2), CellState::kNotInConstraint);
+  EXPECT_EQ(table.state(c1, p3), CellState::kAbsentConsequent);
+
+  EXPECT_EQ(table.state(c2, p1), CellState::kNotInConstraint);
+  EXPECT_EQ(table.state(c2, p2), CellState::kImperative);
+  EXPECT_EQ(table.state(c2, p3), CellState::kAbsentAntecedent);
+
+  EXPECT_TRUE(table.InQuery(p1));
+  EXPECT_TRUE(table.InQuery(p2));
+  EXPECT_FALSE(table.InQuery(p3));
+
+  EXPECT_TRUE(table.AllAntecedentsPresent(c1));
+  EXPECT_FALSE(table.AllAntecedentsPresent(c2));
+}
+
+TEST_F(TableInitTest, FinalTagDefaultsToImperative) {
+  std::vector<ConstraintId> relevant =
+      catalog_->RelevantForQuery(query_.classes);
+  OptimizerOptions options;
+  options.match_mode = MatchMode::kExact;
+  TransformationTable table = TransformationTable::Build(
+      schema_, *catalog_, relevant, query_, options);
+  PredId p1 = Col(table, "vehicle.desc = \"refrigerated truck\"");
+  EXPECT_EQ(table.FinalTag(p1), PredicateTag::kImperative);
+  // p2 appears as an Imperative consequent cell, so it HAS a tag cell.
+  PredId p2 = Col(table, "supplier.name = \"SFI\"");
+  EXPECT_TRUE(table.HasTagCell(p2));
+  EXPECT_EQ(table.FinalTag(p2), PredicateTag::kImperative);
+  // p1 only appears as an antecedent: no tag cell.
+  EXPECT_FALSE(table.HasTagCell(p1));
+}
+
+TEST_F(TableInitTest, SetStateCountsWrites) {
+  std::vector<ConstraintId> relevant =
+      catalog_->RelevantForQuery(query_.classes);
+  OptimizerOptions options;
+  TransformationTable table = TransformationTable::Build(
+      schema_, *catalog_, relevant, query_, options);
+  EXPECT_EQ(table.cell_writes(), 0u);  // construction does not count
+  table.set_state(0, 0, CellState::kRedundant);
+  EXPECT_EQ(table.cell_writes(), 1u);
+}
+
+TEST_F(TableInitTest, ImpliedModeMarksStrongerQueryPredicatesPresent) {
+  // Replace the query predicate with a STRICTLY stronger one: under
+  // exact match c1 cannot fire; under implied match it can.
+  auto strong = ParseQuery(schema_, R"(
+(SELECT {cargo.desc} {}
+        {vehicle.desc = "refrigerated truck", vehicle.class >= 3}
+        {collects} {cargo, vehicle}))");
+  ASSERT_TRUE(strong.ok()) << strong.status().ToString();
+
+  // Add a constraint whose antecedent (class >= 2) is implied by the
+  // query's class >= 3.
+  auto extra = ParseConstraint(
+      schema_, "cx: vehicle.class >= 2 -> cargo.quantity >= 0");
+  ASSERT_TRUE(extra.ok());
+  ASSERT_OK(catalog_->AddConstraint(std::move(*extra)));
+  ASSERT_OK(catalog_->Precompile(stats_.get()));
+
+  std::vector<ConstraintId> relevant =
+      catalog_->RelevantForQuery(strong->classes);
+
+  OptimizerOptions exact;
+  exact.match_mode = MatchMode::kExact;
+  TransformationTable exact_table = TransformationTable::Build(
+      schema_, *catalog_, relevant, *strong, exact);
+
+  OptimizerOptions implied;
+  implied.match_mode = MatchMode::kImplied;
+  TransformationTable implied_table = TransformationTable::Build(
+      schema_, *catalog_, relevant, *strong, implied);
+
+  size_t cx_row = SIZE_MAX;
+  for (size_t r = 0; r < exact_table.num_rows(); ++r) {
+    if (catalog_->clause(exact_table.row(r).constraint).label() == "cx") {
+      cx_row = r;
+    }
+  }
+  ASSERT_NE(cx_row, SIZE_MAX);
+  EXPECT_FALSE(exact_table.AllAntecedentsPresent(cx_row));
+  EXPECT_TRUE(implied_table.AllAntecedentsPresent(cx_row));
+}
+
+}  // namespace
+}  // namespace sqopt

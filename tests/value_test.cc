@@ -1,0 +1,130 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace sqopt {
+namespace {
+
+TEST(ValueTest, TypesReportCorrectly) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Ref(Oid{1, 2}).type(), ValueType::kRef);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(Value::Double(5.1).Compare(Value::Int(5)), 1);
+}
+
+TEST(ValueTest, NullIsIncomparable) {
+  EXPECT_FALSE(Value::Null().Compare(Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Int(1).Compare(Value::Null()).has_value());
+  EXPECT_FALSE(Value::Null().Compare(Value::Null()).has_value());
+}
+
+TEST(ValueTest, MismatchedTypesIncomparable) {
+  EXPECT_FALSE(Value::String("3").Compare(Value::Int(3)).has_value());
+  EXPECT_FALSE(Value::Bool(true).Compare(Value::Int(1)).has_value());
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_EQ(Value::String("abc").Compare(Value::String("abd")), -1);
+  EXPECT_EQ(Value::String("abc").Compare(Value::String("abc")), 0);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("a")), 1);
+}
+
+TEST(ValueTest, EqualityIsStrict) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  // operator== is representation equality: 3 != 3.0 as values even
+  // though Compare treats them as equal.
+  EXPECT_FALSE(Value::Int(3) == Value::Double(3.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingGroupsNumericTypes) {
+  EXPECT_TRUE(Value::Int(2) < Value::Double(2.5));
+  EXPECT_TRUE(Value::Double(1.5) < Value::Int(2));
+  // Cross-type-class ordering is by type class, stable.
+  EXPECT_TRUE(Value::Bool(true) < Value::Int(0));
+  EXPECT_TRUE(Value::Int(99) < Value::String(""));
+}
+
+TEST(ValueTest, ParseLiterals) {
+  EXPECT_EQ(Value::Parse("null").value(), Value::Null());
+  EXPECT_EQ(Value::Parse("true").value(), Value::Bool(true));
+  EXPECT_EQ(Value::Parse("false").value(), Value::Bool(false));
+  EXPECT_EQ(Value::Parse("42").value(), Value::Int(42));
+  EXPECT_EQ(Value::Parse("-17").value(), Value::Int(-17));
+  EXPECT_EQ(Value::Parse("2.5").value(), Value::Double(2.5));
+  EXPECT_EQ(Value::Parse("\"hi there\"").value(), Value::String("hi there"));
+  EXPECT_EQ(Value::Parse("'single'").value(), Value::String("single"));
+}
+
+TEST(ValueTest, ParseBareWordIsString) {
+  EXPECT_EQ(Value::Parse("SFI").value(), Value::String("SFI"));
+}
+
+TEST(ValueTest, ParseEmptyFails) {
+  EXPECT_FALSE(Value::Parse("   ").ok());
+}
+
+TEST(ValueTest, ToStringRoundTrips) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::String("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  // 3 and 3.0 compare equal, so they must hash equal for pool interning
+  // to behave.
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+}
+
+TEST(ValueTest, RefValues) {
+  Oid oid{2, 17};
+  Value v = Value::Ref(oid);
+  EXPECT_EQ(v.ref_value(), oid);
+  EXPECT_TRUE(oid.valid());
+  EXPECT_FALSE((Oid{}).valid());
+}
+
+// Parameterized comparison sweep: (lhs, rhs, expected cmp).
+using CmpCase = std::tuple<Value, Value, int>;
+
+class ValueCompareTest : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(ValueCompareTest, CompareMatchesExpected) {
+  const auto& [lhs, rhs, expected] = GetParam();
+  auto cmp = lhs.Compare(rhs);
+  ASSERT_TRUE(cmp.has_value());
+  EXPECT_EQ(*cmp, expected);
+  // Antisymmetry.
+  auto rcmp = rhs.Compare(lhs);
+  ASSERT_TRUE(rcmp.has_value());
+  EXPECT_EQ(*rcmp, -expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ValueCompareTest,
+    ::testing::Values(
+        CmpCase{Value::Int(1), Value::Int(2), -1},
+        CmpCase{Value::Int(2), Value::Int(2), 0},
+        CmpCase{Value::Int(3), Value::Int(2), 1},
+        CmpCase{Value::Double(1.5), Value::Double(2.5), -1},
+        CmpCase{Value::Int(2), Value::Double(2.0), 0},
+        CmpCase{Value::Double(-1.0), Value::Int(0), -1},
+        CmpCase{Value::String("a"), Value::String("b"), -1},
+        CmpCase{Value::String("z"), Value::String("z"), 0},
+        CmpCase{Value::Bool(false), Value::Bool(true), -1},
+        CmpCase{Value::Bool(true), Value::Bool(true), 0}));
+
+}  // namespace
+}  // namespace sqopt

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/schema_builder.h"
+#include "exec/executor.h"
+#include "query/query_parser.h"
+#include "tests/test_util.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+TEST(ExperimentSchemaTest, MatchesTable41Shape) {
+  auto schema = BuildExperimentSchema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_classes(), 5u);        // Table 4.1: 5 classes
+  EXPECT_EQ(schema->num_relationships(), 6u);  // Table 4.1: 6 rels
+}
+
+TEST(DbSpecTest, PaperDatabaseSpecsMatchTable41) {
+  std::vector<DbSpec> specs = PaperDatabases();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].class_cardinality, 52);
+  EXPECT_EQ(specs[0].rel_cardinality, 77);
+  EXPECT_EQ(specs[1].class_cardinality, 104);
+  EXPECT_EQ(specs[1].rel_cardinality, 154);
+  EXPECT_EQ(specs[2].class_cardinality, 208);
+  EXPECT_EQ(specs[2].rel_cardinality, 308);
+  EXPECT_EQ(specs[3].class_cardinality, 208);
+  EXPECT_EQ(specs[3].rel_cardinality, 616);
+}
+
+class DbGenTest : public ExperimentFixture {};
+
+TEST_F(DbGenTest, GeneratesRequestedCardinalities) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"T", 52, 77}, 42));
+  for (const ObjectClass& oc : schema_.classes()) {
+    EXPECT_EQ(store->NumObjects(oc.id), 52) << oc.name;
+  }
+  for (const Relationship& rel : schema_.relationships()) {
+    EXPECT_EQ(store->NumPairs(rel.id), 77) << rel.name;
+  }
+}
+
+TEST_F(DbGenTest, DeterministicBySeed) {
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       GenerateDatabase(schema_, DbSpec{"T", 20, 30}, 7));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       GenerateDatabase(schema_, DbSpec{"T", 20, 30}, 7));
+  AttrRef rating = schema_.ResolveQualified("supplier.rating").value();
+  ClassId supplier = schema_.FindClass("supplier");
+  for (int64_t row = 0; row < 20; ++row) {
+    EXPECT_EQ(a->extent(supplier).ValueAt(row, rating.attr_id),
+              b->extent(supplier).ValueAt(row, rating.attr_id));
+  }
+}
+
+TEST_F(DbGenTest, LinksStayWithinSegments) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"T", 40, 100}, 11));
+  for (const Relationship& rel : schema_.relationships()) {
+    for (int64_t row = 0; row < store->NumObjects(rel.a); ++row) {
+      for (int64_t partner : store->Partners(rel.id, rel.a, row)) {
+        EXPECT_EQ(SegmentOfRow(row), SegmentOfRow(partner))
+            << rel.name << " crosses segments";
+      }
+    }
+  }
+}
+
+// The linchpin of experimental soundness: every constraint holds on the
+// generated data, across every relationship path (checked pairwise for
+// two-class constraints via full cross product within linked segments).
+TEST_F(DbGenTest, IntraClassConstraintsHoldOnData) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"T", 60, 90}, 3));
+  for (ConstraintId id = 0;
+       id < static_cast<ConstraintId>(catalog_->clauses().size()); ++id) {
+    const HornClause& clause = catalog_->clause(id);
+    if (clause.Classify() != ConstraintClass::kIntra) continue;
+    std::vector<ClassId> classes = clause.ReferencedClasses();
+    ASSERT_EQ(classes.size(), 1u);
+    ClassId cid = classes[0];
+    for (int64_t row = 0; row < store->NumObjects(cid); ++row) {
+      bool antecedents_hold = true;
+      auto eval = [&](const Predicate& p) {
+        const Value& lhs =
+            store->extent(cid).ValueAt(row, p.lhs().attr_id);
+        return EvalCompare(lhs, p.op(), p.rhs_value());
+      };
+      for (const Predicate& a : clause.antecedents()) {
+        if (!eval(a)) antecedents_hold = false;
+      }
+      if (antecedents_hold) {
+        EXPECT_TRUE(eval(clause.consequent()))
+            << clause.ToString(schema_) << " violated at row " << row;
+      }
+    }
+  }
+}
+
+TEST_F(DbGenTest, InterClassConstraintsHoldAcrossSegments) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"T", 60, 90}, 3));
+  // For each 2-class constraint with attr-const predicates, check every
+  // same-segment cross pair (the only pairs any join can produce).
+  for (ConstraintId id = 0;
+       id < static_cast<ConstraintId>(catalog_->clauses().size()); ++id) {
+    const HornClause& clause = catalog_->clause(id);
+    if (clause.Classify() != ConstraintClass::kInter) continue;
+    std::vector<ClassId> classes = clause.ReferencedClasses();
+    if (classes.size() != 2) continue;
+    bool all_const = clause.consequent().is_attr_const();
+    for (const Predicate& a : clause.antecedents()) {
+      if (!a.is_attr_const()) all_const = false;
+    }
+    if (!all_const) continue;
+
+    auto eval = [&](const Predicate& p, int64_t row_of_its_class) {
+      return EvalCompare(store->extent(p.lhs().class_id)
+                             .ValueAt(row_of_its_class, p.lhs().attr_id),
+                         p.op(), p.rhs_value());
+    };
+    int64_t n0 = store->NumObjects(classes[0]);
+    int64_t n1 = store->NumObjects(classes[1]);
+    for (int64_t r0 = 0; r0 < n0; ++r0) {
+      for (int64_t r1 = 0; r1 < n1; ++r1) {
+        if (SegmentOfRow(r0) != SegmentOfRow(r1)) continue;
+        bool antecedents_hold = true;
+        for (const Predicate& a : clause.antecedents()) {
+          int64_t row = a.lhs().class_id == classes[0] ? r0 : r1;
+          if (!eval(a, row)) antecedents_hold = false;
+        }
+        if (antecedents_hold) {
+          const Predicate& c = clause.consequent();
+          int64_t row = c.lhs().class_id == classes[0] ? r0 : r1;
+          EXPECT_TRUE(eval(c, row))
+              << clause.ToString(schema_) << " violated at (" << r0 << ","
+              << r1 << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(PathEnumTest, SinglePathChain) {
+  SchemaBuilder b;
+  b.AddClass("a");
+  b.AddClass("b");
+  b.AddClass("c");
+  b.AddRelationship("ab", "a", "b");
+  b.AddRelationship("bc", "b", "c");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(*schema, 1, 3);
+  // 3 singletons + ab + bc + abc = 6.
+  EXPECT_EQ(paths.size(), 6u);
+  for (const SchemaPath& p : paths) {
+    EXPECT_EQ(p.classes.size(), p.relationships.size() + 1);
+  }
+}
+
+TEST(PathEnumTest, ReversalsNotDuplicated) {
+  SchemaBuilder b;
+  b.AddClass("a");
+  b.AddClass("b");
+  b.AddRelationship("ab", "a", "b");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(*schema, 2, 2);
+  ASSERT_EQ(paths.size(), 1u);
+}
+
+class PathQueryTest : public ExperimentFixture {};
+
+TEST_F(PathQueryTest, ExperimentSchemaHasManyPaths) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  // 5 singletons, 6 two-class paths, and longer chains: the paper drew
+  // 40 random queries from "all possible paths", so there must be
+  // plenty.
+  EXPECT_GT(paths.size(), 30u);
+  // No class or relationship repeats within a path.
+  for (const SchemaPath& p : paths) {
+    std::set<ClassId> cs(p.classes.begin(), p.classes.end());
+    std::set<RelId> rs(p.relationships.begin(), p.relationships.end());
+    EXPECT_EQ(cs.size(), p.classes.size());
+    EXPECT_EQ(rs.size(), p.relationships.size());
+  }
+}
+
+TEST_F(PathQueryTest, GeneratedQueriesAreValid) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator gen(&schema_, /*seed=*/99);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 40));
+  EXPECT_EQ(queries.size(), 40u);
+  for (const Query& q : queries) {
+    EXPECT_OK(ValidateQuery(schema_, q));
+    EXPECT_GE(q.projection.size(), 1u);
+  }
+}
+
+TEST_F(PathQueryTest, GenerationIsDeterministic) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 5);
+  QueryGenerator a(&schema_, 5), b(&schema_, 5);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> qa, a.Sample(paths, 10));
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> qb, b.Sample(paths, 10));
+  EXPECT_EQ(qa, qb);
+}
+
+}  // namespace
+}  // namespace sqopt
