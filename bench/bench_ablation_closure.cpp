@@ -10,28 +10,22 @@
 //     constraint when the closure is materialized; without it, the
 //     intermediate constraints fail the class-subset relevance test and
 //     the transformation is silently missed.
-//  2. COST: the closure is paid once at precompilation (and inflates
-//     the clause count); dynamic chaining is cheap per call but must
-//     run for every query — and still cannot recover the missed
+//  2. COST: the closure is paid once at Engine::Open (and inflates the
+//     clause count); dynamic chaining is cheap per call but must run
+//     for every query — and still cannot recover the missed
 //     transformations under class-based relevance.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "constraints/closure.h"
-#include "constraints/constraint_parser.h"
-#include "query/query_parser.h"
-#include "sqo/optimizer.h"
-#include "workload/dbgen.h"
 
 namespace sqopt {
 namespace {
 
-using bench::Check;
 using bench::Unwrap;
 
 // Chain hopping cargo -> vehicle -> driver -> department -> supplier.
@@ -49,29 +43,24 @@ ChainSpec MakeChain(int depth) {
   const char* attrs[] = {"cargo.quantity", "vehicle.capacity",
                          "driver.licenseClass", "department.budget",
                          "supplier.rating"};
-  // Endpoint class pairs adjacent in the experiment schema, per depth.
-  // depth 1: cargo-vehicle (collects); 2: cargo-driver (inspects);
-  // 3: cargo-department?? not adjacent -> use driver-department query
-  // anchored mid-chain; keep it simple: depths 1, 2, 4 have adjacent
-  // endpoints; depth 3 reuses the depth-4 query (the full chain yields
-  // the supplier consequent one hop early... no: use vehicle-department
-  // via no edge). To stay structurally valid we use these endpoints:
-  //   1: {cargo, vehicle}   via collects
-  //   2: {cargo, driver}    via inspects
-  //   4: {cargo, supplier}  via supplies
   ChainSpec spec;
   for (int i = 0; i < depth; ++i) {
     spec.clauses.push_back("h" + std::to_string(i) + ": " +
                            std::string(attrs[i]) + " >= 500 -> " +
                            std::string(attrs[i + 1]) + " >= 500");
   }
+  // Endpoint class pairs adjacent in the experiment schema, per depth:
+  //   1: {cargo, vehicle}   via collects
+  //   2: {cargo, driver}    via inspects
+  //   4: {cargo, supplier}  via supplies
+  // (depth 3 has no adjacent endpoint pair; skipped in tables)
   const char* query_by_depth[] = {
       "",  // unused
       "{cargo.code} {} {cargo.quantity >= 500} {collects} "
       "{cargo, vehicle}",
       "{cargo.code} {} {cargo.quantity >= 500} {inspects} "
       "{cargo, driver}",
-      "",  // depth 3 has no adjacent endpoint pair; skipped in tables
+      "",  // depth 3: see above
       "{cargo.code} {} {cargo.quantity >= 500} {supplies} "
       "{cargo, supplier}",
   };
@@ -80,43 +69,32 @@ ChainSpec MakeChain(int depth) {
 }
 
 struct Setup {
-  Schema schema;
-  std::unique_ptr<ConstraintCatalog> catalog;
-  std::unique_ptr<AccessStats> stats;
+  Engine engine;
   Query query;
-  std::vector<HornClause> base;
 };
 
-std::unique_ptr<Setup> MakeSetup(int depth, bool materialize) {
-  auto setup = std::make_unique<Setup>();
-  setup->schema = Unwrap(BuildExperimentSchema());
-  setup->catalog = std::make_unique<ConstraintCatalog>(&setup->schema);
-  setup->stats =
-      std::make_unique<AccessStats>(setup->schema.num_classes());
+Setup MakeSetup(int depth, bool materialize) {
   ChainSpec spec = MakeChain(depth);
-  for (const std::string& text : spec.clauses) {
-    HornClause clause = Unwrap(ParseConstraint(setup->schema, text));
-    setup->base.push_back(clause);
-    Check(setup->catalog->AddConstraint(std::move(clause)));
-  }
-  PrecompileOptions options;
-  options.materialize_closure = materialize;
-  Check(setup->catalog->Precompile(setup->stats.get(), options));
-  setup->query = Unwrap(ParseQuery(setup->schema, spec.query_text));
-  return setup;
+  EngineOptions options;
+  options.precompile.materialize_closure = materialize;
+  Engine engine =
+      Unwrap(Engine::Open(SchemaSource::Experiment(),
+                          ConstraintSource::FromText(spec.clauses),
+                          std::move(options)));
+  Query query = Unwrap(engine.Parse(spec.query_text));
+  return Setup{std::move(engine), std::move(query)};
 }
 
 void BM_OptimizeWithClosure(benchmark::State& state) {
-  auto setup = MakeSetup(static_cast<int>(state.range(0)), true);
-  SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(), nullptr);
+  Setup setup = MakeSetup(static_cast<int>(state.range(0)), true);
   size_t firings = 0;
   for (auto _ : state) {
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     firings = result.report.num_firings;
   }
   state.counters["firings"] = static_cast<double>(firings);
   state.counters["clauses"] =
-      static_cast<double>(setup->catalog->clauses().size());
+      static_cast<double>(setup.engine.catalog().clauses().size());
 }
 BENCHMARK(BM_OptimizeWithClosure)
     ->Arg(1)
@@ -125,16 +103,15 @@ BENCHMARK(BM_OptimizeWithClosure)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_OptimizeWithoutClosure(benchmark::State& state) {
-  auto setup = MakeSetup(static_cast<int>(state.range(0)), false);
-  SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(), nullptr);
+  Setup setup = MakeSetup(static_cast<int>(state.range(0)), false);
   size_t firings = 0;
   for (auto _ : state) {
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     firings = result.report.num_firings;
   }
   state.counters["firings"] = static_cast<double>(firings);
   state.counters["clauses"] =
-      static_cast<double>(setup->catalog->clauses().size());
+      static_cast<double>(setup.engine.catalog().clauses().size());
 }
 BENCHMARK(BM_OptimizeWithoutClosure)
     ->Arg(1)
@@ -155,25 +132,21 @@ int main(int argc, char** argv) {
               "precompile(us)", "with:relev", "with:fired", "wo:relev",
               "wo:fired");
   for (int depth : {1, 2, 4}) {
-    auto with_setup = MakeSetup(depth, true);
-    auto without_setup = MakeSetup(depth, false);
+    Setup with_setup = MakeSetup(depth, true);
+    Setup without_setup = MakeSetup(depth, false);
 
-    // Precompile cost of the materialized design.
+    // Precompile cost of the materialized design (one full Open).
     auto t0 = std::chrono::steady_clock::now();
     {
-      auto tmp = MakeSetup(depth, true);
+      Setup tmp = MakeSetup(depth, true);
       benchmark::DoNotOptimize(tmp);
     }
     auto t1 = std::chrono::steady_clock::now();
 
-    SemanticOptimizer opt_with(&with_setup->schema,
-                               with_setup->catalog.get(), nullptr);
-    SemanticOptimizer opt_without(&without_setup->schema,
-                                  without_setup->catalog.get(), nullptr);
-    OptimizeResult with_result =
-        Unwrap(opt_with.Optimize(with_setup->query));
-    OptimizeResult without_result =
-        Unwrap(opt_without.Optimize(without_setup->query));
+    QueryOutcome with_result =
+        Unwrap(with_setup.engine.Analyze(with_setup.query));
+    QueryOutcome without_result =
+        Unwrap(without_setup.engine.Analyze(without_setup.query));
 
     std::printf("%6d %14.1f | %12zu %12zu | %12zu %12zu\n", depth,
                 std::chrono::duration<double, std::micro>(t1 - t0).count(),

@@ -2,24 +2,23 @@
 // fetch per query — and what fraction is irrelevant — under each
 // grouping policy, compared against the no-grouping strawman (fetch
 // everything, always)? Uses a skewed query stream so the paper's
-// least-frequently-accessed enhancement has something to exploit.
+// least-frequently-accessed enhancement has something to exploit. Each
+// policy is an Engine whose access statistics are warmed from the
+// stream before Recompile regroups the catalog.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
 #include "workload/path_enum.h"
-#include "workload/query_gen.h"
 
 int main() {
   using namespace sqopt;
   using bench::Check;
-  using bench::Unwrap;
+  using bench::OpenExperimentEngine;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 1, 5);
+  Engine probe = OpenExperimentEngine();
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(probe.schema(), 1, 5);
 
   // Skewed stream: queries over paths whose FIRST class is drawn
   // Zipf-style, making some classes hot. 500 queries.
@@ -27,7 +26,7 @@ int main() {
   std::vector<std::vector<ClassId>> stream;
   for (int i = 0; i < 500; ++i) {
     ClassId hot = static_cast<ClassId>(
-        rng.SkewedIndex(schema.num_classes(), /*theta=*/1.3));
+        rng.SkewedIndex(probe.schema().num_classes(), /*theta=*/1.3));
     // Find a path starting (or ending) at the hot class.
     std::vector<const SchemaPath*> candidates;
     for (const SchemaPath& p : paths) {
@@ -39,24 +38,22 @@ int main() {
     stream.push_back(pick->classes);
   }
 
-  // Warm access statistics from the stream itself (what a running
-  // system would have observed).
-  AccessStats access(schema.num_classes());
-  for (const auto& classes : stream) access.RecordQuery(classes);
-
   std::printf("=== Grouping policy ablation (500 skewed queries) ===\n");
   std::printf("%-28s %14s %14s %12s\n", "policy", "retrieved/query",
               "relevant/query", "% irrelevant");
 
   auto run = [&](const char* label, bool use_grouping,
                  GroupingPolicy policy) {
-    ConstraintCatalog catalog(&schema);
-    for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-      Check(catalog.AddConstraint(std::move(clause)));
+    Engine engine = OpenExperimentEngine();
+    // Warm access statistics from the stream itself (what a running
+    // system would have observed), then regroup under the policy.
+    for (const auto& classes : stream) {
+      engine.mutable_access_stats()->RecordQuery(classes);
     }
-    PrecompileOptions options;
-    options.grouping = policy;
-    Check(catalog.Precompile(&access, options));
+    PrecompileOptions precompile;
+    precompile.grouping = policy;
+    Check(engine.Recompile(precompile));
+    const ConstraintCatalog& catalog = engine.catalog();
 
     uint64_t retrieved = 0, relevant = 0;
     for (const auto& classes : stream) {

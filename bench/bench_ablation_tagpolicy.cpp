@@ -3,42 +3,30 @@
 // versus the §3.3 pseudocode simplification that ignores indexes. The
 // index-aware policy keeps introduced indexed predicates alive long
 // enough for the cost model to exploit them as access paths; the
-// simplification silently discards exactly those wins.
+// simplification silently discards exactly those wins. One Engine per
+// policy; the measured execution cost comes from Engine::Execute's
+// meter.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "cost/cost_model.h"
-#include "exec/executor.h"
-#include "exec/plan_builder.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
 
 int main() {
   using namespace sqopt;
   using bench::Check;
+  using bench::OpenExperimentEngine;
   using bench::Unwrap;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Check(catalog.AddConstraint(std::move(clause)));
-  }
-  AccessStats access(schema.num_classes());
-  Check(catalog.Precompile(&access));
+  const DbSpec spec{"TP", 208, 616};
+  constexpr uint64_t kSeed = 33;
 
-  auto store =
-      Unwrap(GenerateDatabase(schema, DbSpec{"TP", 208, 616}, 33));
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
-
-  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 1, 5);
+  Engine probe = OpenExperimentEngine();
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(probe.schema(), 1, 5);
   QueryGenOptions gen_options;
   gen_options.trigger_probability = 0.9;
-  QueryGenerator gen(&schema, 33, gen_options);
+  QueryGenerator gen(&probe.schema(), kSeed, gen_options);
   std::vector<Query> queries = Unwrap(gen.Sample(paths, 30));
 
   std::printf("=== Tag-policy ablation (30 queries, DB4-sized store) "
@@ -48,20 +36,17 @@ int main() {
 
   for (TagPolicy policy :
        {TagPolicy::kIndexAware, TagPolicy::kIgnoreIndexes}) {
-    OptimizerOptions options;
-    options.tag_policy = policy;
-    SemanticOptimizer optimizer(&schema, &catalog, &cost_model, options);
+    EngineOptions options;
+    options.optimizer.tag_policy = policy;
+    Engine engine = OpenExperimentEngine(options);
+    Check(engine.Load(DataSource::Generated(spec, kSeed)));
 
     double total_cost = 0.0;
     size_t indexed_introduced = 0, redundant_effects = 0;
     for (const Query& query : queries) {
-      OptimizeResult result = Unwrap(optimizer.Optimize(query));
-      if (!result.empty_result) {
-        ExecutionMeter meter;
-        Check(ExecuteQuery(*store, result.query, &meter).status());
-        total_cost += meter.CostUnits();
-      }
-      for (const TransformStep& step : result.report.steps) {
+      QueryOutcome outcome = Unwrap(engine.Execute(query));
+      total_cost += outcome.meter.CostUnits();
+      for (const TransformStep& step : outcome.report.steps) {
         if (step.index_introduction) ++indexed_introduced;
         for (const auto& [pred, tag] : step.effects) {
           if (tag == PredicateTag::kRedundant) ++redundant_effects;

@@ -1,9 +1,11 @@
-// Section 4 comparison: the delayed-choice algorithm versus (a) the
-// "straight-forward" immediately-apply approach over many constraint
-// orders, and (b) a bounded best-first search [SSD88]. Reports final
-// estimated costs and work counters; the paper's claim is that the
-// delayed-choice outcome is at least as good as immediate-apply under
-// any order, at polynomial cost.
+// Section 4 comparison: the delayed-choice algorithm (via the Engine)
+// versus (a) the "straight-forward" immediately-apply approach over
+// many constraint orders, and (b) a bounded best-first search [SSD88].
+// Reports final estimated costs and work counters; the paper's claim is
+// that the delayed-choice outcome is at least as good as immediate-
+// apply under any order, at polynomial cost. The baselines borrow the
+// Engine's catalog and cost model — they are alternative optimizers,
+// not alternative stacks.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -12,39 +14,26 @@
 #include "baseline/immediate_optimizer.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
-#include "cost/cost_model.h"
-#include "exec/plan_builder.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
 
 int main() {
   using namespace sqopt;
   using bench::Check;
+  using bench::OpenExperimentEngine;
   using bench::Unwrap;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Check(catalog.AddConstraint(std::move(clause)));
-  }
-  AccessStats access(schema.num_classes());
-  Check(catalog.Precompile(&access));
+  Engine engine = OpenExperimentEngine();
+  Check(engine.Load(DataSource::Generated(DbSpec{"BC", 208, 616}, 13)));
 
-  auto store =
-      Unwrap(GenerateDatabase(schema, DbSpec{"BC", 208, 616}, 13));
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
-
-  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 2, 5);
-  QueryGenerator gen(&schema, 13);
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(engine.schema(), 2, 5);
+  QueryGenerator gen(&engine.schema(), 13);
   std::vector<Query> queries = Unwrap(gen.Sample(paths, 20));
 
-  SemanticOptimizer sqo(&schema, &catalog, &cost_model);
-  ImmediateApplyOptimizer immediate(&schema, &catalog, &cost_model);
-  BestFirstOptimizer best_first(&schema, &catalog, &cost_model,
+  const ConstraintCatalog& catalog = engine.catalog();
+  const CostModelInterface& cost_model = *engine.cost_model();
+  ImmediateApplyOptimizer immediate(&engine.schema(), &catalog, &cost_model);
+  BestFirstOptimizer best_first(&engine.schema(), &catalog, &cost_model,
                                 /*max_states=*/128);
 
   std::printf("=== Delayed-choice vs baselines (20 queries) ===\n\n");
@@ -58,9 +47,10 @@ int main() {
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const Query& query = queries[qi];
 
-    OptimizeResult delayed = Unwrap(sqo.Optimize(query));
-    double delayed_cost =
-        delayed.empty_result ? 0.0 : cost_model.QueryCost(delayed.query);
+    QueryOutcome delayed = Unwrap(engine.Analyze(query));
+    double delayed_cost = delayed.answered_without_database
+                              ? 0.0
+                              : cost_model.QueryCost(delayed.transformed);
 
     // Immediate-apply under 8 random constraint orders.
     std::vector<ConstraintId> order =

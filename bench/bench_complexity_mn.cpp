@@ -5,64 +5,53 @@
 // writes), which must scale at most linearly in each dimension.
 #include <benchmark/benchmark.h>
 
-#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "constraints/constraint_parser.h"
-#include "query/query_parser.h"
-#include "sqo/optimizer.h"
-#include "workload/dbgen.h"
 
 namespace sqopt {
 namespace {
 
-using bench::Check;
 using bench::Unwrap;
 
 struct Setup {
-  Schema schema;
-  std::unique_ptr<ConstraintCatalog> catalog;
-  std::unique_ptr<AccessStats> stats;
+  Engine engine;
   Query query;
 };
 
 // n fireable constraints (antecedent = the shared query predicate,
 // consequents distinct so nothing chains) plus `extra_preds` inert query
 // predicates that inflate m without enabling transformations.
-std::unique_ptr<Setup> MakeSetup(int n, int extra_preds) {
-  auto setup = std::make_unique<Setup>();
-  setup->schema = Unwrap(BuildExperimentSchema());
-  setup->catalog = std::make_unique<ConstraintCatalog>(&setup->schema);
-  setup->stats =
-      std::make_unique<AccessStats>(setup->schema.num_classes());
-
+Setup MakeSetup(int n, int extra_preds) {
+  std::vector<std::string> clauses;
+  clauses.reserve(n);
   for (int i = 0; i < n; ++i) {
-    std::string clause = "s" + std::to_string(i) +
-                         ": cargo.quantity >= 500 -> cargo.weight >= " +
-                         std::to_string(10000 + i);
-    Check(setup->catalog->AddConstraint(
-        Unwrap(ParseConstraint(setup->schema, clause))));
+    clauses.push_back("s" + std::to_string(i) +
+                      ": cargo.quantity >= 500 -> cargo.weight >= " +
+                      std::to_string(10000 + i));
   }
-  Check(setup->catalog->Precompile(setup->stats.get()));
+  Engine engine = Unwrap(Engine::Open(
+      SchemaSource::Experiment(),
+      ConstraintSource::FromText(std::move(clauses))));
 
   std::string preds = "cargo.quantity >= 500";
   for (int i = 0; i < extra_preds; ++i) {
     preds += ", cargo.quantity <= " + std::to_string(20000 + i);
   }
-  setup->query = Unwrap(
-      ParseQuery(setup->schema, "{cargo.code} {} {" + preds + "} {} {cargo}"));
-  return setup;
+  Query query = Unwrap(
+      engine.Parse("{cargo.code} {} {" + preds + "} {} {cargo}"));
+  return Setup{std::move(engine), std::move(query)};
 }
 
 void BM_TransformScalesWithN(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  auto setup = MakeSetup(n, /*extra_preds=*/4);
-  SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(), nullptr);
+  Setup setup = MakeSetup(n, /*extra_preds=*/4);
   uint64_t writes = 0;
   size_t m = 0;
   for (auto _ : state) {
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     writes = result.report.cell_writes;
     m = result.report.num_distinct_predicates;
   }
@@ -84,12 +73,11 @@ BENCHMARK(BM_TransformScalesWithN)
 
 void BM_TransformScalesWithM(benchmark::State& state) {
   int extra = static_cast<int>(state.range(0));
-  auto setup = MakeSetup(/*n=*/16, extra);
-  SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(), nullptr);
+  Setup setup = MakeSetup(/*n=*/16, extra);
   uint64_t writes = 0;
   size_t m = 0;
   for (auto _ : state) {
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     writes = result.report.cell_writes;
     m = result.report.num_distinct_predicates;
   }
@@ -117,10 +105,8 @@ int main(int argc, char** argv) {
   std::printf("%6s %6s %12s %14s\n", "n", "m", "cell_writes",
               "writes/(m*n)");
   for (int n : {4, 8, 16, 32, 64, 128}) {
-    auto setup = MakeSetup(n, 4);
-    SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(),
-                                nullptr);
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    Setup setup = MakeSetup(n, 4);
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     size_t m = result.report.num_distinct_predicates;
     std::printf("%6d %6zu %12llu %14.3f\n", n, m,
                 static_cast<unsigned long long>(result.report.cell_writes),

@@ -11,18 +11,14 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "constraints/constraint_parser.h"
-#include "query/query_parser.h"
-#include "sqo/optimizer.h"
-#include "workload/dbgen.h"
 
 namespace sqopt {
 namespace {
 
-using bench::Check;
 using bench::Unwrap;
 
 // Path through the experiment schema covering up to 5 classes:
@@ -39,20 +35,27 @@ const char* kConsequentAttr[] = {"cargo.weight", "vehicle.capacity",
                                  "department.budget", "supplier.rating"};
 
 struct Setup {
-  Schema schema;
-  std::unique_ptr<ConstraintCatalog> catalog;
-  std::unique_ptr<AccessStats> stats;
+  Engine engine;
   Query query;
 };
 
-// Builds a query over the first `num_classes` path classes and a catalog
-// with exactly `num_constraints` relevant constraints, all fireable.
-std::unique_ptr<Setup> MakeSetup(int num_classes, int num_constraints) {
-  auto setup = std::make_unique<Setup>();
-  setup->schema = Unwrap(BuildExperimentSchema());
-  setup->catalog = std::make_unique<ConstraintCatalog>(&setup->schema);
-  setup->stats =
-      std::make_unique<AccessStats>(setup->schema.num_classes());
+// Builds a query over the first `num_classes` path classes and an
+// engine whose catalog holds exactly `num_constraints` relevant,
+// fireable constraints.
+Setup MakeSetup(int num_classes, int num_constraints) {
+  // Constraints: shared antecedent (the query predicate), consequents
+  // cycling over the query's classes with distinct constants.
+  std::vector<std::string> clauses;
+  clauses.reserve(num_constraints);
+  for (int i = 0; i < num_constraints; ++i) {
+    std::string consequent = std::string(kConsequentAttr[i % num_classes]) +
+                             " >= " + std::to_string(1000 + i);
+    clauses.push_back("f" + std::to_string(i) +
+                      ": cargo.quantity >= 500 -> " + consequent);
+  }
+  Engine engine = Unwrap(Engine::Open(
+      SchemaSource::Experiment(),
+      ConstraintSource::FromText(std::move(clauses))));
 
   // Query text.
   std::string classes, rels;
@@ -66,32 +69,18 @@ std::unique_ptr<Setup> MakeSetup(int num_classes, int num_constraints) {
   }
   std::string text = "{cargo.code} {} {cargo.quantity >= 500} {" + rels +
                      "} {" + classes + "}";
-  setup->query = Unwrap(ParseQuery(setup->schema, text));
-
-  // Constraints: shared antecedent (the query predicate), consequents
-  // cycling over the query's classes with distinct constants.
-  for (int i = 0; i < num_constraints; ++i) {
-    std::string consequent = std::string(kConsequentAttr[i % num_classes]) +
-                             " >= " + std::to_string(1000 + i);
-    std::string clause =
-        "f" + std::to_string(i) + ": cargo.quantity >= 500 -> " + consequent;
-    Check(setup->catalog->AddConstraint(
-        Unwrap(ParseConstraint(setup->schema, clause))));
-  }
-  Check(setup->catalog->Precompile(setup->stats.get()));
-  return setup;
+  Query query = Unwrap(engine.Parse(text));
+  return Setup{std::move(engine), std::move(query)};
 }
 
 void BM_TransformTime(benchmark::State& state) {
   int num_classes = static_cast<int>(state.range(0));
   int num_constraints = static_cast<int>(state.range(1));
-  auto setup = MakeSetup(num_classes, num_constraints);
-  SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(),
-                              /*cost_model=*/nullptr);
+  Setup setup = MakeSetup(num_classes, num_constraints);
 
   size_t relevant = 0, firings = 0;
   for (auto _ : state) {
-    OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+    QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     benchmark::DoNotOptimize(result);
     relevant = result.report.num_relevant_constraints;
     firings = result.report.num_firings;
@@ -122,13 +111,11 @@ int main(int argc, char** argv) {
   for (int k : {1, 5, 9}) {
     std::printf("%-14d", k);
     for (int c = 1; c <= 5; ++c) {
-      auto setup = MakeSetup(c, k);
-      SemanticOptimizer optimizer(&setup->schema, setup->catalog.get(),
-                                  nullptr);
+      Setup setup = MakeSetup(c, k);
       // Median of repeated runs.
       std::vector<int64_t> times;
       for (int rep = 0; rep < 51; ++rep) {
-        OptimizeResult result = Unwrap(optimizer.Optimize(setup->query));
+        QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
         times.push_back(result.report.total_ns);
       }
       std::sort(times.begin(), times.end());

@@ -1,40 +1,29 @@
 // Section 4 priority/budget ablation: "if it is necessary to assign a
 // budget and limit the number of transformations ... perform those
 // transformations that are more likely to be profitable first." Sweeps
-// the transformation budget under FIFO and priority disciplines and
+// the transformation budget under FIFO and priority disciplines on one
+// loaded Engine, switching configurations with SetOptimizerOptions, and
 // reports the estimated cost of the final query for each.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "cost/cost_model.h"
-#include "exec/plan_builder.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
 
 int main() {
   using namespace sqopt;
   using bench::Check;
+  using bench::OpenExperimentEngine;
   using bench::Unwrap;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Check(catalog.AddConstraint(std::move(clause)));
-  }
-  AccessStats access(schema.num_classes());
-  Check(catalog.Precompile(&access));
+  const DbSpec spec{"PB", 208, 616};
+  constexpr uint64_t kSeed = 4242;
 
-  auto store =
-      Unwrap(GenerateDatabase(schema, DbSpec{"PB", 208, 616}, 4242));
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
-
-  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 2, 5);
-  QueryGenerator gen(&schema, 4242);
+  Engine engine = OpenExperimentEngine();
+  Check(engine.Load(DataSource::Generated(spec, kSeed)));
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(engine.schema(), 2, 5);
+  QueryGenerator gen(&engine.schema(), kSeed);
   std::vector<Query> queries = Unwrap(gen.Sample(paths, 30));
 
   std::printf("=== Priority queue + budget ablation (30 queries, DB4 "
@@ -43,32 +32,32 @@ int main() {
   std::printf("%8s %14s %14s %14s\n", "budget", "fifo", "priority",
               "prio/fifo");
 
-  for (size_t budget : {1u, 2u, 3u, 4u, 0u}) {
-    double total_fifo = 0, total_prio = 0;
+  auto mean_cost = [&](QueueDiscipline queue, size_t budget) {
+    OptimizerOptions optimizer;
+    optimizer.queue = queue;
+    optimizer.transformation_budget = budget;
+    engine.SetOptimizerOptions(optimizer);
+    double total = 0;
     for (const Query& query : queries) {
-      OptimizerOptions fifo;
-      fifo.queue = QueueDiscipline::kFifo;
-      fifo.transformation_budget = budget;
-      SemanticOptimizer opt_fifo(&schema, &catalog, &cost_model, fifo);
-      OptimizeResult rf = Unwrap(opt_fifo.Optimize(query));
-      total_fifo += rf.empty_result ? 0.0 : cost_model.QueryCost(rf.query);
-
-      OptimizerOptions prio;
-      prio.queue = QueueDiscipline::kPriority;
-      prio.transformation_budget = budget;
-      SemanticOptimizer opt_prio(&schema, &catalog, &cost_model, prio);
-      OptimizeResult rp = Unwrap(opt_prio.Optimize(query));
-      total_prio += rp.empty_result ? 0.0 : cost_model.QueryCost(rp.query);
+      QueryOutcome outcome = Unwrap(engine.Analyze(query));
+      if (!outcome.answered_without_database) {
+        total += engine.cost_model()->QueryCost(outcome.transformed);
+      }
     }
+    return total / queries.size();
+  };
+
+  for (size_t budget : {1u, 2u, 3u, 4u, 0u}) {
+    double fifo = mean_cost(QueueDiscipline::kFifo, budget);
+    double prio = mean_cost(QueueDiscipline::kPriority, budget);
     char label[16];
     if (budget == 0) {
       std::snprintf(label, sizeof(label), "%s", "unlimited");
     } else {
       std::snprintf(label, sizeof(label), "%zu", budget);
     }
-    std::printf("%8s %14.2f %14.2f %13.3f\n", label,
-                total_fifo / queries.size(), total_prio / queries.size(),
-                total_fifo > 0 ? total_prio / total_fifo : 1.0);
+    std::printf("%8s %14.2f %14.2f %13.3f\n", label, fifo, prio,
+                fifo > 0 ? prio / fifo : 1.0);
   }
 
   std::printf(

@@ -1,4 +1,6 @@
-// Shared setup for the benchmark/reproduction binaries.
+// Shared setup for the benchmark/reproduction binaries. Everything
+// goes through the sqopt::Engine façade; a bench never hand-wires the
+// optimizer/planner/executor pipeline.
 #ifndef SQOPT_BENCH_BENCH_UTIL_H_
 #define SQOPT_BENCH_BENCH_UTIL_H_
 
@@ -7,9 +9,7 @@
 #include <memory>
 #include <utility>
 
-#include "catalog/access_stats.h"
-#include "common/status.h"
-#include "constraints/constraint_catalog.h"
+#include "api/engine.h"
 
 namespace sqopt::bench {
 
@@ -26,6 +26,14 @@ T Unwrap(Result<T> result) {
 
 inline void Check(const Status& status) {
   if (!status.ok()) Die(status);
+}
+
+// The standard bench fixture: experiment schema + the 15 experiment
+// constraints, precompiled.
+inline Engine OpenExperimentEngine(EngineOptions options = {}) {
+  return Unwrap(Engine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment(),
+                             std::move(options)));
 }
 
 }  // namespace sqopt::bench

@@ -1,17 +1,14 @@
 // Constraint maintenance scenario: how the constraint subsystem behaves
 // as the rule base and access patterns evolve — the operational side of
 // Section 3 (closure recomputation on updates, grouping policies,
-// access-frequency drift).
+// access-frequency drift), driven entirely through the Engine's admin
+// path.
 //
 //   $ ./examples/constraint_maintenance
 #include <cstdio>
 #include <cstdlib>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
-#include "constraints/constraint_parser.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
+#include "api/engine.h"
 
 namespace {
 
@@ -26,11 +23,10 @@ T Unwrap(sqopt::Result<T> result) {
   return std::move(result).value();
 }
 
-void PrintGroups(const sqopt::Schema& schema,
-                 const sqopt::ConstraintCatalog& catalog) {
-  for (const sqopt::ObjectClass& oc : schema.classes()) {
+void PrintGroups(const sqopt::Engine& engine) {
+  for (const sqopt::ObjectClass& oc : engine.schema().classes()) {
     std::printf("  group[%s]: %zu constraints\n", oc.name.c_str(),
-                catalog.grouping().group_size(oc.id));
+                engine.catalog().grouping().group_size(oc.id));
   }
 }
 
@@ -39,74 +35,65 @@ void PrintGroups(const sqopt::Schema& schema,
 int main() {
   using namespace sqopt;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Status s = catalog.AddConstraint(std::move(clause));
-    if (!s.ok()) Die(s);
-  }
-
   // --- Phase 1: cold start, arbitrary grouping. ---
-  AccessStats access(schema.num_classes());
-  PrecompileOptions options;
-  options.grouping = GroupingPolicy::kArbitrary;
-  Status s = catalog.Precompile(&access, options);
-  if (!s.ok()) Die(s);
+  EngineOptions options;
+  options.precompile.grouping = GroupingPolicy::kArbitrary;
+  Engine engine = Unwrap(Engine::Open(SchemaSource::Experiment(),
+                                      ConstraintSource::Experiment(),
+                                      options));
   std::printf("=== Phase 1: arbitrary grouping ===\n");
-  std::printf("base %zu, derived %zu\n", catalog.num_base(),
-              catalog.num_derived());
-  PrintGroups(schema, catalog);
+  std::printf("base %zu, derived %zu\n", engine.catalog().num_base(),
+              engine.catalog().num_derived());
+  PrintGroups(engine);
 
   // --- Phase 2: a month of traffic; cargo and vehicle run hot. ---
+  const Schema& schema = engine.schema();
   ClassId cargo = schema.FindClass("cargo");
   ClassId vehicle = schema.FindClass("vehicle");
   ClassId department = schema.FindClass("department");
-  access.SetCount(cargo, 900);
-  access.SetCount(vehicle, 700);
-  access.SetCount(schema.FindClass("supplier"), 120);
-  access.SetCount(schema.FindClass("driver"), 60);
-  access.SetCount(department, 5);
+  AccessStats* access = engine.mutable_access_stats();
+  access->SetCount(cargo, 900);
+  access->SetCount(vehicle, 700);
+  access->SetCount(schema.FindClass("supplier"), 120);
+  access->SetCount(schema.FindClass("driver"), 60);
+  access->SetCount(department, 5);
 
-  options.grouping = GroupingPolicy::kLeastFrequentlyAccessed;
-  s = catalog.Precompile(&access, options);
+  PrecompileOptions precompile;
+  precompile.grouping = GroupingPolicy::kLeastFrequentlyAccessed;
+  Status s = engine.Recompile(precompile);
   if (!s.ok()) Die(s);
   std::printf("\n=== Phase 2: least-frequently-accessed grouping ===\n");
   std::printf("(constraints migrate toward cold classes, so hot-class\n"
               " queries fetch fewer irrelevant constraints)\n");
-  PrintGroups(schema, catalog);
+  PrintGroups(engine);
 
-  catalog.ResetRetrievalStats();
+  engine.catalog().ResetRetrievalStats();
   for (int i = 0; i < 100; ++i) {
-    catalog.RelevantForQuery({cargo, vehicle});  // the hot query
+    engine.catalog().RelevantForQuery({cargo, vehicle});  // the hot query
   }
+  const RetrievalStats retrieval = engine.catalog().retrieval_stats();
   std::printf("hot-query retrieval: %.1f constraints/query, "
               "%.0f%% irrelevant\n",
-              static_cast<double>(
-                  catalog.retrieval_stats().constraints_retrieved) /
-                  catalog.retrieval_stats().queries,
-              100.0 * catalog.retrieval_stats().IrrelevantFraction());
+              static_cast<double>(retrieval.constraints_retrieved) /
+                  retrieval.queries,
+              100.0 * retrieval.IrrelevantFraction());
 
-  // --- Phase 3: the rule base changes; closure must be recomputed. ---
+  // --- Phase 3: the rule base changes; closure must be recomputed.
+  // Engine::AddConstraint re-precompiles immediately — the catalog is
+  // never served stale. ---
   std::printf("\n=== Phase 3: adding a constraint, recompiling ===\n");
-  auto extra = ParseConstraint(
-      schema,
+  s = engine.AddConstraint(
       "new1: cargo.weight <= 40 -> cargo.quantity <= 499");
-  if (!extra.ok()) Die(extra.status());
-  s = catalog.AddConstraint(std::move(*extra));
   if (!s.ok()) Die(s);
-  std::printf("catalog precompiled flag after add: %s\n",
-              catalog.precompiled() ? "true" : "false");
-  s = catalog.Precompile(&access, options);
-  if (!s.ok()) Die(s);
-  std::printf("after recompile: base %zu, derived %zu (new chains appear "
-              "through the added rule)\n",
-              catalog.num_base(), catalog.num_derived());
+  std::printf("after add + recompile: base %zu, derived %zu (new chains "
+              "appear through the added rule)\n",
+              engine.catalog().num_base(), engine.catalog().num_derived());
 
   // --- Phase 4: balanced grouping for drift-free installations. ---
-  options.grouping = GroupingPolicy::kBalanced;
-  s = catalog.Precompile(&access, options);
+  precompile.grouping = GroupingPolicy::kBalanced;
+  s = engine.Recompile(precompile);
   if (!s.ok()) Die(s);
   std::printf("\n=== Phase 4: balanced grouping ===\n");
-  PrintGroups(schema, catalog);
+  PrintGroups(engine);
   return 0;
 }

@@ -1,24 +1,16 @@
 // Logistics fleet scenario: the transport workload the paper's intro
-// motivates. Generates a mid-sized database, runs a handful of fleet
-// management queries with and without semantic optimization, and prints
-// measured execution costs side by side.
+// motivates. Opens an Engine on the experiment schema, loads a
+// mid-sized database, runs a handful of fleet management queries with
+// and without semantic optimization, and prints measured execution
+// costs side by side.
 //
 //   $ ./examples/logistics_fleet [class_cardinality] [rel_cardinality]
 #include <cstdio>
 #include <cstdlib>
-#include <string>
+#include <utility>
 #include <vector>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
-#include "cost/cost_model.h"
-#include "exec/executor.h"
-#include "exec/plan_builder.h"
-#include "query/query_parser.h"
-#include "query/query_printer.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
+#include "api/engine.h"
 
 namespace {
 
@@ -42,24 +34,15 @@ int main(int argc, char** argv) {
   if (argc > 1) spec.class_cardinality = std::atol(argv[1]);
   if (argc > 2) spec.rel_cardinality = std::atol(argv[2]);
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Status s = catalog.AddConstraint(std::move(clause));
-    if (!s.ok()) Die(s);
-  }
-  AccessStats access(schema.num_classes());
-  Status s = catalog.Precompile(&access);
-  if (!s.ok()) Die(s);
+  Engine engine = Unwrap(Engine::Open(SchemaSource::Experiment(),
+                                      ConstraintSource::Experiment()));
 
   std::printf("generating fleet database: %ld objects/class, %ld "
               "pairs/relationship...\n",
               static_cast<long>(spec.class_cardinality),
               static_cast<long>(spec.rel_cardinality));
-  auto store = Unwrap(GenerateDatabase(schema, spec, /*seed=*/20260612));
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
-  SemanticOptimizer optimizer(&schema, &catalog, &cost_model);
+  Status s = engine.Load(DataSource::Generated(spec, /*seed=*/20260612));
+  if (!s.ok()) Die(s);
 
   const std::vector<std::pair<const char*, const char*>> queries = {
       {"Which cargos do our refrigerated trucks collect?",
@@ -84,33 +67,25 @@ int main(int argc, char** argv) {
             {inspects} {driver, cargo} ))"},
   };
 
-  CostModelParams params;
+  const CostModelParams& params = engine.options().cost_params;
   for (const auto& [title, text] : queries) {
-    Query query = Unwrap(ParseQuery(schema, text));
-    access.RecordQuery(query.classes);
-
-    ExecutionMeter original_meter;
-    ResultSet original =
-        Unwrap(ExecuteQuery(*store, query, &original_meter));
-
-    OptimizeResult opt = Unwrap(optimizer.Optimize(query));
-    ExecutionMeter optimized_meter;
-    ResultSet optimized;
-    if (!opt.empty_result) {
-      optimized = Unwrap(ExecuteQuery(*store, opt.query, &optimized_meter));
-    }
+    QueryOutcome original = Unwrap(engine.ExecuteUnoptimized(text));
+    QueryOutcome optimized = Unwrap(engine.Execute(text));
 
     std::printf("\n--- %s ---\n", title);
-    std::printf("original:    %s\n", PrintQuery(schema, query).c_str());
+    std::printf("original:    %s\n",
+                PrintQuery(engine.schema(), original.original).c_str());
     std::printf("transformed: %s%s\n",
-                PrintQuery(schema, opt.query).c_str(),
-                opt.empty_result ? "  [EMPTY — answered without DB]" : "");
+                PrintQuery(engine.schema(), optimized.transformed).c_str(),
+                optimized.answered_without_database
+                    ? "  [EMPTY — answered without DB]"
+                    : "");
     std::printf("firings: %zu, eliminated classes: %zu, rows: %zu -> %zu\n",
-                opt.report.num_firings,
-                opt.report.eliminated_classes.size(), original.rows.size(),
-                opt.empty_result ? 0 : optimized.rows.size());
-    double oc = original_meter.CostUnits(params);
-    double tc = optimized_meter.CostUnits(params);
+                optimized.report.num_firings,
+                optimized.report.eliminated_classes.size(),
+                original.rows.rows.size(), optimized.rows.rows.size());
+    double oc = original.meter.CostUnits(params);
+    double tc = optimized.meter.CostUnits(params);
     std::printf("measured cost units: %.2f -> %.2f (%.0f%%)\n", oc, tc,
                 oc > 0 ? 100.0 * tc / oc : 0.0);
   }

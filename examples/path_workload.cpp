@@ -1,20 +1,13 @@
 // Path workload driver: reproduces the paper's §4 evaluation protocol —
 // enumerate all simple paths in the schema, formulate a query per path,
-// draw 40 at random, and push them through the semantic optimizer.
+// draw 40 at random, and push them through the Engine's analysis path.
 // Prints a per-query line plus aggregate statistics.
 //
 //   $ ./examples/path_workload [num_queries] [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
-#include "cost/cost_model.h"
-#include "exec/plan_builder.h"
-#include "query/query_printer.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
+#include "api/engine.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
 
@@ -39,40 +32,32 @@ int main(int argc, char** argv) {
   size_t num_queries = argc > 1 ? std::atoi(argv[1]) : 40;
   uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 1991;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(ExperimentConstraints(schema))) {
-    Status s = catalog.AddConstraint(std::move(clause));
-    if (!s.ok()) Die(s);
-  }
-  AccessStats access(schema.num_classes());
-  Status s = catalog.Precompile(&access);
+  Engine engine = Unwrap(Engine::Open(SchemaSource::Experiment(),
+                                      ConstraintSource::Experiment()));
+  // The database exists to give the profitability analysis real
+  // statistics; the queries themselves are only analyzed.
+  Status s = engine.Load(DataSource::Generated(DbSpec{"PW", 104, 154}, seed));
   if (!s.ok()) Die(s);
 
-  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 1, 5);
+  std::vector<SchemaPath> paths =
+      EnumerateSimplePaths(engine.schema(), 1, 5);
   std::printf("schema has %zu simple paths; drawing %zu queries "
               "(seed %llu)\n\n",
               paths.size(), num_queries,
               static_cast<unsigned long long>(seed));
 
-  auto store = Unwrap(GenerateDatabase(schema, DbSpec{"PW", 104, 154}, seed));
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
-  SemanticOptimizer optimizer(&schema, &catalog, &cost_model);
-
-  QueryGenerator gen(&schema, seed);
+  QueryGenerator gen(&engine.schema(), seed);
   std::vector<Query> queries = Unwrap(gen.Sample(paths, num_queries));
 
   size_t transformed = 0, eliminations = 0, contradictions = 0;
   size_t introductions = 0, eliminated_preds = 0;
   int64_t total_ns = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    access.RecordQuery(queries[i].classes);
-    OptimizeResult result = Unwrap(optimizer.Optimize(queries[i]));
-    const OptimizationReport& r = result.report;
+    QueryOutcome outcome = Unwrap(engine.Analyze(queries[i]));
+    const OptimizationReport& r = outcome.report;
     if (r.num_firings > 0) ++transformed;
     eliminations += r.eliminated_classes.size();
-    if (result.empty_result) ++contradictions;
+    if (outcome.answered_without_database) ++contradictions;
     for (const TransformStep& step : r.steps) {
       if (step.introduced) ++introductions;
     }
@@ -87,10 +72,10 @@ int main(int argc, char** argv) {
                 r.num_relevant_constraints, r.num_distinct_predicates,
                 r.num_firings,
                 r.eliminated_classes.empty() ? "" : "[class-elim] ",
-                result.empty_result ? "[empty-result]" : "");
+                outcome.answered_without_database ? "[empty-result]" : "");
   }
 
-  const RetrievalStats& rs = catalog.retrieval_stats();
+  const RetrievalStats rs = engine.catalog().retrieval_stats();
   std::printf("\n=== Aggregates over %zu queries ===\n", queries.size());
   std::printf("queries transformed:        %zu\n", transformed);
   std::printf("predicates introduced:      %zu\n", introductions);

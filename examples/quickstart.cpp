@@ -1,16 +1,13 @@
 // Quickstart: the paper's running example (Figures 2.1-2.3, Section 3.5)
-// end to end — build the schema, load the semantic constraints, optimize
-// the sample query, and print the transformation trace.
+// end to end through the public API — open an Engine on the schema and
+// the semantic constraints, analyze the sample query, and print the
+// transformation trace.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 #include <cstdlib>
-#include <string>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
-#include "query/query_printer.h"
-#include "sqo/optimizer.h"
+#include "api/engine.h"
 #include "workload/example_schema.h"
 
 namespace {
@@ -31,39 +28,38 @@ T Unwrap(sqopt::Result<T> result) {
 int main() {
   using namespace sqopt;
 
-  // 1. The Figure 2.1 database schema.
-  Schema schema = Unwrap(BuildFigure21Schema());
-  std::printf("=== Schema (Figure 2.1) ===\n%s\n",
-              schema.ToString().c_str());
+  // One call wires the whole pipeline: the Figure 2.1 schema, the
+  // Figure 2.2 constraints with their transitive closure materialized
+  // and grouped by object class. No data is loaded, so there is no
+  // cost model: every optional predicate is kept, exactly as in the
+  // paper's walkthrough.
+  Engine engine = Unwrap(Engine::Open(SchemaSource::PaperExample(),
+                                      ConstraintSource::PaperExample()));
 
-  // 2. The Figure 2.2 semantic constraints, precompiled: transitive
-  // closure materialized, constraints grouped by object class.
-  ConstraintCatalog catalog(&schema);
-  for (HornClause& clause : Unwrap(Figure22Constraints(schema))) {
-    std::printf("constraint %s\n", clause.ToString(schema).c_str());
-    Status s = catalog.AddConstraint(std::move(clause));
-    if (!s.ok()) Die(s);
+  std::printf("=== Schema (Figure 2.1) ===\n%s\n",
+              engine.schema().ToString().c_str());
+
+  const ConstraintCatalog& catalog = engine.catalog();
+  for (size_t i = 0; i < catalog.num_base(); ++i) {
+    std::printf("constraint %s\n",
+                catalog.clause(static_cast<ConstraintId>(i))
+                    .ToString(engine.schema())
+                    .c_str());
   }
-  AccessStats stats(schema.num_classes());
-  Status s = catalog.Precompile(&stats);
-  if (!s.ok()) Die(s);
   std::printf("\nprecompiled: %zu base + %zu derived constraints\n\n",
               catalog.num_base(), catalog.num_derived());
 
-  // 3. The Figure 2.3 sample query: refrigerated trucks sent to SFI.
-  Query query = Unwrap(Figure23SampleQuery(schema));
+  // The Figure 2.3 sample query: refrigerated trucks sent to SFI.
+  Query query = Unwrap(Figure23SampleQuery(engine.schema()));
   std::printf("=== Original query ===\n%s\n\n",
-              PrintQueryPretty(schema, query).c_str());
+              PrintQueryPretty(engine.schema(), query).c_str());
 
-  // 4. Optimize. No cost model here: every optional predicate is kept,
-  // exactly as in the paper's walkthrough.
-  SemanticOptimizer optimizer(&schema, &catalog, /*cost_model=*/nullptr);
-  OptimizeResult result = Unwrap(optimizer.Optimize(query));
+  QueryOutcome outcome = Unwrap(engine.Analyze(query));
 
   std::printf("=== Transformation trace ===\n%s\n",
-              result.report.ToString(schema).c_str());
+              outcome.report.ToString(engine.schema()).c_str());
   std::printf("=== Transformed query ===\n%s\n",
-              PrintQueryPretty(schema, result.query).c_str());
+              PrintQueryPretty(engine.schema(), outcome.transformed).c_str());
   std::printf(
       "\nThe supplier class is gone (class elimination), its predicate\n"
       "supplier.name = \"SFI\" with it, and cargo.desc = \"frozen food\"\n"

@@ -1,23 +1,15 @@
 // Rule mining scenario (Siegel [Sie88] / Yu & Sun [YuS89] extension):
 // derive state-dependent semantic rules from the current database
-// contents, feed them to the optimizer alongside the hand-written
-// integrity constraints, and show the extra transformations they enable.
+// contents, feed them to a second Engine alongside the hand-written
+// integrity constraints, and show the extra transformations they
+// enable.
 //
 //   $ ./examples/rule_mining
 #include <cstdio>
 #include <cstdlib>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
+#include "api/engine.h"
 #include "constraints/rule_derivation.h"
-#include "cost/cost_model.h"
-#include "exec/executor.h"
-#include "exec/plan_builder.h"
-#include "query/query_parser.h"
-#include "query/query_printer.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
 
 namespace {
 
@@ -32,50 +24,44 @@ T Unwrap(sqopt::Result<T> result) {
   return std::move(result).value();
 }
 
+void Check(const sqopt::Status& status) {
+  if (!status.ok()) Die(status);
+}
+
 }  // namespace
 
 int main() {
   using namespace sqopt;
 
-  Schema schema = Unwrap(BuildExperimentSchema());
-  auto store =
-      Unwrap(GenerateDatabase(schema, DbSpec{"mine", 104, 208}, 7));
+  const DbSpec spec{"mine", 104, 208};
+  constexpr uint64_t kSeed = 7;
+
+  // Baseline engine: integrity constraints only.
+  Engine base = Unwrap(Engine::Open(SchemaSource::Experiment(),
+                                    ConstraintSource::Experiment()));
+  Check(base.Load(DataSource::Generated(spec, kSeed)));
 
   // Mine rules from the current state.
   std::printf("=== Mining state rules ===\n");
-  std::vector<HornClause> mined = Unwrap(DeriveStateRules(*store));
+  std::vector<HornClause> mined = Unwrap(DeriveStateRules(*base.store()));
   std::printf("derived %zu rules; a sample:\n", mined.size());
   for (size_t i = 0; i < mined.size() && i < 8; ++i) {
-    std::printf("  %s\n", mined[i].ToString(schema).c_str());
+    std::printf("  %s\n", mined[i].ToString(base.schema()).c_str());
   }
 
-  // Two catalogs: integrity constraints only, and integrity + mined.
-  auto build_catalog = [&](bool with_mined) {
-    auto catalog = std::make_unique<ConstraintCatalog>(&schema);
-    for (HornClause& c : Unwrap(ExperimentConstraints(schema))) {
-      Status s = catalog->AddConstraint(std::move(c));
-      if (!s.ok()) Die(s);
-    }
-    if (with_mined) {
-      for (const HornClause& c : mined) {
-        // Mined rules may duplicate hand-written ones; skip those.
-        (void)catalog->AddConstraint(c);
-      }
-    }
-    AccessStats access(schema.num_classes());
-    Status s = catalog->Precompile(&access);
-    if (!s.ok()) Die(s);
-    return catalog;
-  };
-  auto base_catalog = build_catalog(false);
-  auto mined_catalog = build_catalog(true);
+  // Second engine: integrity + mined. Merge skips the mined rules that
+  // duplicate hand-written ones; the deterministic generator rebuilds
+  // the identical database.
+  Engine with_mined = Unwrap(Engine::Open(
+      SchemaSource::Experiment(),
+      ConstraintSource::Merge({ConstraintSource::Experiment(),
+                               ConstraintSource::FromClauses(mined)})));
+  Check(with_mined.Load(DataSource::Generated(spec, kSeed)));
+
   std::printf("\ncatalog sizes: integrity-only %zu clauses, +mined %zu "
               "clauses (after closure)\n",
-              base_catalog->clauses().size(),
-              mined_catalog->clauses().size());
-
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
+              base.catalog().clauses().size(),
+              with_mined.catalog().clauses().size());
 
   // A query the integrity constraints cannot help but mined rules can:
   // the global bounds turn an out-of-range filter into a contradiction.
@@ -89,17 +75,18 @@ int main() {
   };
 
   for (const char* text : queries) {
-    Query query = Unwrap(ParseQuery(schema, text));
-    std::printf("\n--- %s ---\n", PrintQuery(schema, query).c_str());
-    for (auto* catalog : {base_catalog.get(), mined_catalog.get()}) {
-      bool with_mined = (catalog == mined_catalog.get());
-      SemanticOptimizer optimizer(&schema, catalog, &cost_model);
-      OptimizeResult result = Unwrap(optimizer.Optimize(query));
+    Query query = Unwrap(base.Parse(text));
+    std::printf("\n--- %s ---\n", PrintQuery(base.schema(), query).c_str());
+    for (const Engine* engine : {&base, &with_mined}) {
+      bool is_mined = (engine == &with_mined);
+      QueryOutcome outcome = Unwrap(engine->Analyze(query));
       std::printf("%-18s firings=%zu%s -> %s\n",
-                  with_mined ? "integrity+mined:" : "integrity-only:",
-                  result.report.num_firings,
-                  result.empty_result ? " [EMPTY without DB access]" : "",
-                  PrintQuery(schema, result.query).c_str());
+                  is_mined ? "integrity+mined:" : "integrity-only:",
+                  outcome.report.num_firings,
+                  outcome.answered_without_database
+                      ? " [EMPTY without DB access]"
+                      : "",
+                  PrintQuery(engine->schema(), outcome.transformed).c_str());
     }
   }
 

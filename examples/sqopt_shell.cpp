@@ -1,31 +1,25 @@
-// Interactive shell over the public API: parse, optimize, explain, and
-// execute queries against a generated experiment database.
+// Interactive shell over the public API: parse, optimize, explain,
+// prepare, and execute queries against a generated experiment database
+// through one sqopt::Engine.
 //
 //   $ ./examples/sqopt_shell
 //   sqopt> help
 //   sqopt> query {cargo.code} {} {cargo.desc = "frozen food"} {} {cargo}
 //   sqopt> explain {cargo.code} {} {cargo.desc = "frozen food"} {} {cargo}
-//   sqopt> constraints
+//   sqopt> prepare {cargo.code} {} {cargo.desc = "frozen food"} {} {cargo}
+//   sqopt> run 1000
+//   sqopt> counters
 //   sqopt> quit
 //
 // Also accepts commands on stdin non-interactively (used in CI smoke
 // runs: `echo 'constraints' | ./examples/sqopt_shell`).
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "catalog/access_stats.h"
-#include "constraints/constraint_catalog.h"
-#include "constraints/constraint_parser.h"
-#include "cost/cost_model.h"
-#include "exec/executor.h"
-#include "exec/plan_builder.h"
-#include "query/query_parser.h"
-#include "query/query_printer.h"
-#include "sqo/optimizer.h"
-#include "workload/constraint_gen.h"
-#include "workload/dbgen.h"
+#include "api/engine.h"
 
 namespace {
 
@@ -33,15 +27,31 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  query <5-group query>    optimize + execute, print rows\n"
-      "  explain <5-group query>  show transformation trace and plans\n"
+      "  explain <5-group query>  show transformation trace and plan\n"
+      "  prepare <5-group query>  prepare a statement for repeated runs\n"
+      "  run [n]                  execute the prepared statement n times\n"
       "  add <horn clause>        add a constraint (recompiles catalog)\n"
       "  constraints              list constraints (base + derived)\n"
       "  schema                   print the schema\n"
       "  stats                    class cardinalities\n"
+      "  counters                 engine counters (parses, executions)\n"
       "  help                     this text\n"
       "  quit\n"
       "query form: {proj} {joins} {selects} {rels} {classes}, e.g.\n"
       "  query {cargo.code} {} {cargo.desc = \"frozen food\"} {} {cargo}\n");
+}
+
+void PrintRows(const sqopt::ResultSet& rows) {
+  size_t shown = 0;
+  for (const auto& row : rows.rows) {
+    if (shown++ == 10) {
+      std::printf("  ... (%zu more)\n", rows.rows.size() - 10);
+      break;
+    }
+    std::string text;
+    for (const sqopt::Value& v : row) text += v.ToString() + "  ";
+    std::printf("  %s\n", text.c_str());
+  }
 }
 
 }  // namespace
@@ -49,31 +59,25 @@ void PrintHelp() {
 int main() {
   using namespace sqopt;
 
-  auto schema_result = BuildExperimentSchema();
-  if (!schema_result.ok()) return 1;
-  Schema schema = std::move(schema_result).value();
-
-  ConstraintCatalog catalog(&schema);
-  {
-    auto constraints = ExperimentConstraints(schema);
-    if (!constraints.ok()) return 1;
-    for (HornClause& clause : *constraints) {
-      if (!catalog.AddConstraint(std::move(clause)).ok()) return 1;
-    }
+  auto opened = Engine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
   }
-  AccessStats access(schema.num_classes());
-  if (!catalog.Precompile(&access).ok()) return 1;
-
-  auto store_result =
-      GenerateDatabase(schema, DbSpec{"shell", 104, 208}, 42);
-  if (!store_result.ok()) return 1;
-  auto store = std::move(store_result).value();
-  DatabaseStats stats = CollectStats(*store);
-  CostModel cost_model(&schema, &stats);
+  Engine engine = std::move(opened).value();
+  Status s =
+      engine.Load(DataSource::Generated(DbSpec{"shell", 104, 208}, 42));
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   std::printf("sqopt shell — experiment schema, 104 objects/class. "
               "'help' for commands.\n");
 
+  PreparedQuery prepared;  // the one statement slot of this shell
   std::string line;
   while (true) {
     std::printf("sqopt> ");
@@ -92,90 +96,116 @@ int main() {
       continue;
     }
     if (command == "schema") {
-      std::printf("%s", schema.ToString().c_str());
+      std::printf("%s", engine.schema().ToString().c_str());
       continue;
     }
     if (command == "stats") {
-      for (const ObjectClass& oc : schema.classes()) {
+      for (const ObjectClass& oc : engine.schema().classes()) {
         std::printf("  %-12s %6lld objects\n", oc.name.c_str(),
-                    static_cast<long long>(store->NumObjects(oc.id)));
+                    static_cast<long long>(
+                        engine.store()->NumObjects(oc.id)));
       }
       continue;
     }
+    if (command == "counters") {
+      EngineStats stats = engine.stats();
+      std::printf("  parses %llu | executed %llu | analyzed %llu | "
+                  "prepared %llu | prepared runs %llu | "
+                  "contradictions %llu\n",
+                  static_cast<unsigned long long>(stats.queries_parsed),
+                  static_cast<unsigned long long>(stats.queries_executed),
+                  static_cast<unsigned long long>(stats.queries_analyzed),
+                  static_cast<unsigned long long>(stats.statements_prepared),
+                  static_cast<unsigned long long>(stats.prepared_executions),
+                  static_cast<unsigned long long>(stats.contradictions));
+      continue;
+    }
     if (command == "constraints") {
+      const ConstraintCatalog& catalog = engine.catalog();
       for (size_t i = 0; i < catalog.clauses().size(); ++i) {
         const HornClause& c = catalog.clause(static_cast<ConstraintId>(i));
         std::printf("  [%s]%s %s\n",
                     ConstraintClassName(
                         catalog.classification(static_cast<ConstraintId>(i))),
                     c.is_derived() ? " (derived)" : "",
-                    c.ToString(schema).c_str());
+                    c.ToString(engine.schema()).c_str());
       }
       continue;
     }
     if (command == "add") {
-      auto clause = ParseConstraint(schema, rest);
-      if (!clause.ok()) {
-        std::printf("  %s\n", clause.status().ToString().c_str());
-        continue;
-      }
-      Status s = catalog.AddConstraint(std::move(*clause));
-      if (s.ok()) s = catalog.Precompile(&access);
-      std::printf("  %s\n", s.ok() ? "ok (catalog recompiled)"
-                                   : s.ToString().c_str());
+      Status status = engine.AddConstraint(rest);
+      std::printf("  %s\n", status.ok() ? "ok (catalog recompiled)"
+                                        : status.ToString().c_str());
       continue;
     }
-    if (command == "query" || command == "explain") {
-      auto query = ParseQuery(schema, rest);
-      if (!query.ok()) {
-        std::printf("  %s\n", query.status().ToString().c_str());
+    if (command == "explain") {
+      auto explained = engine.Explain(rest);
+      if (!explained.ok()) {
+        std::printf("  %s\n", explained.status().ToString().c_str());
         continue;
       }
-      access.RecordQuery(query->classes);
-      SemanticOptimizer optimizer(&schema, &catalog, &cost_model);
-      auto opt = optimizer.Optimize(*query);
-      if (!opt.ok()) {
-        std::printf("  %s\n", opt.status().ToString().c_str());
+      std::printf("%s", explained->c_str());
+      continue;
+    }
+    if (command == "prepare") {
+      auto handle = engine.Prepare(rest);
+      if (!handle.ok()) {
+        std::printf("  %s\n", handle.status().ToString().c_str());
         continue;
       }
-      if (command == "explain") {
-        std::printf("%s", opt->report.ToString(schema).c_str());
-        std::printf("transformed: %s\n",
-                    PrintQuery(schema, opt->query).c_str());
-        if (!opt->empty_result) {
-          auto plan = BuildPlan(schema, stats, opt->query);
-          if (plan.ok()) {
-            std::printf("plan:\n%s", plan->ToString(schema).c_str());
-          }
-        }
+      prepared = std::move(handle).value();
+      std::printf("prepared: %s\n",
+                  PrintQuery(engine.schema(), prepared.transformed()).c_str());
+      std::printf("  (%zu transformation(s)%s; 'run [n]' to execute)\n",
+                  prepared.report().num_firings,
+                  prepared.answered_without_database()
+                      ? ", provably empty"
+                      : "");
+      continue;
+    }
+    if (command == "run") {
+      if (!prepared.valid()) {
+        std::printf("  nothing prepared — use 'prepare <query>' first\n");
         continue;
       }
-      // query: execute the transformed form.
-      ExecutionMeter meter;
-      ResultSet rows;
-      if (!opt->empty_result) {
-        auto executed = ExecuteQuery(*store, opt->query, &meter);
-        if (!executed.ok()) {
-          std::printf("  %s\n", executed.status().ToString().c_str());
-          continue;
-        }
-        rows = std::move(*executed);
+      long n = rest.empty() ? 1 : std::atol(rest.c_str());
+      if (n < 1) n = 1;
+      auto t0 = std::chrono::steady_clock::now();
+      Result<QueryOutcome> last = prepared.Execute();
+      for (long i = 1; i < n && last.ok(); ++i) {
+        last = prepared.Execute();
       }
-      size_t shown = 0;
-      for (const auto& row : rows.rows) {
-        if (shown++ == 10) {
-          std::printf("  ... (%zu more)\n", rows.rows.size() - 10);
-          break;
-        }
-        std::string text;
-        for (const Value& v : row) text += v.ToString() + "  ";
-        std::printf("  %s\n", text.c_str());
+      auto t1 = std::chrono::steady_clock::now();
+      if (!last.ok()) {
+        std::printf("  %s\n", last.status().ToString().c_str());
+        continue;
       }
+      PrintRows(last->rows);
+      std::printf("%zu row(s), cost %.2f units, %ld execution(s) in "
+                  "%.1f us (%.2f us/exec, %llu lifetime)\n",
+                  last->rows.rows.size(), last->meter.CostUnits(),
+                  n,
+                  std::chrono::duration<double, std::micro>(t1 - t0)
+                      .count(),
+                  std::chrono::duration<double, std::micro>(t1 - t0)
+                          .count() /
+                      n,
+                  static_cast<unsigned long long>(prepared.executions()));
+      continue;
+    }
+    if (command == "query") {
+      auto outcome = engine.Execute(rest);
+      if (!outcome.ok()) {
+        std::printf("  %s\n", outcome.status().ToString().c_str());
+        continue;
+      }
+      PrintRows(outcome->rows);
       std::printf("%zu row(s), cost %.2f units, %zu transformation(s)%s\n",
-                  rows.rows.size(), meter.CostUnits(),
-                  opt->report.num_firings,
-                  opt->empty_result ? " [contradiction: no DB access]"
-                                    : "");
+                  outcome->rows.rows.size(), outcome->meter.CostUnits(),
+                  outcome->report.num_firings,
+                  outcome->answered_without_database
+                      ? " [contradiction: no DB access]"
+                      : "");
       continue;
     }
     std::printf("unknown command '%s' — try 'help'\n", command.c_str());

@@ -1,0 +1,401 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "api/engine_impl.h"
+#include "constraints/constraint_parser.h"
+#include "exec/plan_builder.h"
+#include "query/query_parser.h"
+#include "sqo/optimizer.h"
+#include "workload/constraint_gen.h"
+#include "workload/example_schema.h"
+
+namespace sqopt {
+
+// ---------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------
+
+SchemaSource::SchemaSource(Schema schema)
+    : factory_([schema = std::move(schema)]() -> Result<Schema> {
+        return schema;
+      }) {}
+
+SchemaSource::SchemaSource(Factory factory) : factory_(std::move(factory)) {}
+
+SchemaSource SchemaSource::PaperExample() {
+  return SchemaSource(Factory(&BuildFigure21Schema));
+}
+
+SchemaSource SchemaSource::Experiment() {
+  return SchemaSource(Factory(&BuildExperimentSchema));
+}
+
+Result<Schema> SchemaSource::Build() const {
+  if (!factory_) return Status::InvalidArgument("empty SchemaSource");
+  return factory_();
+}
+
+ConstraintSource::ConstraintSource(Factory factory)
+    : factory_(std::move(factory)) {}
+
+ConstraintSource ConstraintSource::None() {
+  return ConstraintSource(
+      [](const Schema&) -> Result<std::vector<HornClause>> {
+        return std::vector<HornClause>{};
+      });
+}
+
+ConstraintSource ConstraintSource::PaperExample() {
+  return ConstraintSource(
+      [](const Schema& schema) { return Figure22Constraints(schema); });
+}
+
+ConstraintSource ConstraintSource::Experiment() {
+  return ConstraintSource(
+      [](const Schema& schema) { return ExperimentConstraints(schema); });
+}
+
+ConstraintSource ConstraintSource::FromClauses(
+    std::vector<HornClause> clauses) {
+  return ConstraintSource(
+      [clauses = std::move(clauses)](
+          const Schema&) -> Result<std::vector<HornClause>> {
+        return clauses;
+      });
+}
+
+ConstraintSource ConstraintSource::FromText(
+    std::vector<std::string> clauses) {
+  return ConstraintSource(
+      [texts = std::move(clauses)](
+          const Schema& schema) -> Result<std::vector<HornClause>> {
+        std::vector<HornClause> out;
+        out.reserve(texts.size());
+        for (const std::string& text : texts) {
+          SQOPT_ASSIGN_OR_RETURN(HornClause clause,
+                                 ParseConstraint(schema, text));
+          out.push_back(std::move(clause));
+        }
+        return out;
+      });
+}
+
+ConstraintSource ConstraintSource::Merge(std::vector<ConstraintSource> parts) {
+  return ConstraintSource(
+      [parts = std::move(parts)](
+          const Schema& schema) -> Result<std::vector<HornClause>> {
+        std::vector<HornClause> out;
+        for (const ConstraintSource& part : parts) {
+          SQOPT_ASSIGN_OR_RETURN(std::vector<HornClause> clauses,
+                                 part.Build(schema));
+          for (HornClause& clause : clauses) {
+            out.push_back(std::move(clause));
+          }
+        }
+        return out;
+      });
+}
+
+Result<std::vector<HornClause>> ConstraintSource::Build(
+    const Schema& schema) const {
+  if (!factory_) return Status::InvalidArgument("empty ConstraintSource");
+  return factory_(schema);
+}
+
+DataSource::DataSource(Factory factory) : factory_(std::move(factory)) {}
+
+DataSource DataSource::Generated(DbSpec spec, uint64_t seed) {
+  return DataSource([spec = std::move(spec), seed](const Schema& schema) {
+    return GenerateDatabase(schema, spec, seed);
+  });
+}
+
+DataSource DataSource::FromStore(std::unique_ptr<ObjectStore> store) {
+  auto holder =
+      std::make_shared<std::unique_ptr<ObjectStore>>(std::move(store));
+  return DataSource(
+      [holder](const Schema&) -> Result<std::unique_ptr<ObjectStore>> {
+        if (*holder == nullptr) {
+          return Status::FailedPrecondition(
+              "DataSource::FromStore already consumed by a Load()");
+        }
+        return std::move(*holder);
+      });
+}
+
+Result<std::unique_ptr<ObjectStore>> DataSource::Build(
+    const Schema& schema) const {
+  if (!factory_) return Status::InvalidArgument("empty DataSource");
+  return factory_(schema);
+}
+
+// ---------------------------------------------------------------------
+// Query-path helpers.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void RecordAccess(const detail::EngineState& state, const Query& query) {
+  if (!state.options.record_access_stats) return;
+  std::lock_guard<std::mutex> lock(state.access_mutex);
+  state.access.RecordQuery(query.classes);
+}
+
+Result<OptimizeResult> OptimizeQuery(const detail::EngineState& state,
+                                     const Query& query) {
+  SemanticOptimizer optimizer(&state.schema, &state.catalog,
+                              state.cost_model.get(),
+                              state.options.optimizer);
+  return optimizer.Optimize(query);
+}
+
+// Optimize (optionally) and execute (optionally) one query.
+Result<QueryOutcome> RunQuery(const detail::EngineState& state,
+                              const Query& query, bool optimize,
+                              bool execute) {
+  if (execute && state.store == nullptr) {
+    return Status::FailedPrecondition(
+        "no data loaded: call Engine::Load before Execute, or use "
+        "Analyze for optimization-only runs");
+  }
+  QueryOutcome out;
+  out.original = query;
+  RecordAccess(state, query);
+
+  if (optimize) {
+    SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt, OptimizeQuery(state, query));
+    out.transformed = std::move(opt.query);
+    out.report = std::move(opt.report);
+    if (opt.empty_result) {
+      out.answered_without_database = true;
+      state.contradictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    SQOPT_RETURN_IF_ERROR(ValidateQuery(state.schema, query));
+    out.transformed = query;
+  }
+
+  if (execute && !out.answered_without_database) {
+    SQOPT_ASSIGN_OR_RETURN(
+        Plan plan, BuildPlan(state.schema, state.db_stats, out.transformed));
+    SQOPT_ASSIGN_OR_RETURN(out.rows,
+                           ExecutePlan(*state.store, plan, &out.meter));
+    out.executed = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Engine: lifecycle + admin path.
+// ---------------------------------------------------------------------
+
+Result<Engine> Engine::Open(SchemaSource schema_source,
+                            ConstraintSource constraint_source,
+                            EngineOptions options) {
+  SQOPT_ASSIGN_OR_RETURN(Schema schema, schema_source.Build());
+  auto state = std::make_shared<detail::EngineState>(std::move(schema),
+                                                     std::move(options));
+  SQOPT_ASSIGN_OR_RETURN(std::vector<HornClause> clauses,
+                         constraint_source.Build(state->schema));
+  for (HornClause& clause : clauses) {
+    Status s = state->catalog.AddConstraint(std::move(clause));
+    // Merged sources (e.g. integrity + mined rules) may overlap; a
+    // duplicate is not an error at this level.
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  }
+  SQOPT_RETURN_IF_ERROR(
+      state->catalog.Precompile(&state->access, state->options.precompile));
+  return Engine(std::move(state));
+}
+
+Status Engine::Load(DataSource data_source) {
+  detail::EngineState& state = *state_;
+  SQOPT_ASSIGN_OR_RETURN(std::unique_ptr<ObjectStore> store,
+                         data_source.Build(state.schema));
+  if (store == nullptr) {
+    return Status::InvalidArgument("DataSource produced no store");
+  }
+  if (store->schema().num_classes() != state.schema.num_classes() ||
+      store->schema().num_relationships() !=
+          state.schema.num_relationships()) {
+    return Status::InvalidArgument(
+        "store schema does not match the engine's schema");
+  }
+  state.store = std::shared_ptr<const ObjectStore>(std::move(store));
+  state.db_stats = CollectStats(*state.store);
+  if (state.options.use_cost_model) {
+    state.cost_model = std::make_unique<CostModel>(
+        &state.schema, &state.db_stats, state.options.cost_params);
+  } else {
+    state.cost_model.reset();
+  }
+  return Status::OK();
+}
+
+Status Engine::AddConstraint(std::string_view constraint_text) {
+  SQOPT_ASSIGN_OR_RETURN(HornClause clause,
+                         ParseConstraint(state_->schema, constraint_text));
+  return AddConstraint(std::move(clause));
+}
+
+Status Engine::AddConstraint(HornClause clause) {
+  SQOPT_RETURN_IF_ERROR(state_->catalog.AddConstraint(std::move(clause)));
+  return Recompile();
+}
+
+Status Engine::Recompile() {
+  return state_->catalog.Precompile(&state_->access,
+                                    state_->options.precompile);
+}
+
+Status Engine::Recompile(const PrecompileOptions& precompile) {
+  state_->options.precompile = precompile;
+  return Recompile();
+}
+
+void Engine::SetOptimizerOptions(const OptimizerOptions& optimizer) {
+  state_->options.optimizer = optimizer;
+}
+
+// ---------------------------------------------------------------------
+// Engine: read path.
+// ---------------------------------------------------------------------
+
+Result<Query> Engine::Parse(std::string_view query_text) const {
+  state_->queries_parsed.fetch_add(1, std::memory_order_relaxed);
+  return ParseQuery(state_->schema, query_text);
+}
+
+Result<QueryOutcome> Engine::Execute(std::string_view query_text) const {
+  SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  return Execute(query);
+}
+
+Result<QueryOutcome> Engine::Execute(const Query& query) const {
+  SQOPT_ASSIGN_OR_RETURN(
+      QueryOutcome out,
+      RunQuery(*state_, query, /*optimize=*/true, /*execute=*/true));
+  state_->queries_executed.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<QueryOutcome> Engine::ExecuteUnoptimized(
+    std::string_view query_text) const {
+  SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  return ExecuteUnoptimized(query);
+}
+
+Result<QueryOutcome> Engine::ExecuteUnoptimized(const Query& query) const {
+  SQOPT_ASSIGN_OR_RETURN(
+      QueryOutcome out,
+      RunQuery(*state_, query, /*optimize=*/false, /*execute=*/true));
+  state_->queries_executed.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<QueryOutcome> Engine::Analyze(std::string_view query_text) const {
+  SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  return Analyze(query);
+}
+
+Result<QueryOutcome> Engine::Analyze(const Query& query) const {
+  SQOPT_ASSIGN_OR_RETURN(
+      QueryOutcome out,
+      RunQuery(*state_, query, /*optimize=*/true, /*execute=*/false));
+  state_->queries_analyzed.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<PreparedQuery> Engine::Prepare(std::string_view query_text) const {
+  SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  return Prepare(query);
+}
+
+Result<PreparedQuery> Engine::Prepare(const Query& query) const {
+  const detail::EngineState& state = *state_;
+  RecordAccess(state, query);
+
+  auto prepared = std::make_shared<detail::PreparedState>();
+  prepared->original = query;
+  SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt, OptimizeQuery(state, query));
+  prepared->transformed = std::move(opt.query);
+  prepared->report = std::move(opt.report);
+  prepared->empty_result = opt.empty_result;
+  prepared->store = state.store;
+  if (prepared->store != nullptr && !prepared->empty_result) {
+    SQOPT_ASSIGN_OR_RETURN(
+        Plan plan,
+        BuildPlan(state.schema, state.db_stats, prepared->transformed));
+    prepared->plan = std::move(plan);
+  }
+  state.statements_prepared.fetch_add(1, std::memory_order_relaxed);
+  return PreparedQuery(state_, std::move(prepared));
+}
+
+Result<std::string> Engine::Explain(std::string_view query_text) const {
+  SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  SQOPT_ASSIGN_OR_RETURN(
+      QueryOutcome out,
+      RunQuery(*state_, query, /*optimize=*/true, /*execute=*/false));
+
+  std::string text = out.report.ToString(state_->schema);
+  text += "transformed: " + PrintQuery(state_->schema, out.transformed);
+  text += "\n";
+  if (state_->store != nullptr && !out.answered_without_database) {
+    auto plan =
+        BuildPlan(state_->schema, state_->db_stats, out.transformed);
+    if (plan.ok()) {
+      text += "plan:\n" + plan->ToString(state_->schema);
+    }
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------
+// Engine: introspection.
+// ---------------------------------------------------------------------
+
+const Schema& Engine::schema() const { return state_->schema; }
+
+const ConstraintCatalog& Engine::catalog() const { return state_->catalog; }
+
+const ObjectStore* Engine::store() const { return state_->store.get(); }
+
+const DatabaseStats* Engine::database_stats() const {
+  return state_->store == nullptr ? nullptr : &state_->db_stats;
+}
+
+const CostModelInterface* Engine::cost_model() const {
+  return state_->cost_model.get();
+}
+
+const EngineOptions& Engine::options() const { return state_->options; }
+
+AccessStats Engine::access_stats() const {
+  std::lock_guard<std::mutex> lock(state_->access_mutex);
+  return state_->access;
+}
+
+AccessStats* Engine::mutable_access_stats() { return &state_->access; }
+
+EngineStats Engine::stats() const {
+  const detail::EngineState& state = *state_;
+  EngineStats out;
+  out.queries_parsed =
+      state.queries_parsed.load(std::memory_order_relaxed);
+  out.queries_executed =
+      state.queries_executed.load(std::memory_order_relaxed);
+  out.queries_analyzed =
+      state.queries_analyzed.load(std::memory_order_relaxed);
+  out.statements_prepared =
+      state.statements_prepared.load(std::memory_order_relaxed);
+  out.prepared_executions =
+      state.prepared_executions.load(std::memory_order_relaxed);
+  out.contradictions = state.contradictions.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sqopt

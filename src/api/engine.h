@@ -1,0 +1,252 @@
+// The sqopt public API: one entry point from query text to metered
+// results.
+//
+//   Engine engine = *Engine::Open(SchemaSource::Experiment(),
+//                                 ConstraintSource::Experiment());
+//   engine.Load(DataSource::Generated({"db", 104, 154}, /*seed=*/42));
+//   QueryOutcome out = *engine.Execute(
+//       "{cargo.code} {} {cargo.desc = \"frozen food\"} {} {cargo}");
+//
+// Open() wires the whole pipeline of the paper — constraint closure
+// precompilation, grouping, the delayed-choice semantic optimizer, the
+// conventional plan builder, and the metered executor — behind a
+// single handle. The read path (Execute / Analyze / Prepare /
+// Explain) is const and safe to call from any number of threads
+// against one engine; the admin path (Load / AddConstraint /
+// Recompile) must be quiesced first. Prepare() returns a PreparedQuery
+// that caches the parsed query, the retrieved relevant-constraint set,
+// and the built plan, so repeated execution — the heavy-traffic case —
+// skips parsing, retrieval, transformation, and planning entirely.
+#ifndef SQOPT_API_ENGINE_H_
+#define SQOPT_API_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine_options.h"
+#include "api/prepared_query.h"
+#include "catalog/access_stats.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/constraint_catalog.h"
+#include "constraints/horn_clause.h"
+#include "cost/stats.h"
+#include "exec/executor.h"
+#include "query/query.h"
+#include "query/query_printer.h"
+#include "sqo/report.h"
+#include "storage/object_store.h"
+#include "workload/dbgen.h"
+
+namespace sqopt {
+
+namespace detail {
+struct EngineState;
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Sources: how an Engine obtains its schema, constraints, and data.
+// Each wraps a factory so Open()/Load() control construction order and
+// ownership; named factories cover the built-in workloads.
+// ---------------------------------------------------------------------
+
+class SchemaSource {
+ public:
+  using Factory = std::function<Result<Schema>()>;
+
+  // Implicit: pass a ready-made Schema or any callable returning one.
+  SchemaSource(Schema schema);     // NOLINT(runtime/explicit)
+  SchemaSource(Factory factory);   // NOLINT(runtime/explicit)
+
+  // The paper's Figure 2.1 running-example schema.
+  static SchemaSource PaperExample();
+  // The §4 experiment schema (5 classes, 6 relationships).
+  static SchemaSource Experiment();
+
+  Result<Schema> Build() const;
+
+ private:
+  Factory factory_;
+};
+
+class ConstraintSource {
+ public:
+  using Factory =
+      std::function<Result<std::vector<HornClause>>(const Schema&)>;
+
+  ConstraintSource(Factory factory);  // NOLINT(runtime/explicit)
+
+  static ConstraintSource None();
+  // Figure 2.2's five constraints (requires SchemaSource::PaperExample).
+  static ConstraintSource PaperExample();
+  // The 15 experiment constraints (requires SchemaSource::Experiment).
+  static ConstraintSource Experiment();
+  // Pre-built clauses (ids must resolve against the engine's schema).
+  static ConstraintSource FromClauses(std::vector<HornClause> clauses);
+  // Textual Horn clauses, parsed against the engine's schema at Open.
+  static ConstraintSource FromText(std::vector<std::string> clauses);
+  // Concatenation; duplicates across parts are skipped at Open.
+  static ConstraintSource Merge(std::vector<ConstraintSource> parts);
+
+  Result<std::vector<HornClause>> Build(const Schema& schema) const;
+
+ private:
+  Factory factory_;
+};
+
+class DataSource {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<ObjectStore>>(const Schema&)>;
+
+  DataSource(Factory factory);  // NOLINT(runtime/explicit)
+
+  // GenerateDatabase over the engine's schema; deterministic in `seed`.
+  static DataSource Generated(DbSpec spec, uint64_t seed);
+  // Adopts an existing store. The schema the store was built against
+  // must outlive the engine and be structurally identical to the
+  // engine's. One-shot: a DataSource from FromStore can be Load()ed
+  // only once.
+  static DataSource FromStore(std::unique_ptr<ObjectStore> store);
+
+  Result<std::unique_ptr<ObjectStore>> Build(const Schema& schema) const;
+
+ private:
+  Factory factory_;
+};
+
+// ---------------------------------------------------------------------
+// Results.
+// ---------------------------------------------------------------------
+
+// Everything one query produced: the parsed and transformed forms, the
+// optimization trace, the rows, and the measured execution meter.
+struct QueryOutcome {
+  Query original;
+  Query transformed;  // == original when nothing applied / unoptimized
+  OptimizationReport report;
+
+  // Contradiction short-circuit (§4 extension): the retained predicate
+  // set is unsatisfiable, so `rows` is empty and the store was never
+  // touched.
+  bool answered_without_database = false;
+
+  bool executed = false;  // false for Analyze and for contradictions
+  ResultSet rows;
+  ExecutionMeter meter;
+};
+
+// Cumulative engine counters; all reads are atomic snapshots.
+struct EngineStats {
+  uint64_t queries_parsed = 0;       // ParseQuery invocations
+  uint64_t queries_executed = 0;     // Execute() completions
+  uint64_t queries_analyzed = 0;     // Analyze() completions
+  uint64_t statements_prepared = 0;  // Prepare() completions
+  uint64_t prepared_executions = 0;  // PreparedQuery::Execute completions
+  uint64_t contradictions = 0;       // queries answered without the DB
+};
+
+// ---------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------
+
+class Engine {
+ public:
+  // Builds the schema, loads + precompiles the constraints (closure,
+  // classification, grouping), and returns a ready engine. Duplicate
+  // constraints across merged sources are skipped silently; any other
+  // constraint error fails the open.
+  static Result<Engine> Open(SchemaSource schema_source,
+                             ConstraintSource constraint_source,
+                             EngineOptions options = {});
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() = default;
+
+  // --- Admin path. NOT safe to run concurrently with the read path:
+  // quiesce Execute/Prepare callers first. PreparedQuery handles made
+  // before a Load() keep executing against the store they were
+  // prepared on. ---
+
+  // Attaches (or replaces) the data, collects statistics, and builds
+  // the cost model (unless options.use_cost_model is false).
+  Status Load(DataSource data_source);
+
+  // Adds one constraint and re-precompiles the catalog (closure +
+  // grouping re-run; semantic constraints change rarely — the paper's
+  // justification for paying this on write, not per query).
+  Status AddConstraint(std::string_view constraint_text);
+  Status AddConstraint(HornClause clause);
+
+  // Re-runs precompilation with the current access statistics — e.g.
+  // to let kLeastFrequentlyAccessed grouping adapt to traffic drift.
+  // The overload replaces the precompile options first.
+  Status Recompile();
+  Status Recompile(const PrecompileOptions& precompile);
+
+  // Replaces the optimizer knobs (tag policy, queue discipline,
+  // budget, ...) without re-opening; takes effect on the next query.
+  // Admin path, like the rest of this section.
+  void SetOptimizerOptions(const OptimizerOptions& optimizer);
+
+  // --- Read path: const, thread-safe. ---
+
+  // Parse -> optimize -> plan -> execute -> meter. Requires Load().
+  Result<QueryOutcome> Execute(std::string_view query_text) const;
+  Result<QueryOutcome> Execute(const Query& query) const;
+
+  // Same, skipping semantic optimization (baseline side of A/B runs).
+  Result<QueryOutcome> ExecuteUnoptimized(std::string_view query_text) const;
+  Result<QueryOutcome> ExecuteUnoptimized(const Query& query) const;
+
+  // Parse -> optimize only; never touches data (works with no store).
+  Result<QueryOutcome> Analyze(std::string_view query_text) const;
+  Result<QueryOutcome> Analyze(const Query& query) const;
+
+  // Parse + optimize + plan once; the returned handle re-executes
+  // without re-doing any of it. The handle stays valid after the
+  // engine object is destroyed (it shares ownership of the internals).
+  Result<PreparedQuery> Prepare(std::string_view query_text) const;
+  Result<PreparedQuery> Prepare(const Query& query) const;
+
+  // Human-readable transformation trace + transformed query (in
+  // re-parseable textual form) + physical plan when data is loaded.
+  Result<std::string> Explain(std::string_view query_text) const;
+
+  // Parses and validates without optimizing or executing.
+  Result<Query> Parse(std::string_view query_text) const;
+
+  // --- Introspection. ---
+  const Schema& schema() const;
+  const ConstraintCatalog& catalog() const;
+  const ObjectStore* store() const;             // null until Load()
+  const DatabaseStats* database_stats() const;  // null until Load()
+  const CostModelInterface* cost_model() const;  // null until Load()
+  const EngineOptions& options() const;
+  EngineStats stats() const;
+
+  // Snapshot of the per-class access counters (the read path updates
+  // them under a lock; the snapshot is taken under the same lock, so
+  // this is safe to call concurrently with Execute).
+  AccessStats access_stats() const;
+
+  // What-if drills on the access counters (admin path: not
+  // synchronized with concurrent readers).
+  AccessStats* mutable_access_stats();
+
+ private:
+  explicit Engine(std::shared_ptr<detail::EngineState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::EngineState> state_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_API_ENGINE_H_

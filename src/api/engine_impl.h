@@ -1,0 +1,78 @@
+// INTERNAL: shared state behind the Engine pimpl. Included only by
+// engine.cc and prepared_query.cc — not part of the public API.
+//
+// Thread-safety contract: after Open()/Load()/AddConstraint()/
+// Recompile() complete, everything here is read-only on the query path
+// except the atomic counters, the atomic index/retrieval meters inside
+// the owned components, and the mutex-guarded AccessStats.
+#ifndef SQOPT_API_ENGINE_IMPL_H_
+#define SQOPT_API_ENGINE_IMPL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "api/engine_options.h"
+#include "catalog/access_stats.h"
+#include "catalog/schema.h"
+#include "constraints/constraint_catalog.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "exec/plan.h"
+#include "sqo/report.h"
+#include "storage/object_store.h"
+
+namespace sqopt::detail {
+
+struct EngineState {
+  EngineState(Schema s, EngineOptions opts)
+      : schema(std::move(s)),
+        catalog(&schema),
+        access(schema.num_classes()),
+        options(std::move(opts)) {}
+
+  // EngineState lives on the heap behind a shared_ptr and is never
+  // moved, so the internal schema/catalog pointer wiring stays valid.
+  EngineState(const EngineState&) = delete;
+  EngineState& operator=(const EngineState&) = delete;
+
+  Schema schema;
+  ConstraintCatalog catalog;
+  mutable AccessStats access;  // guarded by access_mutex on the query path
+  EngineOptions options;
+
+  // Populated by Load(). `store` is shared so PreparedQuery handles
+  // keep executing against the store they were planned on even if a
+  // later Load() swaps it out.
+  std::shared_ptr<const ObjectStore> store;
+  DatabaseStats db_stats;
+  std::unique_ptr<const CostModel> cost_model;
+
+  mutable std::mutex access_mutex;
+
+  mutable std::atomic<uint64_t> queries_parsed{0};
+  mutable std::atomic<uint64_t> queries_executed{0};
+  mutable std::atomic<uint64_t> queries_analyzed{0};
+  mutable std::atomic<uint64_t> statements_prepared{0};
+  mutable std::atomic<uint64_t> prepared_executions{0};
+  mutable std::atomic<uint64_t> contradictions{0};
+};
+
+struct PreparedState {
+  Query original;
+  Query transformed;
+  OptimizationReport report;
+  bool empty_result = false;
+
+  // The store the plan was built against (null when the engine had no
+  // data at Prepare time — the handle then only replays the analysis).
+  std::shared_ptr<const ObjectStore> store;
+  std::optional<Plan> plan;  // engaged iff store && !empty_result
+
+  mutable std::atomic<uint64_t> executions{0};
+};
+
+}  // namespace sqopt::detail
+
+#endif  // SQOPT_API_ENGINE_IMPL_H_

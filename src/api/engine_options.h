@@ -1,0 +1,43 @@
+// Configuration of an sqopt::Engine. One flat struct groups the knobs
+// of every internal layer: the semantic optimizer (tag policy, match
+// mode, queue discipline, budget), the constraint precompiler (closure
+// materialization, grouping policy), and the cost model parameters.
+// Defaults reproduce the paper's design end to end.
+#ifndef SQOPT_API_ENGINE_OPTIONS_H_
+#define SQOPT_API_ENGINE_OPTIONS_H_
+
+#include "constraints/constraint_catalog.h"
+#include "cost/cost_model.h"
+#include "sqo/options.h"
+
+namespace sqopt {
+
+struct EngineOptions {
+  // Semantic-optimizer knobs (§3–§4): tag_policy, match_mode, queue,
+  // transformation_budget, enable_class_elimination,
+  // enable_contradiction_detection, enable_profitability_analysis.
+  OptimizerOptions optimizer;
+
+  // Constraint precompilation (§3): materialize_closure and the
+  // grouping policy that drives per-query retrieval.
+  PrecompileOptions precompile;
+
+  // Cost model parameters shared by profitability analysis and the
+  // measured ExecutionMeter::CostUnits conversion.
+  CostModelParams cost_params;
+
+  // When false the optimizer runs without a cost model even when data
+  // is loaded: every optional predicate is retained and class
+  // elimination applies whenever structurally legal — the paper's
+  // walkthrough mode. (With no data loaded there is never a cost
+  // model; statistics require a store.)
+  bool use_cost_model = true;
+
+  // Record per-class access frequencies on every query. They feed the
+  // kLeastFrequentlyAccessed grouping policy at the next Recompile.
+  bool record_access_stats = true;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_API_ENGINE_OPTIONS_H_

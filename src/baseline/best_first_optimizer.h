@@ -24,7 +24,7 @@ struct BestFirstResult {
 
 class BestFirstOptimizer {
  public:
-  BestFirstOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+  BestFirstOptimizer(const Schema* schema, const ConstraintCatalog* catalog,
                      const CostModelInterface* cost_model,
                      size_t max_states = 256)
       : schema_(schema),
@@ -36,7 +36,7 @@ class BestFirstOptimizer {
 
  private:
   const Schema* schema_;
-  ConstraintCatalog* catalog_;
+  const ConstraintCatalog* catalog_;
   const CostModelInterface* cost_model_;
   size_t max_states_;
 };

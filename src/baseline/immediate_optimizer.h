@@ -26,7 +26,8 @@ struct ImmediateResult {
 
 class ImmediateApplyOptimizer {
  public:
-  ImmediateApplyOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+  ImmediateApplyOptimizer(const Schema* schema,
+                          const ConstraintCatalog* catalog,
                           const CostModelInterface* cost_model)
       : schema_(schema), catalog_(catalog), cost_model_(cost_model) {}
 
@@ -41,7 +42,7 @@ class ImmediateApplyOptimizer {
 
  private:
   const Schema* schema_;
-  ConstraintCatalog* catalog_;
+  const ConstraintCatalog* catalog_;
   const CostModelInterface* cost_model_;
 };
 

@@ -75,13 +75,13 @@ std::vector<ConstraintId> ConstraintCatalog::RelevantConstraints(
 }
 
 std::vector<ConstraintId> ConstraintCatalog::RelevantForQuery(
-    const std::vector<ClassId>& query_classes) {
+    const std::vector<ClassId>& query_classes) const {
   std::vector<ConstraintId> retrieved = RetrieveForQuery(query_classes);
   std::vector<ConstraintId> relevant =
       RelevantConstraints(query_classes, retrieved);
-  retrieval_stats_.queries += 1;
-  retrieval_stats_.constraints_retrieved += retrieved.size();
-  retrieval_stats_.constraints_relevant += relevant.size();
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  stat_retrieved_.fetch_add(retrieved.size(), std::memory_order_relaxed);
+  stat_relevant_.fetch_add(relevant.size(), std::memory_order_relaxed);
   return relevant;
 }
 

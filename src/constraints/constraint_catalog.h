@@ -5,6 +5,7 @@
 #ifndef SQOPT_CONSTRAINTS_CONSTRAINT_CATALOG_H_
 #define SQOPT_CONSTRAINTS_CONSTRAINT_CATALOG_H_
 
+#include <atomic>
 #include <vector>
 
 #include "catalog/access_stats.h"
@@ -74,13 +75,28 @@ class ConstraintCatalog {
       const std::vector<ConstraintId>& candidates) const;
 
   // Convenience: RetrieveForQuery then RelevantConstraints, with
-  // counters.
+  // counters. Const and safe to call from concurrent readers once the
+  // catalog is precompiled (the counters are atomics).
   std::vector<ConstraintId> RelevantForQuery(
-      const std::vector<ClassId>& query_classes);
+      const std::vector<ClassId>& query_classes) const;
 
   const ConstraintGrouping& grouping() const { return grouping_; }
-  const RetrievalStats& retrieval_stats() const { return retrieval_stats_; }
-  void ResetRetrievalStats() { retrieval_stats_ = RetrievalStats{}; }
+
+  // Snapshot of the cumulative retrieval counters.
+  RetrievalStats retrieval_stats() const {
+    RetrievalStats out;
+    out.queries = stat_queries_.load(std::memory_order_relaxed);
+    out.constraints_retrieved =
+        stat_retrieved_.load(std::memory_order_relaxed);
+    out.constraints_relevant =
+        stat_relevant_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetRetrievalStats() const {
+    stat_queries_.store(0, std::memory_order_relaxed);
+    stat_retrieved_.store(0, std::memory_order_relaxed);
+    stat_relevant_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const Schema* schema_;
@@ -90,7 +106,11 @@ class ConstraintCatalog {
   ConstraintGrouping grouping_;
   size_t num_base_ = 0;
   bool precompiled_ = false;
-  RetrievalStats retrieval_stats_;
+  // Retrieval counters live outside RetrievalStats so the hot read path
+  // (RelevantForQuery) stays const and data-race-free.
+  mutable std::atomic<uint64_t> stat_queries_{0};
+  mutable std::atomic<uint64_t> stat_retrieved_{0};
+  mutable std::atomic<uint64_t> stat_relevant_{0};
 };
 
 }  // namespace sqopt

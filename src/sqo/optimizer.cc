@@ -53,7 +53,7 @@ bool Lowerable(CellState state, PredicateTag target) {
 
 }  // namespace
 
-Result<OptimizeResult> SemanticOptimizer::Optimize(const Query& query) {
+Result<OptimizeResult> SemanticOptimizer::Optimize(const Query& query) const {
   SQOPT_RETURN_IF_ERROR(ValidateQuery(*schema_, query));
   if (!catalog_->precompiled()) {
     return Status::FailedPrecondition(

@@ -27,7 +27,10 @@ class SemanticOptimizer {
   // `catalog` must outlive the optimizer and be Precompile()d before
   // Optimize() is called. `cost_model` may be null (all optional
   // predicates retained; class elimination applied whenever legal).
-  SemanticOptimizer(const Schema* schema, ConstraintCatalog* catalog,
+  //
+  // Optimize is const and touches no mutable optimizer state, so one
+  // optimizer may serve concurrent callers (the Engine's read path).
+  SemanticOptimizer(const Schema* schema, const ConstraintCatalog* catalog,
                     const CostModelInterface* cost_model,
                     OptimizerOptions options = {})
       : schema_(schema),
@@ -35,13 +38,13 @@ class SemanticOptimizer {
         cost_model_(cost_model),
         options_(options) {}
 
-  Result<OptimizeResult> Optimize(const Query& query);
+  Result<OptimizeResult> Optimize(const Query& query) const;
 
   const OptimizerOptions& options() const { return options_; }
 
  private:
   const Schema* schema_;
-  ConstraintCatalog* catalog_;
+  const ConstraintCatalog* catalog_;
   const CostModelInterface* cost_model_;
   OptimizerOptions options_;
 };

@@ -4,6 +4,7 @@
 #ifndef SQOPT_STORAGE_INDEX_H_
 #define SQOPT_STORAGE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,8 +34,9 @@ class AttributeIndex {
 
   const BTree& tree() const { return tree_; }
 
-  // Probe count bookkeeping for the execution meter.
-  mutable uint64_t probes = 0;
+  // Probe count bookkeeping for the execution meter. Atomic so that
+  // concurrent read-only executions can share one store.
+  mutable std::atomic<uint64_t> probes{0};
 
  private:
   BTree tree_;
