@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace sqopt {
@@ -131,6 +132,7 @@ int main(int argc, char** argv) {
   std::printf("%6s %14s | %12s %12s | %12s %12s\n", "depth",
               "precompile(us)", "with:relev", "with:fired", "wo:relev",
               "wo:fired");
+  bench::BenchJson json("ablation_closure");
   for (int depth : {1, 2, 4}) {
     Setup with_setup = MakeSetup(depth, true);
     Setup without_setup = MakeSetup(depth, false);
@@ -154,7 +156,13 @@ int main(int argc, char** argv) {
                 with_result.report.num_firings,
                 without_result.report.num_relevant_constraints,
                 without_result.report.num_firings);
+    const std::string prefix = "depth" + std::to_string(depth) + "_";
+    json.Set(prefix + "with_closure_firings",
+             with_result.report.num_firings);
+    json.Set(prefix + "without_closure_firings",
+             without_result.report.num_firings);
   }
+  json.Write();
   std::printf(
       "\nexpected shape: at depth >= 2 the endpoint query sees relevant\n"
       "(derived) constraints and fires transformations ONLY when the\n"

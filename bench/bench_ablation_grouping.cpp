@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "workload/path_enum.h"
@@ -78,13 +79,21 @@ int main() {
                     ? 100.0 * (1.0 - static_cast<double>(relevant) /
                                          retrieved)
                     : 0.0);
+    return rq;
   };
 
-  run("no grouping (fetch all)", false, GroupingPolicy::kArbitrary);
-  run("arbitrary", true, GroupingPolicy::kArbitrary);
-  run("balanced", true, GroupingPolicy::kBalanced);
-  run("least-frequently-accessed", true,
-      GroupingPolicy::kLeastFrequentlyAccessed);
+  bench::BenchJson json("ablation_grouping");
+  json.Set("queries", stream.size());
+  json.Set("fetch_all_retrieved_per_query",
+           run("no grouping (fetch all)", false, GroupingPolicy::kArbitrary));
+  json.Set("arbitrary_retrieved_per_query",
+           run("arbitrary", true, GroupingPolicy::kArbitrary));
+  json.Set("balanced_retrieved_per_query",
+           run("balanced", true, GroupingPolicy::kBalanced));
+  json.Set("lfa_retrieved_per_query",
+           run("least-frequently-accessed", true,
+               GroupingPolicy::kLeastFrequentlyAccessed));
+  json.Write();
 
   std::printf(
       "\nexpected shape: any grouping beats fetch-all; LFA fetches the\n"

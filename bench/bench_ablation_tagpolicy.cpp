@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
@@ -34,6 +35,8 @@ int main() {
   std::printf("%-16s %16s %18s %20s\n", "policy", "mean exec cost",
               "indexed introduced", "intra made redundant");
 
+  bench::BenchJson json("ablation_tagpolicy");
+  json.Set("queries", queries.size());
   for (TagPolicy policy :
        {TagPolicy::kIndexAware, TagPolicy::kIgnoreIndexes}) {
     EngineOptions options;
@@ -58,7 +61,13 @@ int main() {
                                                  : "ignore-indexes",
                 total_cost / queries.size(), indexed_introduced,
                 redundant_effects);
+    const std::string prefix = policy == TagPolicy::kIndexAware
+                                   ? "index_aware_"
+                                   : "ignore_indexes_";
+    json.Set(prefix + "mean_exec_cost", total_cost / queries.size());
+    json.Set(prefix + "indexed_introduced", indexed_introduced);
   }
+  json.Write();
 
   std::printf(
       "\nexpected shape: index-aware introduces indexed predicates the\n"

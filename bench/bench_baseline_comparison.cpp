@@ -12,6 +12,7 @@
 
 #include "baseline/best_first_optimizer.h"
 #include "baseline/immediate_optimizer.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "workload/path_enum.h"
@@ -87,6 +88,14 @@ int main() {
   std::printf("delayed-choice dominated immediate-apply on %d/%zu "
               "queries\n",
               dominated, queries.size());
+
+  bench::BenchJson json("baseline_comparison");
+  json.Set("queries", queries.size());
+  json.Set("mean_cost_delayed", sum_delayed / queries.size());
+  json.Set("mean_cost_immediate_best", sum_immediate / queries.size());
+  json.Set("mean_cost_best_first", sum_bf / queries.size());
+  json.Set("dominated", dominated);
+  json.Write();
   std::printf(
       "\nexpected shape: delayed <= immediate for every order tried\n"
       "(the §4 dominance argument), best-first can match delayed but\n"

@@ -5,10 +5,12 @@
 // writes), which must scale at most linearly in each dimension.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace sqopt {
@@ -104,15 +106,21 @@ int main(int argc, char** argv) {
   std::printf("=== O(m*n) work bound ===\n");
   std::printf("%6s %6s %12s %14s\n", "n", "m", "cell_writes",
               "writes/(m*n)");
+  bench::BenchJson json("complexity_mn");
+  double max_writes_per_mn = 0.0;
   for (int n : {4, 8, 16, 32, 64, 128}) {
     Setup setup = MakeSetup(n, 4);
     QueryOutcome result = Unwrap(setup.engine.Analyze(setup.query));
     size_t m = result.report.num_distinct_predicates;
+    double writes_per_mn = static_cast<double>(result.report.cell_writes) /
+                           (static_cast<double>(m) * n);
+    max_writes_per_mn = std::max(max_writes_per_mn, writes_per_mn);
     std::printf("%6d %6zu %12llu %14.3f\n", n, m,
                 static_cast<unsigned long long>(result.report.cell_writes),
-                static_cast<double>(result.report.cell_writes) /
-                    (static_cast<double>(m) * n));
+                writes_per_mn);
   }
+  json.Set("max_writes_per_mn", max_writes_per_mn);
+  json.Write();
   std::printf("\n");
 
   benchmark::Initialize(&argc, argv);

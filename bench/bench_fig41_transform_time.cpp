@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace sqopt {
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s", "#constraints");
   for (int c = 1; c <= 5; ++c) std::printf("  %d-class", c);
   std::printf("\n");
+  bench::BenchJson json("fig41_transform_time");
   for (int k : {1, 5, 9}) {
     std::printf("%-14d", k);
     for (int c = 1; c <= 5; ++c) {
@@ -119,10 +121,19 @@ int main(int argc, char** argv) {
         times.push_back(result.report.total_ns);
       }
       std::sort(times.begin(), times.end());
-      std::printf("  %7.1f", times[times.size() / 2] / 1000.0);
+      double median_us = times[times.size() / 2] / 1000.0;
+      std::printf("  %7.1f", median_us);
+      // Corners of the paper's figure: the cheapest and the costliest
+      // configuration.
+      if ((c == 1 && k == 1) || (c == 5 && k == 9)) {
+        json.Set("c" + std::to_string(c) + "_k" + std::to_string(k) +
+                     "_median_us",
+                 median_us);
+      }
     }
     std::printf("\n");
   }
+  json.Write();
   std::printf("\n(expected shape: grows with #classes in the query and,\n"
               " more mildly, with the number of relevant constraints —\n"
               " the paper reports <0.4 s per query on a SUN-3/160.)\n\n");

@@ -1,0 +1,105 @@
+// Machine-readable bench summaries. Every bench binary ends by
+// emitting one flat JSON object: written to BENCH_<name>.json in the
+// working directory and echoed to stdout as a single
+// "BENCH_JSON <path> <object>" line. This is the stable contract the
+// bench-smoke CI job consumes (artifact upload + regression gate), so
+// renaming fields is a breaking change — add, don't rename.
+#ifndef SQOPT_BENCH_BENCH_JSON_H_
+#define SQOPT_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sqopt::bench {
+
+class BenchJson {
+ public:
+  // `name` is the file stem: BenchJson("serve") -> BENCH_serve.json.
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Set("bench", name_);
+  }
+
+  void Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Set(const std::string& key, const char* value) {
+    Set(key, std::string(value));
+  }
+  void Set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void Set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      fields_.emplace_back(key, "null");
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  // One template for every integer width; bool and double take the
+  // exact-match overloads above.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  void Set(const std::string& key, T value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  // Writes BENCH_<name>.json (or `path` when given) and prints the
+  // summary line. Returns false when the file could not be written
+  // (the summary line is still printed).
+  bool Write(const std::string& path = "") const {
+    const std::string file =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    const std::string json = ToJson();
+    bool ok = false;
+    if (FILE* f = std::fopen(file.c_str(), "w")) {
+      ok = std::fputs(json.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+      std::fclose(f);
+    }
+    std::printf("BENCH_JSON %s %s\n", file.c_str(), json.c_str());
+    if (!ok) {
+      std::fprintf(stderr, "bench_json: could not write %s\n", file.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace sqopt::bench
+
+#endif  // SQOPT_BENCH_BENCH_JSON_H_

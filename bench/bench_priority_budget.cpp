@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
@@ -47,6 +48,8 @@ int main() {
     return total / queries.size();
   };
 
+  bench::BenchJson json("priority_budget");
+  json.Set("queries", queries.size());
   for (size_t budget : {1u, 2u, 3u, 4u, 0u}) {
     double fifo = mean_cost(QueueDiscipline::kFifo, budget);
     double prio = mean_cost(QueueDiscipline::kPriority, budget);
@@ -58,7 +61,14 @@ int main() {
     }
     std::printf("%8s %14.2f %14.2f %13.3f\n", label, fifo, prio,
                 fifo > 0 ? prio / fifo : 1.0);
+    const std::string prefix =
+        "budget_" + std::string(budget == 0 ? "unlimited"
+                                            : std::to_string(budget)) +
+        "_";
+    json.Set(prefix + "fifo_mean_cost", fifo);
+    json.Set(prefix + "priority_mean_cost", prio);
   }
+  json.Write();
 
   std::printf(
       "\nexpected shape: with unlimited budget the disciplines agree\n"

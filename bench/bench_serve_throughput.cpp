@@ -1,0 +1,128 @@
+// Concurrent serving throughput: the experiment workload (one query
+// per schema path, decorated by the §4 query generator) replayed as a
+// high-traffic stream through Engine::ExecuteBatch. Compares the
+// single-thread cold-cache baseline (every query pays parse +
+// retrieval + transformation + planning) against the multi-thread
+// warm-cache serving path, and emits the machine-readable
+// BENCH_serve.json consumed by the bench-smoke CI regression gate.
+//
+// Flags:
+//   --quick        smaller stream + DB (CI smoke mode)
+//   --threads=N    serving threads (default 8)
+//   --out=PATH     JSON output path (default BENCH_serve.json)
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "query/query_printer.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace sqopt;
+  using bench::BenchJson;
+  using bench::Check;
+  using bench::OpenExperimentEngine;
+  using bench::Unwrap;
+
+  bool quick = false;
+  int threads = 8;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // DB1/DB2 of Table 4.1: the optimization pipeline (what the cache
+  // skips) dominates per-query cost, which is exactly the regime the
+  // paper's precompilation argument — pay per constraint change, not
+  // per query — is about.
+  const DbSpec spec = quick ? DbSpec{"serve", 52, 77}
+                            : DbSpec{"serve", 104, 154};
+  const size_t stream_length = quick ? 512 : 4096;
+  constexpr uint64_t kSeed = 20260728;
+
+  Engine engine = OpenExperimentEngine();
+  Check(engine.Load(DataSource::Generated(spec, kSeed)));
+
+  // The experiment workload: queries over every simple schema path,
+  // sampled into a stream with repetition — the heavy-traffic shape
+  // (many users, few distinct query templates) the plan cache exists
+  // for.
+  std::vector<SchemaPath> paths =
+      EnumerateSimplePaths(engine.schema(), 2, 5);
+  QueryGenerator gen(&engine.schema(), kSeed);
+  std::vector<Query> distinct = Unwrap(gen.Sample(paths, paths.size()));
+  std::vector<std::string> stream;
+  stream.reserve(stream_length);
+  Rng pick(kSeed + 1);
+  for (size_t i = 0; i < stream_length; ++i) {
+    stream.push_back(
+        PrintQuery(engine.schema(), distinct[pick.Index(distinct.size())]));
+  }
+
+  std::printf("=== Serve throughput (%zu queries, %zu distinct, DB %lld/%lld) "
+              "===\n",
+              stream.size(), distinct.size(),
+              static_cast<long long>(spec.class_cardinality),
+              static_cast<long long>(spec.rel_cardinality));
+
+  // Baseline: one thread, cache off — the pre-cache engine serving the
+  // same stream sequentially.
+  EngineOptions cold_options;
+  cold_options.serve.cache_capacity = 0;
+  Engine cold_engine = OpenExperimentEngine(cold_options);
+  Check(cold_engine.Load(DataSource::Generated(spec, kSeed)));
+  ServeOptions single;
+  single.threads = 1;
+  BatchOutcome cold = Unwrap(cold_engine.ExecuteBatch(stream, single));
+
+  // Serving path: N threads over the shared warm cache. Warm it with
+  // one untimed pass.
+  ServeOptions serve;
+  serve.threads = threads;
+  Check(engine.ExecuteBatch(stream, serve).status());
+  BatchOutcome warm = Unwrap(engine.ExecuteBatch(stream, serve));
+
+  auto report = [](const char* label, const BatchStats& s) {
+    std::printf("%-26s %8.0f qps  p50 %6llu us  p95 %6llu us  "
+                "hit rate %4.0f%%  (%zu ok, %zu failed, %d threads)\n",
+                label, s.qps, static_cast<unsigned long long>(s.p50_micros),
+                static_cast<unsigned long long>(s.p95_micros),
+                100.0 * s.cache_hit_rate, s.succeeded, s.failed, s.threads);
+  };
+  report("1 thread, cold cache", cold.stats);
+  report("warm cache", warm.stats);
+  const double speedup =
+      cold.stats.qps > 0 ? warm.stats.qps / cold.stats.qps : 0.0;
+  std::printf("speedup: %.1fx\n", speedup);
+
+  if (cold.stats.failed > 0 || warm.stats.failed > 0) {
+    std::fprintf(stderr, "serve bench: unexpected per-query failures\n");
+    return 1;
+  }
+
+  BenchJson json("serve");
+  json.Set("threads", warm.stats.threads);
+  json.Set("queries", stream.size());
+  json.Set("distinct_queries", distinct.size());
+  json.Set("quick", quick);
+  json.Set("qps", warm.stats.qps);
+  json.Set("p50_us", warm.stats.p50_micros);
+  json.Set("p95_us", warm.stats.p95_micros);
+  json.Set("cache_hit_rate", warm.stats.cache_hit_rate);
+  json.Set("single_thread_cold_qps", cold.stats.qps);
+  json.Set("speedup_vs_cold", speedup);
+  json.Write(out_path);
+  return 0;
+}

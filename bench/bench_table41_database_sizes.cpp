@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 int main() {
@@ -72,6 +73,16 @@ int main() {
   std::printf("%-22s", "load time (ms)");
   for (const RowData& row : rows) std::printf("%8.1f", row.load_ms);
   std::printf("\n");
+
+  bench::BenchJson json("table41_database_sizes");
+  const std::vector<DbSpec> specs = PaperDatabases();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string prefix = specs[i].name + "_";
+    json.Set(prefix + "avg_class_cardinality", rows[i].avg_class_card);
+    json.Set(prefix + "avg_rel_cardinality", rows[i].avg_rel_card);
+    json.Set(prefix + "load_ms", rows[i].load_ms);
+  }
+  json.Write();
 
   std::printf(
       "\npaper's Table 4.1: cardinalities (52,77) (104,154) (208,308) "

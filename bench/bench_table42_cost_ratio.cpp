@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "workload/path_enum.h"
 #include "workload/query_gen.h"
@@ -58,6 +59,8 @@ int main() {
   for (int b = 0; b <= 11; ++b) std::printf("%6d%%", b * 10);
   std::printf("   faster  same  slower\n");
 
+  bench::BenchJson json("table42_cost_ratio");
+  json.Set("queries", kNumQueries);
   for (const DbSpec& spec : PaperDatabases()) {
     Engine engine = OpenExperimentEngine();
     Check(engine.Load(DataSource::Generated(spec, kSeed)));
@@ -101,7 +104,12 @@ int main() {
       }
     }
     std::printf("   %5d %5d %6d\n", faster, same, slower);
+    const std::string prefix = spec.name + "_";
+    json.Set(prefix + "faster", faster);
+    json.Set(prefix + "same", same);
+    json.Set(prefix + "slower", slower);
   }
+  json.Write();
 
   std::printf(
       "\npaper's shape: DB1 ~40%% of queries regress (<=10%% overhead),\n"

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON emission against its checked-in baseline.
+
+Two checks:
+  1. Schema: every baseline field must be present in the current
+     emission with the same JSON type (the emission is a contract; CI
+     consumers break when fields disappear or change type).
+  2. Regression: each metric named by --metric must not fall below
+     baseline * (1 - --max-regression).
+
+The baseline is intentionally conservative (well below a healthy run
+on any CI runner) so the gate catches real regressions, not runner
+variance.
+
+Usage:
+  check_bench_regression.py --current build/BENCH_serve.json \
+      --baseline bench/baseline/BENCH_serve.json \
+      --metric qps --max-regression 0.30
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="numeric field that must not regress (repeatable)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline value",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+
+    # 1. Schema: baseline fields must survive with the same type.
+    for key, base_value in baseline.items():
+        if key not in current:
+            failures.append(f"schema: field '{key}' missing from emission")
+            continue
+        base_numeric = isinstance(base_value, (int, float)) and not isinstance(
+            base_value, bool
+        )
+        cur_numeric = isinstance(current[key], (int, float)) and not isinstance(
+            current[key], bool
+        )
+        if base_numeric != cur_numeric or (
+            not base_numeric and type(base_value) is not type(current[key])
+        ):
+            failures.append(
+                f"schema: field '{key}' changed type "
+                f"({type(base_value).__name__} -> "
+                f"{type(current[key]).__name__})"
+            )
+
+    # 2. Regression gate on the named metrics.
+    for metric in args.metric:
+        if metric not in baseline or metric not in current:
+            failures.append(f"metric '{metric}' absent from baseline/current")
+            continue
+        floor = baseline[metric] * (1.0 - args.max_regression)
+        value = current[metric]
+        status = "ok" if value >= floor else "REGRESSION"
+        print(
+            f"{metric}: current={value:.6g} baseline={baseline[metric]:.6g} "
+            f"floor={floor:.6g} [{status}]"
+        )
+        if value < floor:
+            failures.append(
+                f"regression: {metric}={value:.6g} fell below floor "
+                f"{floor:.6g} (baseline {baseline[metric]:.6g}, "
+                f"tolerance {args.max_regression:.0%})"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

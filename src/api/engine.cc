@@ -1,5 +1,7 @@
 #include "api/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "api/engine_impl.h"
@@ -143,18 +145,66 @@ void RecordAccess(const detail::EngineState& state, const Query& query) {
 }
 
 Result<OptimizeResult> OptimizeQuery(const detail::EngineState& state,
+                                     const detail::LoadedData* data,
                                      const Query& query) {
   SemanticOptimizer optimizer(&state.schema, &state.catalog,
-                              state.cost_model.get(),
+                              data == nullptr ? nullptr
+                                              : data->cost_model.get(),
                               state.options.optimizer);
   return optimizer.Optimize(query);
 }
 
-// Optimize (optionally) and execute (optionally) one query.
+// The full prepare pipeline: constraint retrieval + semantic
+// transformation + physical planning, against one pinned data
+// snapshot. The result is what both PreparedQuery handles and
+// plan-cache entries hold.
+Result<std::shared_ptr<const detail::PreparedState>> BuildPrepared(
+    const detail::EngineState& state,
+    std::shared_ptr<const detail::LoadedData> data, const Query& query) {
+  auto prepared = std::make_shared<detail::PreparedState>();
+  prepared->original = query;
+  SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt,
+                         OptimizeQuery(state, data.get(), query));
+  prepared->transformed = std::move(opt.query);
+  prepared->report = std::move(opt.report);
+  prepared->empty_result = opt.empty_result;
+  prepared->data = std::move(data);
+  if (prepared->data != nullptr && !prepared->empty_result) {
+    SQOPT_ASSIGN_OR_RETURN(Plan plan,
+                           BuildPlan(state.schema, prepared->data->db_stats,
+                                     prepared->transformed));
+    prepared->plan = std::move(plan);
+  }
+  return std::shared_ptr<const detail::PreparedState>(std::move(prepared));
+}
+
+// Replays a prepared plan with a fresh meter (the Execute fast path).
+Result<QueryOutcome> ExecutePreparedState(
+    const detail::EngineState& state,
+    const detail::PreparedState& prepared) {
+  QueryOutcome out;
+  out.original = prepared.original;
+  out.transformed = prepared.transformed;
+  out.report = prepared.report;
+  if (prepared.empty_result) {
+    out.answered_without_database = true;
+    state.contradictions.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  SQOPT_ASSIGN_OR_RETURN(
+      out.rows,
+      ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter));
+  out.executed = true;
+  return out;
+}
+
+// Optimize (optionally) and execute (optionally) one query, bypassing
+// the plan cache (Analyze and ExecuteUnoptimized).
 Result<QueryOutcome> RunQuery(const detail::EngineState& state,
                               const Query& query, bool optimize,
                               bool execute) {
-  if (execute && state.store == nullptr) {
+  std::shared_ptr<const detail::LoadedData> data = state.data_snapshot();
+  if (execute && data == nullptr) {
     return Status::FailedPrecondition(
         "no data loaded: call Engine::Load before Execute, or use "
         "Analyze for optimization-only runs");
@@ -164,7 +214,8 @@ Result<QueryOutcome> RunQuery(const detail::EngineState& state,
   RecordAccess(state, query);
 
   if (optimize) {
-    SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt, OptimizeQuery(state, query));
+    SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt,
+                           OptimizeQuery(state, data.get(), query));
     out.transformed = std::move(opt.query);
     out.report = std::move(opt.report);
     if (opt.empty_result) {
@@ -178,11 +229,48 @@ Result<QueryOutcome> RunQuery(const detail::EngineState& state,
 
   if (execute && !out.answered_without_database) {
     SQOPT_ASSIGN_OR_RETURN(
-        Plan plan, BuildPlan(state.schema, state.db_stats, out.transformed));
+        Plan plan, BuildPlan(state.schema, data->db_stats, out.transformed));
     SQOPT_ASSIGN_OR_RETURN(out.rows,
-                           ExecutePlan(*state.store, plan, &out.meter));
+                           ExecutePlan(*data->store, plan, &out.meter));
     out.executed = true;
   }
+  return out;
+}
+
+// Execute through the plan cache: look the canonical key up, replay on
+// a hit, run the full prepare pipeline and publish the entry on a
+// miss. `data` is the caller's pinned snapshot (never null here).
+// `text` (when the query arrived as text) additionally registers a
+// raw-text alias so the next Execute of the same string skips parsing
+// and canonicalization entirely.
+Result<QueryOutcome> ExecuteCached(
+    const detail::EngineState& state,
+    std::shared_ptr<const detail::LoadedData> data, uint64_t epoch,
+    const Query& query, const std::string* text) {
+  // The canonical key prints schema names, so reject malformed queries
+  // before keying (ParseQuery output is always valid; hand-built Query
+  // values may not be).
+  SQOPT_RETURN_IF_ERROR(ValidateQuery(state.schema, query));
+  const std::string key = CanonicalQueryKey(state.schema, query);
+
+  std::shared_ptr<const detail::PreparedState> entry =
+      state.plan_cache.Lookup(key);
+  bool hit = entry != nullptr;
+  if (!hit) {
+    SQOPT_ASSIGN_OR_RETURN(entry,
+                           BuildPrepared(state, std::move(data), query));
+    state.plan_cache.Insert(key, entry, epoch);
+  }
+  if (text != nullptr && *text != key) {
+    state.plan_cache.InsertAlias(*text, entry, epoch);
+  }
+  SQOPT_ASSIGN_OR_RETURN(QueryOutcome out,
+                         ExecutePreparedState(state, *entry));
+  // On a hit the entry's `original` is whatever canonically-equal
+  // query first populated it; report the query THIS caller submitted.
+  out.original = query;
+  out.plan_cache_hit = hit;
+  out.plan_cache = state.plan_cache.stats(/*count_entries=*/false);
   return out;
 }
 
@@ -224,14 +312,23 @@ Status Engine::Load(DataSource data_source) {
     return Status::InvalidArgument(
         "store schema does not match the engine's schema");
   }
-  state.store = std::shared_ptr<const ObjectStore>(std::move(store));
-  state.db_stats = CollectStats(*state.store);
+  // Build the complete snapshot off to the side, publish it in one
+  // pointer swap, THEN invalidate the plan cache. The order matters:
+  // once the epoch moves, any in-flight miss that planned against the
+  // old snapshot fails its epoch check and is never cached, so a
+  // cached plan can never outlive its store's tenure.
+  auto data = std::make_shared<detail::LoadedData>();
+  data->store = std::shared_ptr<const ObjectStore>(std::move(store));
+  data->db_stats = CollectStats(*data->store);
   if (state.options.use_cost_model) {
-    state.cost_model = std::make_unique<CostModel>(
-        &state.schema, &state.db_stats, state.options.cost_params);
-  } else {
-    state.cost_model.reset();
+    data->cost_model = std::make_unique<CostModel>(
+        &state.schema, &data->db_stats, state.options.cost_params);
   }
+  {
+    std::lock_guard<std::mutex> lock(state.data_mutex);
+    state.data = std::move(data);
+  }
+  state.plan_cache.Invalidate();
   return Status::OK();
 }
 
@@ -247,8 +344,12 @@ Status Engine::AddConstraint(HornClause clause) {
 }
 
 Status Engine::Recompile() {
-  return state_->catalog.Precompile(&state_->access,
-                                    state_->options.precompile);
+  SQOPT_RETURN_IF_ERROR(state_->catalog.Precompile(
+      &state_->access, state_->options.precompile));
+  // Cached plans embed the retrieval + transformation the old catalog
+  // produced; drop them.
+  state_->plan_cache.Invalidate();
+  return Status::OK();
 }
 
 Status Engine::Recompile(const PrecompileOptions& precompile) {
@@ -258,6 +359,9 @@ Status Engine::Recompile(const PrecompileOptions& precompile) {
 
 void Engine::SetOptimizerOptions(const OptimizerOptions& optimizer) {
   state_->options.optimizer = optimizer;
+  // Plans cached under the old knobs (tag policy, budget, ...) no
+  // longer reflect what a fresh optimization would produce.
+  state_->plan_cache.Invalidate();
 }
 
 // ---------------------------------------------------------------------
@@ -270,15 +374,56 @@ Result<Query> Engine::Parse(std::string_view query_text) const {
 }
 
 Result<QueryOutcome> Engine::Execute(std::string_view query_text) const {
+  detail::EngineState& state = *state_;
+  // Serving fast path: an exact raw-text repeat resolves straight to
+  // its cached plan — no parse, no canonicalization, no lookup of the
+  // canonical key.
+  if (state.plan_cache.enabled()) {
+    if (std::shared_ptr<const detail::PreparedState> entry =
+            state.plan_cache.LookupText(query_text)) {
+      RecordAccess(state, entry->original);
+      SQOPT_ASSIGN_OR_RETURN(QueryOutcome out,
+                             ExecutePreparedState(state, *entry));
+      out.plan_cache_hit = true;
+      out.plan_cache = state.plan_cache.stats(/*count_entries=*/false);
+      state.queries_executed.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
   SQOPT_ASSIGN_OR_RETURN(Query query, Parse(query_text));
-  return Execute(query);
+  return ExecuteParsed(query, std::string(query_text));
 }
 
 Result<QueryOutcome> Engine::Execute(const Query& query) const {
-  SQOPT_ASSIGN_OR_RETURN(
-      QueryOutcome out,
-      RunQuery(*state_, query, /*optimize=*/true, /*execute=*/true));
-  state_->queries_executed.fetch_add(1, std::memory_order_relaxed);
+  return ExecuteParsed(query, std::nullopt);
+}
+
+Result<QueryOutcome> Engine::ExecuteParsed(
+    const Query& query, std::optional<std::string> text) const {
+  detail::EngineState& state = *state_;
+  QueryOutcome out;
+  if (state.plan_cache.enabled()) {
+    // Epoch BEFORE snapshot: Load() publishes the new snapshot first
+    // and bumps the epoch second, so an epoch that is still current at
+    // Insert time proves the snapshot below was not replaced while the
+    // plan was being built. (Snapshot-then-epoch would let a plan
+    // built against the dropped store slip in under the new epoch.)
+    const uint64_t epoch = state.plan_cache.epoch();
+    std::shared_ptr<const detail::LoadedData> data = state.data_snapshot();
+    if (data == nullptr) {
+      return Status::FailedPrecondition(
+          "no data loaded: call Engine::Load before Execute, or use "
+          "Analyze for optimization-only runs");
+    }
+    RecordAccess(state, query);
+    SQOPT_ASSIGN_OR_RETURN(
+        out, ExecuteCached(state, std::move(data), epoch, query,
+                           text.has_value() ? &*text : nullptr));
+  } else {
+    SQOPT_ASSIGN_OR_RETURN(
+        out, RunQuery(state, query, /*optimize=*/true, /*execute=*/true));
+  }
+  state.queries_executed.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
@@ -315,21 +460,31 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query_text) const {
 }
 
 Result<PreparedQuery> Engine::Prepare(const Query& query) const {
-  const detail::EngineState& state = *state_;
+  detail::EngineState& state = *state_;
   RecordAccess(state, query);
+  // Epoch before snapshot — see ExecuteParsed for why this order is
+  // load-bearing against concurrent reloads.
+  const uint64_t epoch = state.plan_cache.epoch();
+  std::shared_ptr<const detail::LoadedData> data = state.data_snapshot();
 
-  auto prepared = std::make_shared<detail::PreparedState>();
-  prepared->original = query;
-  SQOPT_ASSIGN_OR_RETURN(OptimizeResult opt, OptimizeQuery(state, query));
-  prepared->transformed = std::move(opt.query);
-  prepared->report = std::move(opt.report);
-  prepared->empty_result = opt.empty_result;
-  prepared->store = state.store;
-  if (prepared->store != nullptr && !prepared->empty_result) {
-    SQOPT_ASSIGN_OR_RETURN(
-        Plan plan,
-        BuildPlan(state.schema, state.db_stats, prepared->transformed));
-    prepared->plan = std::move(plan);
+  // Prepare and Execute share the plan cache: a handle for a recently
+  // executed query reuses its cached plan, and a handle prepared here
+  // seeds the cache for later ad-hoc Executes. Data-less preparations
+  // (analysis-only handles) are never cached — a later Execute must
+  // not hit a planless entry.
+  std::shared_ptr<const detail::PreparedState> prepared;
+  if (state.plan_cache.enabled() && data != nullptr) {
+    SQOPT_RETURN_IF_ERROR(ValidateQuery(state.schema, query));
+    const std::string key = CanonicalQueryKey(state.schema, query);
+    prepared = state.plan_cache.Lookup(key);
+    if (prepared == nullptr) {
+      SQOPT_ASSIGN_OR_RETURN(prepared,
+                             BuildPrepared(state, std::move(data), query));
+      state.plan_cache.Insert(key, prepared, epoch);
+    }
+  } else {
+    SQOPT_ASSIGN_OR_RETURN(prepared,
+                           BuildPrepared(state, std::move(data), query));
   }
   state.statements_prepared.fetch_add(1, std::memory_order_relaxed);
   return PreparedQuery(state_, std::move(prepared));
@@ -344,14 +499,115 @@ Result<std::string> Engine::Explain(std::string_view query_text) const {
   std::string text = out.report.ToString(state_->schema);
   text += "transformed: " + PrintQuery(state_->schema, out.transformed);
   text += "\n";
-  if (state_->store != nullptr && !out.answered_without_database) {
-    auto plan =
-        BuildPlan(state_->schema, state_->db_stats, out.transformed);
+  std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
+  if (data != nullptr && !out.answered_without_database) {
+    auto plan = BuildPlan(state_->schema, data->db_stats, out.transformed);
     if (plan.ok()) {
       text += "plan:\n" + plan->ToString(state_->schema);
     }
   }
   return text;
+}
+
+// ---------------------------------------------------------------------
+// Engine: batch serving.
+// ---------------------------------------------------------------------
+
+Result<BatchOutcome> Engine::ExecuteBatch(
+    std::span<const std::string> queries) const {
+  return ExecuteBatch(queries, state_->options.serve);
+}
+
+Result<BatchOutcome> Engine::ExecuteBatch(
+    std::span<const std::string> queries, const ServeOptions& serve) const {
+  detail::EngineState& state = *state_;
+  if (state.data_snapshot() == nullptr) {
+    return Status::FailedPrecondition(
+        "no data loaded: call Engine::Load before ExecuteBatch");
+  }
+
+  BatchOutcome out;
+  out.stats.queries = queries.size();
+  out.stats.threads = detail::WorkerPool::ResolveThreads(serve.threads);
+  if (queries.empty()) {
+    state.batches_served.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  // Acquire (or lazily build / resize) the shared pool. A batch holds
+  // its pool via shared_ptr, so replacing the pool for a different
+  // thread count never pulls workers out from under a batch in flight.
+  std::shared_ptr<detail::WorkerPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(state.pool_mutex);
+    if (state.pool == nullptr || state.pool->threads() != out.stats.threads) {
+      state.pool = std::make_shared<detail::WorkerPool>(out.stats.threads);
+    }
+    pool = state.pool;
+  }
+
+  out.results.assign(queries.size(), Status::Internal("not run"));
+  std::vector<uint64_t> latencies_micros(queries.size(), 0);
+
+  // Per-batch completion latch.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = queries.size();
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool->Submit([&, i] {
+      const auto start = std::chrono::steady_clock::now();
+      Result<QueryOutcome> result = Execute(queries[i]);
+      latencies_micros[i] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      out.results[i] = std::move(result);
+      // Notify while holding the lock: the waiter can only wake (and
+      // destroy the latch by returning) after this worker releases the
+      // mutex, so the condvar is never signalled after destruction.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  out.stats.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - batch_start)
+          .count());
+
+  for (const Result<QueryOutcome>& result : out.results) {
+    if (!result.ok()) {
+      ++out.stats.failed;
+      continue;
+    }
+    ++out.stats.succeeded;
+    if (result->plan_cache_hit) {
+      ++out.stats.cache_hits;
+    } else if (state.plan_cache.enabled()) {
+      ++out.stats.cache_misses;
+    }
+  }
+  if (out.stats.cache_hits + out.stats.cache_misses > 0) {
+    out.stats.cache_hit_rate =
+        static_cast<double>(out.stats.cache_hits) /
+        static_cast<double>(out.stats.cache_hits + out.stats.cache_misses);
+  }
+  if (out.stats.wall_micros > 0) {
+    out.stats.qps = static_cast<double>(queries.size()) * 1e6 /
+                    static_cast<double>(out.stats.wall_micros);
+  }
+  std::sort(latencies_micros.begin(), latencies_micros.end());
+  out.stats.p50_micros = latencies_micros[latencies_micros.size() / 2];
+  out.stats.p95_micros =
+      latencies_micros[latencies_micros.size() * 95 / 100];
+  state.batches_served.fetch_add(1, std::memory_order_relaxed);
+  return out;
 }
 
 // ---------------------------------------------------------------------
@@ -362,14 +618,19 @@ const Schema& Engine::schema() const { return state_->schema; }
 
 const ConstraintCatalog& Engine::catalog() const { return state_->catalog; }
 
-const ObjectStore* Engine::store() const { return state_->store.get(); }
+const ObjectStore* Engine::store() const {
+  std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
+  return data == nullptr ? nullptr : data->store.get();
+}
 
 const DatabaseStats* Engine::database_stats() const {
-  return state_->store == nullptr ? nullptr : &state_->db_stats;
+  std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
+  return data == nullptr ? nullptr : &data->db_stats;
 }
 
 const CostModelInterface* Engine::cost_model() const {
-  return state_->cost_model.get();
+  std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
+  return data == nullptr ? nullptr : data->cost_model.get();
 }
 
 const EngineOptions& Engine::options() const { return state_->options; }
@@ -395,7 +656,13 @@ EngineStats Engine::stats() const {
   out.prepared_executions =
       state.prepared_executions.load(std::memory_order_relaxed);
   out.contradictions = state.contradictions.load(std::memory_order_relaxed);
+  out.batches_served =
+      state.batches_served.load(std::memory_order_relaxed);
   return out;
+}
+
+PlanCacheStats Engine::plan_cache_stats() const {
+  return state_->plan_cache.stats();
 }
 
 }  // namespace sqopt

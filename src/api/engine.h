@@ -10,24 +10,31 @@
 // Open() wires the whole pipeline of the paper — constraint closure
 // precompilation, grouping, the delayed-choice semantic optimizer, the
 // conventional plan builder, and the metered executor — behind a
-// single handle. The read path (Execute / Analyze / Prepare /
-// Explain) is const and safe to call from any number of threads
-// against one engine; the admin path (Load / AddConstraint /
-// Recompile) must be quiesced first. Prepare() returns a PreparedQuery
-// that caches the parsed query, the retrieved relevant-constraint set,
-// and the built plan, so repeated execution — the heavy-traffic case —
-// skips parsing, retrieval, transformation, and planning entirely.
+// single handle. The read path (Execute / ExecuteBatch / Analyze /
+// Prepare / Explain) is const and safe to call from any number of
+// threads against one engine; Load() may run concurrently with it,
+// while the catalog mutations (AddConstraint / Recompile) must be
+// quiesced first. Execute is transparently served from a shared plan
+// cache keyed on the canonicalized query text, so repeated execution —
+// the heavy-traffic case — skips parsing, retrieval, transformation,
+// and planning; ExecuteBatch fans whole batches across a worker pool
+// against that cache. Prepare() returns a PreparedQuery handle onto
+// the same cached state for explicit statement reuse.
 #ifndef SQOPT_API_ENGINE_H_
 #define SQOPT_API_ENGINE_H_
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/engine_options.h"
+#include "api/plan_cache.h"
 #include "api/prepared_query.h"
+#include "api/serve.h"
 #include "catalog/access_stats.h"
 #include "catalog/schema.h"
 #include "common/status.h"
@@ -137,6 +144,20 @@ struct QueryOutcome {
   bool executed = false;  // false for Analyze and for contradictions
   ResultSet rows;
   ExecutionMeter meter;
+
+  // Plan-cache accounting: whether THIS query was served from a cached
+  // parse/retrieval/plan, plus a snapshot of the cache counters taken
+  // when the query completed. All zeros when the cache is disabled and
+  // on paths that bypass it (Analyze, ExecuteUnoptimized).
+  bool plan_cache_hit = false;
+  PlanCacheStats plan_cache;
+};
+
+// Everything one ExecuteBatch call produced: per-query results in input
+// order plus the aggregate throughput meter.
+struct BatchOutcome {
+  std::vector<Result<QueryOutcome>> results;
+  BatchStats stats;
 };
 
 // Cumulative engine counters; all reads are atomic snapshots.
@@ -147,6 +168,7 @@ struct EngineStats {
   uint64_t statements_prepared = 0;  // Prepare() completions
   uint64_t prepared_executions = 0;  // PreparedQuery::Execute completions
   uint64_t contradictions = 0;       // queries answered without the DB
+  uint64_t batches_served = 0;       // ExecuteBatch() completions
 };
 
 // ---------------------------------------------------------------------
@@ -169,13 +191,17 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
   ~Engine() = default;
 
-  // --- Admin path. NOT safe to run concurrently with the read path:
-  // quiesce Execute/Prepare callers first. PreparedQuery handles made
-  // before a Load() keep executing against the store they were
-  // prepared on. ---
+  // --- Admin path. Load() is safe to run concurrently with the read
+  // path: it publishes a complete new data snapshot and invalidates
+  // the plan cache, while in-flight queries and PreparedQuery handles
+  // keep executing against the snapshot they started with. The catalog
+  // mutations below (AddConstraint / Recompile / SetOptimizerOptions)
+  // still require quiescing Execute/Prepare callers first. ---
 
   // Attaches (or replaces) the data, collects statistics, and builds
-  // the cost model (unless options.use_cost_model is false).
+  // the cost model (unless options.use_cost_model is false). Drops
+  // every cached plan: the next Execute of any query re-parses,
+  // re-retrieves, and re-plans against the new store.
   Status Load(DataSource data_source);
 
   // Adds one constraint and re-precompiles the catalog (closure +
@@ -198,8 +224,23 @@ class Engine {
   // --- Read path: const, thread-safe. ---
 
   // Parse -> optimize -> plan -> execute -> meter. Requires Load().
+  // Transparently served from the shared plan cache when an identical
+  // (canonicalized) query was executed or prepared since the last
+  // reload: a hit skips retrieval, transformation, and planning, and
+  // the outcome reports plan_cache_hit = true.
   Result<QueryOutcome> Execute(std::string_view query_text) const;
   Result<QueryOutcome> Execute(const Query& query) const;
+
+  // Fans `queries` across the engine's worker pool (sized by
+  // options().serve.threads unless overridden) and returns per-query
+  // outcomes in input order plus an aggregate throughput meter. A
+  // malformed query fails only its own slot. All queries share the
+  // plan cache, so batches with repeated queries serve mostly from
+  // cache. Requires Load().
+  Result<BatchOutcome> ExecuteBatch(
+      std::span<const std::string> queries) const;
+  Result<BatchOutcome> ExecuteBatch(std::span<const std::string> queries,
+                                    const ServeOptions& serve) const;
 
   // Same, skipping semantic optimization (baseline side of A/B runs).
   Result<QueryOutcome> ExecuteUnoptimized(std::string_view query_text) const;
@@ -225,11 +266,20 @@ class Engine {
   // --- Introspection. ---
   const Schema& schema() const;
   const ConstraintCatalog& catalog() const;
-  const ObjectStore* store() const;             // null until Load()
-  const DatabaseStats* database_stats() const;  // null until Load()
-  const CostModelInterface* cost_model() const;  // null until Load()
+  // The three data accessors below return null until Load() and point
+  // into the CURRENT data snapshot: the pointers stay valid only until
+  // the next Load() replaces it. Don't hold them across a reload —
+  // re-read them instead (queries in flight are unaffected; they pin
+  // their snapshot internally).
+  const ObjectStore* store() const;
+  const DatabaseStats* database_stats() const;
+  const CostModelInterface* cost_model() const;
   const EngineOptions& options() const;
   EngineStats stats() const;
+
+  // Cumulative plan-cache counters (hits, misses, evictions,
+  // invalidations, live entries). Safe concurrently with the read path.
+  PlanCacheStats plan_cache_stats() const;
 
   // Snapshot of the per-class access counters (the read path updates
   // them under a lock; the snapshot is taken under the same lock, so
@@ -243,6 +293,11 @@ class Engine {
  private:
   explicit Engine(std::shared_ptr<detail::EngineState> state)
       : state_(std::move(state)) {}
+
+  // Shared tail of the two Execute overloads; `text` (when the query
+  // arrived as text) registers the raw-text cache alias.
+  Result<QueryOutcome> ExecuteParsed(const Query& query,
+                                     std::optional<std::string> text) const;
 
   std::shared_ptr<detail::EngineState> state_;
 };

@@ -1,10 +1,15 @@
 // INTERNAL: shared state behind the Engine pimpl. Included only by
-// engine.cc and prepared_query.cc — not part of the public API.
+// engine.cc, plan_cache.cc, and prepared_query.cc — not part of the
+// public API.
 //
-// Thread-safety contract: after Open()/Load()/AddConstraint()/
-// Recompile() complete, everything here is read-only on the query path
-// except the atomic counters, the atomic index/retrieval meters inside
-// the owned components, and the mutex-guarded AccessStats.
+// Thread-safety contract: after Open()/AddConstraint()/Recompile()
+// complete, everything here is read-only on the query path except the
+// atomic counters, the atomic index/retrieval meters inside the owned
+// components, the mutex-guarded AccessStats, the internally-locked
+// plan cache and worker pool, and the loaded-data slot. Load() IS safe
+// to run concurrently with the read path: it publishes a fully-built
+// LoadedData snapshot under data_mutex and readers pin the snapshot
+// they started with.
 #ifndef SQOPT_API_ENGINE_IMPL_H_
 #define SQOPT_API_ENGINE_IMPL_H_
 
@@ -12,8 +17,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "api/engine_options.h"
+#include "api/plan_cache.h"
+#include "api/serve.h"
 #include "catalog/access_stats.h"
 #include "catalog/schema.h"
 #include "constraints/constraint_catalog.h"
@@ -25,29 +33,51 @@
 
 namespace sqopt::detail {
 
+// Everything one Load() produced, published as one immutable snapshot.
+// Readers (Execute / Prepare / cached plans) pin the snapshot they
+// started with, so a concurrent reload never swaps the store, the
+// statistics, or the cost model out from under a running query.
+struct LoadedData {
+  std::shared_ptr<const ObjectStore> store;
+  DatabaseStats db_stats;
+  std::unique_ptr<const CostModel> cost_model;  // null in walkthrough mode
+};
+
 struct EngineState {
   EngineState(Schema s, EngineOptions opts)
       : schema(std::move(s)),
         catalog(&schema),
         access(schema.num_classes()),
-        options(std::move(opts)) {}
+        options(std::move(opts)),
+        plan_cache(options.serve.cache_capacity) {}
 
   // EngineState lives on the heap behind a shared_ptr and is never
   // moved, so the internal schema/catalog pointer wiring stays valid.
   EngineState(const EngineState&) = delete;
   EngineState& operator=(const EngineState&) = delete;
 
+  std::shared_ptr<const LoadedData> data_snapshot() const {
+    std::lock_guard<std::mutex> lock(data_mutex);
+    return data;
+  }
+
   Schema schema;
   ConstraintCatalog catalog;
   mutable AccessStats access;  // guarded by access_mutex on the query path
   EngineOptions options;
 
-  // Populated by Load(). `store` is shared so PreparedQuery handles
-  // keep executing against the store they were planned on even if a
-  // later Load() swaps it out.
-  std::shared_ptr<const ObjectStore> store;
-  DatabaseStats db_stats;
-  std::unique_ptr<const CostModel> cost_model;
+  // Published by Load() under data_mutex; null until the first Load().
+  std::shared_ptr<const LoadedData> data;
+  mutable std::mutex data_mutex;
+
+  // Shared plan cache for Execute/Prepare (internally synchronized).
+  mutable PlanCache plan_cache;
+
+  // Lazily-created pool behind ExecuteBatch. Guarded by pool_mutex;
+  // held as shared_ptr so a batch in flight keeps its pool alive while
+  // a differently-sized replacement is swapped in.
+  mutable std::shared_ptr<WorkerPool> pool;
+  mutable std::mutex pool_mutex;
 
   mutable std::mutex access_mutex;
 
@@ -57,18 +87,24 @@ struct EngineState {
   mutable std::atomic<uint64_t> statements_prepared{0};
   mutable std::atomic<uint64_t> prepared_executions{0};
   mutable std::atomic<uint64_t> contradictions{0};
+  mutable std::atomic<uint64_t> batches_served{0};
 };
 
+// One fully-prepared query: shared by PreparedQuery handles and by
+// plan-cache entries. Immutable after construction (the execution
+// counter aside), so one instance can serve any number of threads.
 struct PreparedState {
   Query original;
   Query transformed;
   OptimizationReport report;
   bool empty_result = false;
 
-  // The store the plan was built against (null when the engine had no
-  // data at Prepare time — the handle then only replays the analysis).
-  std::shared_ptr<const ObjectStore> store;
-  std::optional<Plan> plan;  // engaged iff store && !empty_result
+  // The data snapshot the plan was built against (null when the engine
+  // had no data at Prepare time — the handle then only replays the
+  // analysis). Pinning the whole snapshot keeps the store alive across
+  // reloads for as long as this plan is reachable.
+  std::shared_ptr<const LoadedData> data;
+  std::optional<Plan> plan;  // engaged iff data && !empty_result
 
   mutable std::atomic<uint64_t> executions{0};
 };

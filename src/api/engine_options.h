@@ -6,6 +6,7 @@
 #ifndef SQOPT_API_ENGINE_OPTIONS_H_
 #define SQOPT_API_ENGINE_OPTIONS_H_
 
+#include "api/serve.h"
 #include "constraints/constraint_catalog.h"
 #include "cost/cost_model.h"
 #include "sqo/options.h"
@@ -36,6 +37,11 @@ struct EngineOptions {
   // Record per-class access frequencies on every query. They feed the
   // kLeastFrequentlyAccessed grouping policy at the next Recompile.
   bool record_access_stats = true;
+
+  // Concurrent serving: ExecuteBatch worker threads and the shared
+  // plan-cache capacity (cache_capacity = 0 turns the cache off and
+  // every Execute pays the full parse/retrieve/plan pipeline).
+  ServeOptions serve;
 };
 
 }  // namespace sqopt

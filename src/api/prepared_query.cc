@@ -38,13 +38,14 @@ Result<QueryOutcome> PreparedQuery::Execute() const {
       engine_->contradictions.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    if (prepared.store == nullptr) {
+    if (prepared.data == nullptr) {
       return Status::FailedPrecondition(
           "prepared without data: Engine::Load must run before Prepare "
           "for the handle to be executable");
     }
     SQOPT_ASSIGN_OR_RETURN(
-        out.rows, ExecutePlan(*prepared.store, *prepared.plan, &out.meter));
+        out.rows,
+        ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter));
     out.executed = true;
   }
 

@@ -1,0 +1,85 @@
+// The concurrent batch-serving layer behind Engine::ExecuteBatch: the
+// knobs (ServeOptions), the aggregate throughput meter (BatchStats),
+// and a small shared worker pool (detail::WorkerPool). The pool is
+// created lazily on the first batch and lives with the engine state;
+// batches enqueue tasks and block until their own tasks drain, so any
+// number of ExecuteBatch calls can share one pool.
+#ifndef SQOPT_API_SERVE_H_
+#define SQOPT_API_SERVE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqopt {
+
+struct ServeOptions {
+  // Worker threads for ExecuteBatch. 0 = hardware concurrency, clamped
+  // to [1, 16].
+  int threads = 0;
+
+  // Total plan-cache entry budget (0 disables the cache). Consumed at
+  // Engine::Open; changing it on a live engine has no effect.
+  size_t cache_capacity = 256;
+};
+
+// Aggregate meter for one ExecuteBatch call.
+struct BatchStats {
+  size_t queries = 0;
+  size_t succeeded = 0;  // per-query Result was ok (contradictions count)
+  size_t failed = 0;     // parse/validation/execution errors
+  int threads = 0;       // workers the batch actually ran on
+
+  uint64_t wall_micros = 0;  // submit-to-drain wall time
+  double qps = 0.0;          // queries / wall seconds
+
+  // Per-query latency distribution (successful and failed alike).
+  uint64_t p50_micros = 0;
+  uint64_t p95_micros = 0;
+
+  // Plan-cache traffic attributable to this batch's successful queries.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when empty
+};
+
+namespace detail {
+
+// Fixed-size pool: a task queue, `threads` workers, FIFO dispatch.
+// Submit() never blocks; the caller synchronizes completion itself
+// (ExecuteBatch counts finished tasks under its own latch).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();  // drains the queue, then joins
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  void Submit(std::function<void()> task);
+
+  // ServeOptions::threads resolved against the hardware.
+  static int ResolveThreads(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace detail
+}  // namespace sqopt
+
+#endif  // SQOPT_API_SERVE_H_

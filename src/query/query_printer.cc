@@ -66,4 +66,10 @@ std::string PrintQueryPretty(const Schema& schema, const Query& query) {
   return os.str();
 }
 
+std::string CanonicalQueryKey(const Schema& schema, const Query& query) {
+  Query normalized = query;
+  normalized.Normalize();
+  return PrintQuery(schema, normalized);
+}
+
 }  // namespace sqopt

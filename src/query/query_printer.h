@@ -16,6 +16,12 @@ std::string PrintQuery(const Schema& schema, const Query& query);
 // Multi-line indented form for logs and examples.
 std::string PrintQueryPretty(const Schema& schema, const Query& query);
 
+// Canonical cache key: the single-line form of the Normalize()d query.
+// Two query texts that parse to the same normalized structure (same
+// parts in any order, any whitespace) map to the same key, so the plan
+// cache coalesces them onto one entry.
+std::string CanonicalQueryKey(const Schema& schema, const Query& query);
+
 }  // namespace sqopt
 
 #endif  // SQOPT_QUERY_QUERY_PRINTER_H_

@@ -1,0 +1,245 @@
+// Tests for the shared plan cache: transparent Execute hits, canonical
+// keying across textual variants, LRU eviction, counters in
+// QueryOutcome, and — most load-bearing — invalidation on data
+// reloads: a reload between two identical Executes must miss the cache
+// and never serve rows from the dropped store.
+#include "api/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/engine_impl.h"
+#include "tests/test_util.h"
+
+namespace sqopt {
+namespace {
+
+constexpr uint64_t kSeed = 20260728;
+const DbSpec kSpec{"plan_cache_test", 104, 154};
+
+const char* kJoinQuery =
+    "{cargo.code} {} {cargo.desc = \"frozen food\", "
+    "supplier.region = \"west\"} {supplies} {supplier, cargo}";
+const char* kSingleClassQuery =
+    "{cargo.code} {} {cargo.desc = \"frozen food\"} {} {cargo}";
+// kSingleClassQuery with gratuitous whitespace: same canonical key.
+const char* kSingleClassQueryVariant =
+    "{ cargo.code }  {} { cargo.desc = \"frozen food\" } {}  { cargo }";
+const char* kContradictionQuery =
+    "{cargo.code} {} {vehicle.desc = \"refrigerated truck\", "
+    "cargo.desc = \"fuel\"} {collects} {cargo, vehicle}";
+
+Engine OpenLoadedEngine(EngineOptions options = {}) {
+  auto opened = Engine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment(),
+                             std::move(options));
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine engine = std::move(opened).value();
+  Status s = engine.Load(DataSource::Generated(kSpec, kSeed));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return engine;
+}
+
+// --- Direct PlanCache unit coverage. ---
+
+std::shared_ptr<const detail::PreparedState> MakeEntry() {
+  auto entry = std::make_shared<detail::PreparedState>();
+  entry->empty_result = true;  // executable without data
+  return entry;
+}
+
+TEST(PlanCacheUnitTest, LookupInsertAndCounters) {
+  detail::PlanCache cache(/*capacity=*/16);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", MakeEntry(), cache.epoch());
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 16u);
+  EXPECT_GE(stats.shards, 1u);
+}
+
+TEST(PlanCacheUnitTest, StaleEpochInsertIsDropped) {
+  detail::PlanCache cache(/*capacity=*/16);
+  uint64_t epoch = cache.epoch();
+  cache.Invalidate();  // a "reload" between lookup and insert
+  cache.Insert("a", MakeEntry(), epoch);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(PlanCacheUnitTest, EvictsLeastRecentlyUsed) {
+  // Capacity 1 => one shard, one slot: the second insert evicts the
+  // first.
+  detail::PlanCache cache(/*capacity=*/1);
+  cache.Insert("a", MakeEntry(), cache.epoch());
+  cache.Insert("b", MakeEntry(), cache.epoch());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+TEST(PlanCacheUnitTest, DisabledCacheIsInert) {
+  detail::PlanCache cache(/*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("a", MakeEntry(), cache.epoch());
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+}
+
+// --- Engine-integrated behavior. ---
+
+TEST(PlanCacheEngineTest, SecondExecuteHitsTheCache) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK_AND_ASSIGN(QueryOutcome first, engine.Execute(kJoinQuery));
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_EQ(first.plan_cache.misses, 1u);
+
+  ASSERT_OK_AND_ASSIGN(QueryOutcome second, engine.Execute(kJoinQuery));
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(second.plan_cache.hits, 1u);
+  EXPECT_TRUE(second.rows.SameRows(first.rows));
+  EXPECT_EQ(second.meter.rows_out, first.meter.rows_out);
+  EXPECT_EQ(engine.plan_cache_stats().entries, 1u);
+}
+
+TEST(PlanCacheEngineTest, RawTextRepeatSkipsReparsing) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  uint64_t parses_before = engine.stats().queries_parsed;
+  ASSERT_OK_AND_ASSIGN(QueryOutcome repeat, engine.Execute(kJoinQuery));
+  EXPECT_TRUE(repeat.plan_cache_hit);
+  // The exact-text fast path serves the repeat without re-parsing.
+  EXPECT_EQ(engine.stats().queries_parsed, parses_before);
+  EXPECT_EQ(engine.plan_cache_stats().aliases, 1u);
+}
+
+TEST(PlanCacheEngineTest, CanonicalKeyCoalescesTextualVariants) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK_AND_ASSIGN(QueryOutcome first,
+                       engine.Execute(kSingleClassQuery));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome variant,
+                       engine.Execute(kSingleClassQueryVariant));
+  EXPECT_TRUE(variant.plan_cache_hit);
+  EXPECT_TRUE(variant.rows.SameRows(first.rows));
+  EXPECT_EQ(engine.plan_cache_stats().entries, 1u);
+}
+
+TEST(PlanCacheEngineTest, PrepareAndExecuteShareEntries) {
+  Engine engine = OpenLoadedEngine();
+  // Execute seeds the cache; Prepare hits it (no second miss) ...
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  ASSERT_OK_AND_ASSIGN(PreparedQuery prepared, engine.Prepare(kJoinQuery));
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+  ASSERT_OK(prepared.Execute().status());
+  // ... and a Prepare of a fresh query seeds the cache for Execute.
+  ASSERT_OK(engine.Prepare(kSingleClassQuery).status());
+  ASSERT_OK_AND_ASSIGN(QueryOutcome out, engine.Execute(kSingleClassQuery));
+  EXPECT_TRUE(out.plan_cache_hit);
+}
+
+TEST(PlanCacheEngineTest, ContradictionsAreCachedToo) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK_AND_ASSIGN(QueryOutcome first,
+                       engine.Execute(kContradictionQuery));
+  EXPECT_TRUE(first.answered_without_database);
+  ASSERT_OK_AND_ASSIGN(QueryOutcome second,
+                       engine.Execute(kContradictionQuery));
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_TRUE(second.answered_without_database);
+  EXPECT_EQ(second.meter.instances_scanned, 0u);
+  EXPECT_EQ(engine.stats().contradictions, 2u);
+}
+
+TEST(PlanCacheEngineTest, CapacityZeroDisablesCaching) {
+  EngineOptions options;
+  options.serve.cache_capacity = 0;
+  Engine engine = OpenLoadedEngine(options);
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  ASSERT_OK_AND_ASSIGN(QueryOutcome second, engine.Execute(kJoinQuery));
+  EXPECT_FALSE(second.plan_cache_hit);
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.entries, 0u);
+}
+
+TEST(PlanCacheEngineTest, EvictionUnderTinyCapacity) {
+  EngineOptions options;
+  options.serve.cache_capacity = 1;
+  Engine engine = OpenLoadedEngine(options);
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  ASSERT_OK(engine.Execute(kSingleClassQuery).status());
+  ASSERT_OK(engine.Execute(kContradictionQuery).status());
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.evictions, 2u);
+}
+
+// The satellite requirement: a reload between two identical Executes
+// must miss the cache and serve rows from the NEW store, never the
+// dropped one.
+TEST(PlanCacheEngineTest, ReloadInvalidatesAndNeverServesDroppedStore) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK_AND_ASSIGN(QueryOutcome before,
+                       engine.Execute(kSingleClassQuery));
+  EXPECT_FALSE(before.plan_cache_hit);
+
+  // Reload with a differently-sized database (different row counts for
+  // the same query).
+  ASSERT_OK(engine.Load(
+      DataSource::Generated(DbSpec{"other", 52, 77}, kSeed + 1)));
+  EXPECT_EQ(engine.plan_cache_stats().entries, 0u);
+  // Two invalidations: the initial Load and this reload.
+  EXPECT_EQ(engine.plan_cache_stats().invalidations, 2u);
+
+  ASSERT_OK_AND_ASSIGN(QueryOutcome after,
+                       engine.Execute(kSingleClassQuery));
+  EXPECT_FALSE(after.plan_cache_hit) << "reload must force a cache miss";
+  EXPECT_NE(after.rows.rows.size(), before.rows.rows.size())
+      << "rows must come from the new store";
+
+  // What the fresh miss cached is the NEW store's plan.
+  ASSERT_OK_AND_ASSIGN(QueryOutcome warm, engine.Execute(kSingleClassQuery));
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_TRUE(warm.rows.SameRows(after.rows));
+}
+
+TEST(PlanCacheEngineTest, CatalogAndOptimizerChangesInvalidate) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  EXPECT_EQ(engine.plan_cache_stats().entries, 1u);
+
+  // New constraint => retrieval/transformation may change => flush.
+  ASSERT_OK(engine.AddConstraint(
+      "extra: cargo.weight <= 40 -> cargo.quantity <= 499"));
+  EXPECT_EQ(engine.plan_cache_stats().entries, 0u);
+
+  ASSERT_OK(engine.Execute(kJoinQuery).status());
+  EXPECT_EQ(engine.plan_cache_stats().entries, 1u);
+
+  // New optimizer knobs => cached plans are stale => flush.
+  engine.SetOptimizerOptions(OptimizerOptions{});
+  EXPECT_EQ(engine.plan_cache_stats().entries, 0u);
+}
+
+TEST(PlanCacheEngineTest, AnalyzeAndUnoptimizedBypassTheCache) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK(engine.Analyze(kJoinQuery).status());
+  ASSERT_OK(engine.ExecuteUnoptimized(kJoinQuery).status());
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.entries, 0u);
+}
+
+}  // namespace
+}  // namespace sqopt
