@@ -1,57 +1,57 @@
 #!/usr/bin/env python3
-"""Gate a bench JSON emission against its checked-in baseline.
+"""Gate bench JSON emissions against their checked-in baselines.
 
-Two checks:
+Two checks per bench file:
   1. Schema: every baseline field must be present in the current
      emission with the same JSON type (the emission is a contract; CI
      consumers break when fields disappear or change type).
-  2. Regression: each metric named by --metric must not fall below
-     baseline * (1 - --max-regression).
+  2. Regression: each gated metric must stay on the right side of its
+     baseline. Metrics are "higher is better" by default (the value
+     must not fall below baseline * (1 - tolerance)); metrics with
+     direction "lower" must not rise above baseline * (1 + tolerance);
+     metrics with direction "equal" must match the baseline exactly
+     (deterministic correctness counts like result-row totals).
 
-The baseline is intentionally conservative (well below a healthy run
-on any CI runner) so the gate catches real regressions, not runner
+Baselines are intentionally conservative (well below a healthy run on
+any CI runner) so the gate catches real regressions, not runner
 variance.
 
-Usage:
+Two modes:
+
+Single file (the original interface):
   check_bench_regression.py --current build/BENCH_serve.json \
       --baseline bench/baseline/BENCH_serve.json \
       --metric qps --max-regression 0.30
+
+Suite (gate every bench named by a config):
+  check_bench_regression.py --suite bench/baseline/gate.json \
+      --current-dir build --baseline-dir bench/baseline
+
+The suite config maps bench file names to their gated metrics:
+  {
+    "BENCH_serve.json": {
+      "metrics": {
+        "qps": {"max_regression": 0.30},
+        "p95_us": {"max_regression": 0.50, "direction": "lower"}
+      }
+    }
+  }
+A missing current or baseline file fails the suite: every gated bench
+must actually run.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument(
-        "--metric",
-        action="append",
-        default=[],
-        help="numeric field that must not regress (repeatable)",
-    )
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.30,
-        help="allowed fractional drop below the baseline value",
-    )
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
-
-    failures = []
-
-    # 1. Schema: baseline fields must survive with the same type.
+def check_schema(name, baseline, current, failures):
+    """Baseline fields must survive into the emission with the same type."""
     for key, base_value in baseline.items():
         if key not in current:
-            failures.append(f"schema: field '{key}' missing from emission")
+            failures.append(f"{name}: schema: field '{key}' missing from emission")
             continue
         base_numeric = isinstance(base_value, (int, float)) and not isinstance(
             base_value, bool
@@ -63,31 +63,169 @@ def main() -> int:
             not base_numeric and type(base_value) is not type(current[key])
         ):
             failures.append(
-                f"schema: field '{key}' changed type "
+                f"{name}: schema: field '{key}' changed type "
                 f"({type(base_value).__name__} -> "
                 f"{type(current[key]).__name__})"
             )
 
-    # 2. Regression gate on the named metrics.
-    for metric in args.metric:
-        if metric not in baseline or metric not in current:
-            failures.append(f"metric '{metric}' absent from baseline/current")
-            continue
-        floor = baseline[metric] * (1.0 - args.max_regression)
-        value = current[metric]
-        status = "ok" if value >= floor else "REGRESSION"
-        print(
-            f"{metric}: current={value:.6g} baseline={baseline[metric]:.6g} "
-            f"floor={floor:.6g} [{status}]"
-        )
-        if value < floor:
+
+def check_metric(name, metric, spec, baseline, current, failures):
+    """One metric against its baseline, honoring direction + tolerance."""
+    if metric not in baseline or metric not in current:
+        failures.append(f"{name}: metric '{metric}' absent from baseline/current")
+        return
+    base = baseline[metric]
+    value = current[metric]
+    for side, v in (("baseline", base), ("current", value)):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            # check_schema already flags the type change; record the
+            # metric failure and keep gating the remaining benches.
             failures.append(
-                f"regression: {metric}={value:.6g} fell below floor "
-                f"{floor:.6g} (baseline {baseline[metric]:.6g}, "
-                f"tolerance {args.max_regression:.0%})"
+                f"{name}: metric '{metric}' is non-numeric in {side} "
+                f"({type(v).__name__})"
             )
+            return
+    tolerance = spec.get("max_regression", 0.30)
+    direction = spec.get("direction", "higher")
+    if direction not in ("higher", "lower", "equal"):
+        failures.append(
+            f"{name}: gate config: metric '{metric}' has unknown "
+            f"direction '{direction}' (use higher/lower/equal)"
+        )
+        return
+    if direction == "equal":
+        ok = value == base
+        status = "ok" if ok else "REGRESSION"
+        print(f"{name}: {metric}: current={value:.6g} expected={base:.6g} "
+              f"[{status}]")
+        if not ok:
+            failures.append(
+                f"{name}: regression: {metric}={value:.6g} != expected "
+                f"{base:.6g} (direction: equal)"
+            )
+        return
+    if direction == "lower":
+        bound = base * (1.0 + tolerance)
+        ok = value <= bound
+        relation = "ceiling"
+    else:
+        bound = base * (1.0 - tolerance)
+        ok = value >= bound
+        relation = "floor"
+    status = "ok" if ok else "REGRESSION"
+    print(
+        f"{name}: {metric}: current={value:.6g} baseline={base:.6g} "
+        f"{relation}={bound:.6g} [{status}]"
+    )
+    if not ok:
+        failures.append(
+            f"{name}: regression: {metric}={value:.6g} crossed the "
+            f"{relation} {bound:.6g} (baseline {base:.6g}, "
+            f"tolerance {tolerance:.0%})"
+        )
+
+
+def load_json(path, failures, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{what} '{path}': {e}")
+        return None
+
+
+def gate_file(name, current_path, baseline_path, metric_specs, failures):
+    baseline = load_json(baseline_path, failures, f"{name}: baseline")
+    current = load_json(current_path, failures, f"{name}: emission")
+    if baseline is None or current is None:
+        return
+    check_schema(name, baseline, current, failures)
+    for metric, spec in metric_specs.items():
+        check_metric(name, metric, spec, baseline, current, failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", help="single-file mode: emission path")
+    parser.add_argument("--baseline", help="single-file mode: baseline path")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="single-file mode: numeric field that must not regress "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="single-file mode: allowed fractional drop below baseline",
+    )
+    parser.add_argument(
+        "--suite", help="suite mode: gate config JSON (see module docstring)"
+    )
+    parser.add_argument(
+        "--current-dir", default="build", help="suite mode: emissions directory"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default="bench/baseline",
+        help="suite mode: baselines directory",
+    )
+    args = parser.parse_args()
+
+    failures = []
+
+    if args.suite:
+        suite = load_json(args.suite, failures, "suite config")
+        if suite is None:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        for name in sorted(suite):
+            entry = suite[name]
+            metrics = entry.get("metrics") if isinstance(entry, dict) else None
+            if not isinstance(metrics, dict) or not metrics:
+                # An entry that gates nothing is a config bug, not a
+                # pass: it would silently disable the bench's gate.
+                failures.append(
+                    f"{name}: gate config: entry must be an object with a "
+                    f"non-empty 'metrics' map"
+                )
+                continue
+            gate_file(
+                name,
+                os.path.join(args.current_dir, name),
+                os.path.join(args.baseline_dir, name),
+                metrics,
+                failures,
+            )
+        # "Every BENCH_*.json is gated" holds in both directions: an
+        # emission with no gate entry (new or renamed bench) fails the
+        # suite instead of slipping through ungated.
+        for path in sorted(
+            glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))
+        ):
+            name = os.path.basename(path)
+            if name not in suite:
+                failures.append(
+                    f"{name}: emitted but has no entry in {args.suite}; "
+                    f"add a gate (and a baseline) for it"
+                )
+    elif args.current and args.baseline:
+        specs = {m: {"max_regression": args.max_regression} for m in args.metric}
+        gate_file(
+            os.path.basename(args.current),
+            args.current,
+            args.baseline,
+            specs,
+            failures,
+        )
+    else:
+        parser.error("pass either --suite or both --current and --baseline")
 
     if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1

@@ -144,6 +144,21 @@ void RecordAccess(const detail::EngineState& state, const Query& query) {
   state.access.RecordQuery(query.classes);
 }
 
+// The engine's physical-planning knobs: serve.parallelism (0 = the
+// resolved thread count) caps morsel fan-out, serve.morsel_size sizes
+// the morsels, and the cost params gate the parallel decision.
+PlanningOptions MakePlanningOptions(const detail::EngineState& state) {
+  const ServeOptions& serve = state.options.serve;
+  PlanningOptions opts;
+  opts.max_parallelism =
+      serve.parallelism == 0
+          ? detail::WorkerPool::ResolveThreads(serve.threads)
+          : serve.parallelism;
+  opts.morsel_size = serve.morsel_size;
+  opts.cost_params = state.options.cost_params;
+  return opts;
+}
+
 Result<OptimizeResult> OptimizeQuery(const detail::EngineState& state,
                                      const detail::LoadedData* data,
                                      const Query& query) {
@@ -172,7 +187,8 @@ Result<std::shared_ptr<const detail::PreparedState>> BuildPrepared(
   if (prepared->data != nullptr && !prepared->empty_result) {
     SQOPT_ASSIGN_OR_RETURN(Plan plan,
                            BuildPlan(state.schema, prepared->data->db_stats,
-                                     prepared->transformed));
+                                     prepared->transformed,
+                                     MakePlanningOptions(state)));
     prepared->plan = std::move(plan);
   }
   return std::shared_ptr<const detail::PreparedState>(std::move(prepared));
@@ -191,9 +207,11 @@ Result<QueryOutcome> ExecutePreparedState(
     state.contradictions.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
+  std::shared_ptr<detail::WorkerPool> pool_holder;
   SQOPT_ASSIGN_OR_RETURN(
       out.rows,
-      ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter));
+      ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter,
+                  MakeExecContext(state, *prepared.plan, &pool_holder)));
   out.executed = true;
   return out;
 }
@@ -229,9 +247,12 @@ Result<QueryOutcome> RunQuery(const detail::EngineState& state,
 
   if (execute && !out.answered_without_database) {
     SQOPT_ASSIGN_OR_RETURN(
-        Plan plan, BuildPlan(state.schema, data->db_stats, out.transformed));
-    SQOPT_ASSIGN_OR_RETURN(out.rows,
-                           ExecutePlan(*data->store, plan, &out.meter));
+        Plan plan, BuildPlan(state.schema, data->db_stats, out.transformed,
+                             MakePlanningOptions(state)));
+    std::shared_ptr<detail::WorkerPool> pool_holder;
+    SQOPT_ASSIGN_OR_RETURN(
+        out.rows, ExecutePlan(*data->store, plan, &out.meter,
+                              MakeExecContext(state, plan, &pool_holder)));
     out.executed = true;
   }
   return out;
@@ -362,6 +383,25 @@ void Engine::SetOptimizerOptions(const OptimizerOptions& optimizer) {
   // Plans cached under the old knobs (tag policy, budget, ...) no
   // longer reflect what a fresh optimization would produce.
   state_->plan_cache.Invalidate();
+}
+
+void Engine::SetServeOptions(const ServeOptions& serve) {
+  // cache_capacity is consumed at Open; preserve the live value so the
+  // stats surface doesn't lie about the cache's actual budget.
+  ServeOptions updated = serve;
+  updated.cache_capacity = state_->options.serve.cache_capacity;
+  state_->options.serve = updated;
+  // The parallel-scan decision is baked into cached plans; re-plan
+  // under the new knobs.
+  state_->plan_cache.Invalidate();
+  // Drop the pool so the next use rebuilds it at the new thread count
+  // (GetMorselPool never resizes on its own). Work in flight holds its
+  // own reference; the old pool drains and joins when the last holder
+  // releases it.
+  {
+    std::lock_guard<std::mutex> lock(state_->pool_mutex);
+    state_->pool.reset();
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -501,7 +541,8 @@ Result<std::string> Engine::Explain(std::string_view query_text) const {
   text += "\n";
   std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
   if (data != nullptr && !out.answered_without_database) {
-    auto plan = BuildPlan(state_->schema, data->db_stats, out.transformed);
+    auto plan = BuildPlan(state_->schema, data->db_stats, out.transformed,
+                          MakePlanningOptions(*state_));
     if (plan.ok()) {
       text += "plan:\n" + plan->ToString(state_->schema);
     }
@@ -534,16 +575,22 @@ Result<BatchOutcome> Engine::ExecuteBatch(
     return out;
   }
 
-  // Acquire (or lazily build / resize) the shared pool. A batch holds
-  // its pool via shared_ptr, so replacing the pool for a different
-  // thread count never pulls workers out from under a batch in flight.
+  // Acquire the shared engine-sized pool for batch dispatch; a
+  // per-call thread override gets a PRIVATE pool for this batch only,
+  // so the override can never silently resize the pool later queries
+  // fan morsels across. Deliberate trade-off: an override that differs
+  // from the engine's configured threads pays pool spawn/teardown per
+  // batch — callers with a steady thread count should configure it at
+  // Open or via SetServeOptions, which use the cached shared pool. (Intra-query fan-out is engine-level and
+  // deliberately not throttled by the override: parallel plans inside
+  // this batch still borrow the shared engine-sized pool via
+  // GetMorselPool — see the ExecuteBatch contract in engine.h.)
   std::shared_ptr<detail::WorkerPool> pool;
-  {
-    std::lock_guard<std::mutex> lock(state.pool_mutex);
-    if (state.pool == nullptr || state.pool->threads() != out.stats.threads) {
-      state.pool = std::make_shared<detail::WorkerPool>(out.stats.threads);
-    }
-    pool = state.pool;
+  if (out.stats.threads ==
+      detail::WorkerPool::ResolveThreads(state.options.serve.threads)) {
+    pool = state.GetMorselPool();
+  } else {
+    pool = std::make_shared<detail::WorkerPool>(out.stats.threads);
   }
 
   out.results.assign(queries.size(), Status::Internal("not run"));

@@ -194,9 +194,10 @@ class Engine {
   // --- Admin path. Load() is safe to run concurrently with the read
   // path: it publishes a complete new data snapshot and invalidates
   // the plan cache, while in-flight queries and PreparedQuery handles
-  // keep executing against the snapshot they started with. The catalog
-  // mutations below (AddConstraint / Recompile / SetOptimizerOptions)
-  // still require quiescing Execute/Prepare callers first. ---
+  // keep executing against the snapshot they started with. The other
+  // mutations below (AddConstraint / Recompile / SetOptimizerOptions /
+  // SetServeOptions) still require quiescing Execute/Prepare callers
+  // first. ---
 
   // Attaches (or replaces) the data, collects statistics, and builds
   // the cost model (unless options.use_cost_model is false). Drops
@@ -221,6 +222,13 @@ class Engine {
   // Admin path, like the rest of this section.
   void SetOptimizerOptions(const OptimizerOptions& optimizer);
 
+  // Replaces the serving knobs (ExecuteBatch threads, intra-query
+  // parallelism ceiling, morsel size) without re-opening; cached plans
+  // are dropped because the parallel-scan decision is baked into them.
+  // cache_capacity changes are ignored (consumed at Open). Admin path:
+  // quiesce readers first, like SetOptimizerOptions.
+  void SetServeOptions(const ServeOptions& serve);
+
   // --- Read path: const, thread-safe. ---
 
   // Parse -> optimize -> plan -> execute -> meter. Requires Load().
@@ -236,7 +244,10 @@ class Engine {
   // outcomes in input order plus an aggregate throughput meter. A
   // malformed query fails only its own slot. All queries share the
   // plan cache, so batches with repeated queries serve mostly from
-  // cache. Requires Load().
+  // cache. The per-call ServeOptions override sizes THIS batch's
+  // fan-out only; the intra-query parallelism knobs are engine-level
+  // (set at Open or via SetServeOptions) because they are baked into
+  // the shared cached plans. Requires Load().
   Result<BatchOutcome> ExecuteBatch(
       std::span<const std::string> queries) const;
   Result<BatchOutcome> ExecuteBatch(std::span<const std::string> queries,

@@ -27,6 +27,7 @@
 #include "constraints/constraint_catalog.h"
 #include "cost/cost_model.h"
 #include "cost/stats.h"
+#include "exec/executor.h"
 #include "exec/plan.h"
 #include "sqo/report.h"
 #include "storage/object_store.h"
@@ -61,6 +62,22 @@ struct EngineState {
     return data;
   }
 
+  // The lazily-created shared worker pool, always sized by the
+  // engine's configured serve.threads (SetServeOptions resets it so
+  // the next use rebuilds at the new size; a per-batch thread override
+  // never touches it — ExecuteBatch builds a private pool for that
+  // batch instead). Batches AND morsel-parallel scans hold it via
+  // shared_ptr, so a reset never pulls workers out from under work in
+  // flight.
+  std::shared_ptr<WorkerPool> GetMorselPool() const {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    if (pool == nullptr) {
+      pool = std::make_shared<WorkerPool>(
+          WorkerPool::ResolveThreads(options.serve.threads));
+    }
+    return pool;
+  }
+
   Schema schema;
   ConstraintCatalog catalog;
   mutable AccessStats access;  // guarded by access_mutex on the query path
@@ -89,6 +106,21 @@ struct EngineState {
   mutable std::atomic<uint64_t> contradictions{0};
   mutable std::atomic<uint64_t> batches_served{0};
 };
+
+// Execution context for one plan: parallel plans borrow the engine's
+// shared pool, pinned via `pool_holder` for the duration of the call
+// and never resized by a query (see GetMorselPool). Shared by the
+// Engine execute paths and PreparedQuery::Execute.
+inline ExecContext MakeExecContext(const EngineState& state,
+                                   const Plan& plan,
+                                   std::shared_ptr<WorkerPool>* pool_holder) {
+  ExecContext ctx;
+  if (plan.parallelism > 1) {
+    *pool_holder = state.GetMorselPool();
+    ctx.pool = pool_holder->get();
+  }
+  return ctx;
+}
 
 // One fully-prepared query: shared by PreparedQuery handles and by
 // plan-cache entries. Immutable after construction (the execution

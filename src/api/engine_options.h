@@ -38,9 +38,11 @@ struct EngineOptions {
   // kLeastFrequentlyAccessed grouping policy at the next Recompile.
   bool record_access_stats = true;
 
-  // Concurrent serving: ExecuteBatch worker threads and the shared
+  // Concurrent serving: ExecuteBatch worker threads, the shared
   // plan-cache capacity (cache_capacity = 0 turns the cache off and
-  // every Execute pays the full parse/retrieve/plan pipeline).
+  // every Execute pays the full parse/retrieve/plan pipeline), and the
+  // intra-query morsel-parallelism knobs (parallelism, morsel_size)
+  // that let a single query's scan fan out across the same pool.
   ServeOptions serve;
 };
 

@@ -43,9 +43,18 @@ Result<QueryOutcome> PreparedQuery::Execute() const {
           "prepared without data: Engine::Load must run before Prepare "
           "for the handle to be executable");
     }
+    // Parallel plans borrow the engine's shared pool; the handle owns
+    // the engine state, so the pool outlives this call even if the
+    // Engine object is gone.
+    ExecContext context;
+    std::shared_ptr<detail::WorkerPool> pool_holder;
+    if (engine_ != nullptr) {
+      context = detail::MakeExecContext(*engine_, *prepared.plan,
+                                        &pool_holder);
+    }
     SQOPT_ASSIGN_OR_RETURN(
-        out.rows,
-        ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter));
+        out.rows, ExecutePlan(*prepared.data->store, *prepared.plan,
+                              &out.meter, context));
     out.executed = true;
   }
 

@@ -1,32 +1,45 @@
-// The concurrent batch-serving layer behind Engine::ExecuteBatch: the
-// knobs (ServeOptions), the aggregate throughput meter (BatchStats),
-// and a small shared worker pool (detail::WorkerPool). The pool is
-// created lazily on the first batch and lives with the engine state;
-// batches enqueue tasks and block until their own tasks drain, so any
-// number of ExecuteBatch calls can share one pool.
+// The concurrent serving layer behind Engine::ExecuteBatch and the
+// morsel-parallel executor: the knobs (ServeOptions) and the aggregate
+// throughput meter (BatchStats). The shared WorkerPool itself lives in
+// common/worker_pool.{h,cc} (re-exported here as detail::WorkerPool)
+// so the exec/ layer can fan intra-query morsels across the same pool
+// batches use, without a layering cycle. The pool is created lazily on
+// first use and lives with the engine state; batches enqueue tasks and
+// block until their own tasks drain, so any number of ExecuteBatch
+// calls — and any number of parallel scans inside them — can share one
+// pool.
 #ifndef SQOPT_API_SERVE_H_
 #define SQOPT_API_SERVE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "common/worker_pool.h"
+#include "storage/morsel.h"
 
 namespace sqopt {
 
 struct ServeOptions {
-  // Worker threads for ExecuteBatch. 0 = hardware concurrency, clamped
-  // to [1, 16].
+  // Worker threads for ExecuteBatch and for morsel fan-out. 0 =
+  // hardware concurrency, clamped to [1, 16].
   int threads = 0;
 
   // Total plan-cache entry budget (0 disables the cache). Consumed at
   // Engine::Open; changing it on a live engine has no effect.
   size_t cache_capacity = 256;
+
+  // Intra-query parallelism: the ceiling on how many workers one
+  // query's driving scan (extent scan or index range scan) may fan its
+  // morsels across. 1 = sequential execution (default); 0 = the
+  // resolved thread count. The planner chooses the actual degree per
+  // plan — and keeps small scans sequential — via the cost model's
+  // ChooseScanParallelism, so raising this never pessimizes cheap
+  // queries.
+  int parallelism = 1;
+
+  // Driving-step candidates per morsel for parallel scans.
+  // Non-positive falls back to the same default.
+  int64_t morsel_size = kDefaultMorselSize;
 };
 
 // Aggregate meter for one ExecuteBatch call.
@@ -51,33 +64,10 @@ struct BatchStats {
 
 namespace detail {
 
-// Fixed-size pool: a task queue, `threads` workers, FIFO dispatch.
-// Submit() never blocks; the caller synchronizes completion itself
-// (ExecuteBatch counts finished tasks under its own latch).
-class WorkerPool {
- public:
-  explicit WorkerPool(int threads);
-  ~WorkerPool();  // drains the queue, then joins
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  int threads() const { return static_cast<int>(workers_.size()); }
-
-  void Submit(std::function<void()> task);
-
-  // ServeOptions::threads resolved against the hardware.
-  static int ResolveThreads(int requested);
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
-};
+// Backward-compatible alias: the pool moved to common/worker_pool.h so
+// the executor can use it; existing detail::WorkerPool users keep
+// working.
+using WorkerPool = ::sqopt::WorkerPool;
 
 }  // namespace detail
 }  // namespace sqopt

@@ -1,8 +1,8 @@
-#include "api/serve.h"
+#include "common/worker_pool.h"
 
 #include <utility>
 
-namespace sqopt::detail {
+namespace sqopt {
 
 int WorkerPool::ResolveThreads(int requested) {
   if (requested > 0) return requested;
@@ -52,4 +52,4 @@ void WorkerPool::WorkerLoop() {
   }
 }
 
-}  // namespace sqopt::detail
+}  // namespace sqopt

@@ -248,4 +248,37 @@ bool EliminationIsProfitable(const CostModelInterface& model,
   return model.QueryCost(without) <= model.QueryCost(with);
 }
 
+double ParallelScanCost(double instances, int workers,
+                        const CostModelParams& params) {
+  if (workers < 1) workers = 1;
+  double pages = instances / params.page_instances;
+  if (instances > 0 && pages < 1.0) pages = 1.0;
+  return pages / static_cast<double>(workers) +
+         params.parallel_fanout_overhead * static_cast<double>(workers - 1);
+}
+
+int ChooseScanParallelism(double instances, int max_parallelism,
+                          const CostModelParams& params,
+                          int64_t morsel_size) {
+  const double cap_rows = morsel_size > 0
+                              ? static_cast<double>(morsel_size)
+                              : params.morsel_rows;
+  if (max_parallelism <= 1 || instances <= 0 || cap_rows <= 0) {
+    return 1;
+  }
+  const double morsels = std::ceil(instances / cap_rows);
+  int cap = max_parallelism;
+  if (morsels < static_cast<double>(cap)) cap = static_cast<int>(morsels);
+  int best = 1;
+  double best_cost = ParallelScanCost(instances, 1, params);
+  for (int workers = 2; workers <= cap; ++workers) {
+    double cost = ParallelScanCost(instances, workers, params);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = workers;
+    }
+  }
+  return best;
+}
+
 }  // namespace sqopt

@@ -25,6 +25,17 @@ struct CostModelParams {
   // judged (models the transformation cost the paper includes in the
   // optimized query's cost).
   double optimization_overhead = 0.0;
+
+  // --- Morsel-parallel scan (exec/ fan-out of the driving step) ---
+  // Driving candidates per morsel when judging whether a scan is large
+  // enough to fan out. Deliberately its own knob (seeded from the
+  // executor default, kDefaultMorselSize) rather than tied to the
+  // ServeOptions morsel size: this one only gates the planner's
+  // decision.
+  double morsel_rows = 2048;
+  // Cost units charged per additional scan worker (thread wake-up,
+  // per-morsel scheduling, and the merge of its row batch).
+  double parallel_fanout_overhead = 0.25;
 };
 
 // Interface so the optimizer core can be tested with stub models.
@@ -81,6 +92,23 @@ bool RetainIsProfitable(const CostModelInterface& model, const Query& query,
 // estimated cheaper than `with`.
 bool EliminationIsProfitable(const CostModelInterface& model,
                              const Query& with, const Query& without);
+
+// Parallelism-aware scan cost: `instances` driving candidates fanned
+// across `workers` morsel workers. The page cost divides across the
+// workers; each additional worker charges a fixed fan-out overhead, so
+// small scans are never cheaper parallel.
+double ParallelScanCost(double instances, int workers,
+                        const CostModelParams& params);
+
+// The degree of parallelism in [1, max_parallelism] minimizing
+// ParallelScanCost, additionally capped at one worker per morsel
+// (fewer morsels than workers would leave workers idle). `morsel_size`
+// is the executor's ACTUAL morsel size for the cap; non-positive falls
+// back to params.morsel_rows. Returns 1 (sequential) for small scans
+// or max_parallelism <= 1.
+int ChooseScanParallelism(double instances, int max_parallelism,
+                          const CostModelParams& params,
+                          int64_t morsel_size = 0);
 
 }  // namespace sqopt
 

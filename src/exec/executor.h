@@ -1,12 +1,23 @@
 // Plan execution with cost metering. The meter's unit accounting is the
 // measured counterpart of the CostModel's estimates, and is what the
 // Table 4.2 bench reports as "query cost".
+//
+// Execution is morsel-driven when the plan asks for it: the driving
+// step's candidates (extent rows or index-lookup results) are split
+// into fixed-size morsels, each morsel runs the ENTIRE pipeline —
+// residual filters, relationship expansions, join predicates, cycle
+// filters, projection — and the per-morsel row batches are merged in
+// morsel order. Because morsels are positional slices of the ordered
+// candidate list and every pipeline stage preserves per-binding order,
+// the merged result is byte-identical (rows AND order) to a sequential
+// run of the same plan; see DESIGN.md "Morsel-driven parallel scans".
 #ifndef SQOPT_EXEC_EXECUTOR_H_
 #define SQOPT_EXEC_EXECUTOR_H_
 
 #include <vector>
 
 #include "common/status.h"
+#include "common/worker_pool.h"
 #include "cost/cost_model.h"
 #include "exec/plan.h"
 #include "storage/object_store.h"
@@ -20,8 +31,22 @@ struct ExecutionMeter {
   uint64_t predicate_evals = 0;     // predicate evaluations
   uint64_t rows_out = 0;            // result rows
 
+  // --- Morsel-parallel counters (all zero on sequential runs). The
+  // work counters above are exact sums over morsels, so they are
+  // identical to a sequential run of the same plan; only the four
+  // below depend on the fan-out. ---
+  uint64_t morsels = 0;          // morsels the driving scan was split into
+  uint64_t morsel_workers = 0;   // distinct threads that ran >= 1 morsel
+  uint64_t parallel_busy_micros = 0;  // summed per-morsel execution time
+  uint64_t parallel_wall_micros = 0;  // wall time of the morsel phase
+
   // Measured cost in the same units the CostModel estimates.
   double CostUnits(const CostModelParams& params = {}) const;
+
+  // Busy/wall ratio of the morsel phase — the measured intra-query
+  // speedup (>1 when morsels genuinely overlapped). 0 for sequential
+  // runs.
+  double ParallelSpeedup() const;
 
   void Reset() { *this = ExecutionMeter{}; }
 };
@@ -38,8 +63,19 @@ struct ResultSet {
   bool SameDistinctRows(const ResultSet& other) const;
 };
 
+// How to run a plan: hand the executor a pool and it honors the plan's
+// parallelism; without a pool every plan runs sequentially. The
+// submitting thread always participates in morsel work, so a saturated
+// (or undersized) pool degrades throughput, never deadlocks.
+struct ExecContext {
+  WorkerPool* pool = nullptr;
+};
+
 Result<ResultSet> ExecutePlan(const ObjectStore& store, const Plan& plan,
                               ExecutionMeter* meter);
+Result<ResultSet> ExecutePlan(const ObjectStore& store, const Plan& plan,
+                              ExecutionMeter* meter,
+                              const ExecContext& context);
 
 // Convenience: plan + execute in one call using the store's own stats.
 Result<ResultSet> ExecuteQuery(const ObjectStore& store, const Query& query,

@@ -48,6 +48,10 @@ std::string Plan::ToString(const Schema& schema) const {
     }
     os << "\n";
   }
+  if (parallelism > 1) {
+    os << "Parallel scan: " << parallelism << " workers, morsel "
+       << morsel_size << "\n";
+  }
   return os.str();
 }
 

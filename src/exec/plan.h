@@ -12,6 +12,7 @@
 #include "catalog/schema.h"
 #include "expr/predicate.h"
 #include "query/query.h"
+#include "storage/morsel.h"
 
 namespace sqopt {
 
@@ -44,6 +45,16 @@ struct Plan {
   // Set by the optimizer's contradiction short-circuit: executor
   // returns an empty result without touching the store.
   bool empty_result = false;
+
+  // Intra-query parallelism chosen by the planner (cost-gated; see
+  // ChooseScanParallelism): how many workers the executor should fan
+  // the driving step's morsels across. 1 = sequential. The executor
+  // honors it only when handed a worker pool (ExecContext), so a plan
+  // is always safe to run sequentially.
+  int parallelism = 1;
+  // Driving candidates per morsel; non-positive falls back to the
+  // default.
+  int64_t morsel_size = kDefaultMorselSize;
 
   std::string ToString(const Schema& schema) const;
 };

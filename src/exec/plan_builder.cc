@@ -42,6 +42,11 @@ DatabaseStats CollectStats(const ObjectStore& store) {
 
 Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
                        const Query& query) {
+  return BuildPlan(schema, stats, query, PlanningOptions{});
+}
+
+Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
+                       const Query& query, const PlanningOptions& options) {
   SQOPT_RETURN_IF_ERROR(ValidateQuery(schema, query));
 
   Plan plan;
@@ -78,18 +83,24 @@ Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
   ClassId start = query.classes[0];
   std::optional<Predicate> start_index;
   double start_cost = 0.0;
+  // The winner's pre-residual candidate estimate, kept for the
+  // parallel-scan decision below (residuals filter inside the scan,
+  // they don't shrink it).
+  double start_candidates = 0.0;
   {
     bool first = true;
     for (ClassId id : query.classes) {
       std::optional<Predicate> candidate_index;
-      double cost = driving_estimate(id, &candidate_index);
+      double est_candidates = driving_estimate(id, &candidate_index);
       // Apply residual selectivity so a heavily filtered class is
       // preferred even without an index.
-      cost *= ClassSelectivity(schema, stats, preds_on(id), id);
+      double cost =
+          est_candidates * ClassSelectivity(schema, stats, preds_on(id), id);
       if (first || cost < start_cost) {
         first = false;
         start = id;
         start_cost = cost;
+        start_candidates = est_candidates;
         start_index = candidate_index;
       }
     }
@@ -103,6 +114,18 @@ Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
     drive.residual_predicates.push_back(p);
   }
   plan.steps.push_back(std::move(drive));
+
+  // Morsel-parallel scan decision: the driving candidate count (the
+  // work the morsels split — full cardinality on a scan, card *
+  // selectivity behind an index) was estimated during driving-class
+  // selection; let the cost model pick a degree that amortizes the
+  // fan-out.
+  if (options.max_parallelism > 1) {
+    plan.parallelism =
+        ChooseScanParallelism(start_candidates, options.max_parallelism,
+                              options.cost_params, options.morsel_size);
+  }
+  plan.morsel_size = options.morsel_size;
 
   std::set<ClassId> bound = {start};
   std::set<RelId> used;

@@ -7,6 +7,7 @@
 #define SQOPT_EXEC_PLAN_BUILDER_H_
 
 #include "common/status.h"
+#include "cost/cost_model.h"
 #include "cost/stats.h"
 #include "exec/plan.h"
 #include "query/query.h"
@@ -14,10 +15,28 @@
 
 namespace sqopt {
 
+// Physical-planning knobs beyond the query itself. Defaults plan
+// sequential execution (the historical behavior).
+struct PlanningOptions {
+  // Fan-out ceiling for the driving step's morsel-parallel scan
+  // (<= 1 plans sequential execution). The planner picks the actual
+  // degree per plan with ChooseScanParallelism, so small scans stay
+  // sequential regardless of this ceiling.
+  int max_parallelism = 1;
+  // Driving candidates per morsel, stamped into the plan for the
+  // executor. Non-positive falls back to the default.
+  int64_t morsel_size = kDefaultMorselSize;
+  // Supplies morsel_rows and parallel_fanout_overhead for the parallel
+  // decision (and keeps it consistent with the engine's cost model).
+  CostModelParams cost_params;
+};
+
 // `stats` drives access-path choice; use CollectStats(store) for
 // actuals or synthesize for tests.
 Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
                        const Query& query);
+Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
+                       const Query& query, const PlanningOptions& options);
 
 // Gathers cardinalities, relationship cardinalities, and per-attribute
 // distinct counts + min/max from a store.

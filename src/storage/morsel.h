@@ -1,0 +1,44 @@
+// Morsels: fixed-size slices of a candidate sequence (extent rows or
+// index-lookup results), the scheduling unit of the parallel executor.
+// Partitioning is purely positional — a morsel is a [begin, end) range
+// over an ordered candidate list — so re-concatenating per-morsel
+// outputs in morsel order reproduces the sequential processing order
+// exactly (see DESIGN.md "Morsel-driven parallel scans").
+#ifndef SQOPT_STORAGE_MORSEL_H_
+#define SQOPT_STORAGE_MORSEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sqopt {
+
+// Rows per morsel when no explicit size is configured. Large enough
+// that per-morsel scheduling cost is noise against the scan work,
+// small enough that a handful of morsels exist on mid-size extents.
+inline constexpr int64_t kDefaultMorselSize = 2048;
+
+struct Morsel {
+  int64_t begin = 0;  // first candidate position, inclusive
+  int64_t end = 0;    // last candidate position, exclusive
+
+  int64_t size() const { return end - begin; }
+};
+
+// Splits `count` candidates into consecutive morsels of `morsel_size`
+// (the last one may be short). Empty for count <= 0; a non-positive
+// morsel_size falls back to kDefaultMorselSize.
+inline std::vector<Morsel> MakeMorsels(int64_t count, int64_t morsel_size) {
+  std::vector<Morsel> morsels;
+  if (count <= 0) return morsels;
+  if (morsel_size <= 0) morsel_size = kDefaultMorselSize;
+  morsels.reserve(static_cast<size_t>((count + morsel_size - 1) / morsel_size));
+  for (int64_t begin = 0; begin < count; begin += morsel_size) {
+    morsels.push_back(Morsel{begin, std::min(begin + morsel_size, count)});
+  }
+  return morsels;
+}
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_MORSEL_H_

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "storage/extent.h"
 #include "storage/index.h"
+#include "storage/morsel.h"
 
 namespace sqopt {
 
@@ -46,6 +47,15 @@ class ObjectStore {
   }
   int64_t NumPairs(RelId rel_id) const {
     return static_cast<int64_t>(pairs_[rel_id].size());
+  }
+
+  // Splits `class_id`'s extent into consecutive row-range morsels of at
+  // most `morsel_size` rows (the last may be short; non-positive sizes
+  // fall back to kDefaultMorselSize). The ranges cover every row exactly
+  // once, in row order — the parallel executor's scheduling units.
+  std::vector<Morsel> PartitionExtent(ClassId class_id,
+                                      int64_t morsel_size) const {
+    return MakeMorsels(NumObjects(class_id), morsel_size);
   }
 
   // Partner rows of `row` (a row of `from_class`) across `rel_id`.

@@ -1,0 +1,283 @@
+// Morsel-driven parallel execution tests: the parallel executor against
+// the brute-force reference evaluator AND against the sequential
+// executor, across generated workloads at parallelism 1, 2, and 8. The
+// contract under test is strict: identical row sets, identical row
+// ORDER after the deterministic morsel merge, and identical work
+// counters (the fan-out may only change the timing fields).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/worker_pool.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/plan_builder.h"
+#include "exec/reference_executor.h"
+#include "query/query_parser.h"
+#include "query/query_printer.h"
+#include "tests/test_util.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+namespace sqopt {
+namespace {
+
+using sqopt::testing::ExperimentFixture;
+
+std::vector<std::string> RowKeys(const ResultSet& rs) {
+  std::vector<std::string> keys;
+  keys.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::string k;
+    for (const Value& v : row) {
+      k += v.ToString();
+      k += '|';
+    }
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------
+// Cost-model gating.
+// ---------------------------------------------------------------------
+
+TEST(ChooseScanParallelismTest, SmallScansStaySequential) {
+  CostModelParams params;
+  EXPECT_EQ(ChooseScanParallelism(100, 8, params), 1);
+  EXPECT_EQ(ChooseScanParallelism(0, 8, params), 1);
+  EXPECT_EQ(ChooseScanParallelism(1 << 20, 1, params), 1);
+  EXPECT_EQ(ChooseScanParallelism(1 << 20, 0, params), 1);
+}
+
+TEST(ChooseScanParallelismTest, LargeScansFanOutCappedByMorselCount) {
+  CostModelParams params;
+  EXPECT_EQ(ChooseScanParallelism(1 << 20, 8, params), 8);
+  // 5000 candidates = 3 morsels of 2048 -> at most 3 useful workers.
+  EXPECT_EQ(ChooseScanParallelism(5000, 8, params), 3);
+}
+
+TEST(ChooseScanParallelismTest, FanOutNeverCheaperOnTinyScans) {
+  CostModelParams params;
+  EXPECT_GE(ParallelScanCost(10, 4, params), ParallelScanCost(10, 1, params));
+  EXPECT_LT(ParallelScanCost(1 << 20, 8, params),
+            ParallelScanCost(1 << 20, 1, params));
+}
+
+// ---------------------------------------------------------------------
+// Differential: parallel executor vs sequential vs reference, across
+// the generated workload.
+// ---------------------------------------------------------------------
+
+class ParallelDifferentialTest
+    : public ExperimentFixture,
+      public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(ParallelDifferentialTest, MatchesSequentialAndReferenceExactly) {
+  uint64_t seed = GetParam();
+  // Small store: the reference evaluator is O(prod of cardinalities).
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"PDIFF", 24, 60}, seed));
+  DatabaseStats stats = CollectStats(*store);
+
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema_, 1, 3);
+  QueryGenerator gen(&schema_, seed * 17 + 5);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> queries, gen.Sample(paths, 12));
+
+  WorkerPool pool(8);
+  for (const Query& query : queries) {
+    ASSERT_OK_AND_ASSIGN(Plan plan, BuildPlan(schema_, stats, query));
+    ExecutionMeter seq_meter;
+    ASSERT_OK_AND_ASSIGN(ResultSet sequential,
+                         ExecutePlan(*store, plan, &seq_meter));
+    ASSERT_OK_AND_ASSIGN(ResultSet reference,
+                         ExecuteReference(*store, query));
+    ASSERT_TRUE(sequential.SameRows(reference))
+        << PrintQuery(schema_, query);
+
+    for (int parallelism : {1, 2, 8}) {
+      Plan forced = plan;
+      forced.parallelism = parallelism;
+      forced.morsel_size = 2;  // many morsels even on a 24-row extent
+      ExecutionMeter meter;
+      ExecContext context;
+      context.pool = &pool;
+      ASSERT_OK_AND_ASSIGN(ResultSet parallel,
+                           ExecutePlan(*store, forced, &meter, context));
+
+      // Same rows, same ORDER: the morsel merge is deterministic.
+      EXPECT_EQ(RowKeys(parallel), RowKeys(sequential))
+          << "parallelism " << parallelism << ": "
+          << PrintQuery(schema_, query);
+      EXPECT_TRUE(parallel.SameRows(reference));
+
+      // Work accounting is independent of the fan-out.
+      EXPECT_EQ(meter.instances_scanned, seq_meter.instances_scanned);
+      EXPECT_EQ(meter.index_probes, seq_meter.index_probes);
+      EXPECT_EQ(meter.pointer_traversals, seq_meter.pointer_traversals);
+      EXPECT_EQ(meter.predicate_evals, seq_meter.predicate_evals);
+      EXPECT_EQ(meter.rows_out, seq_meter.rows_out);
+      if (parallelism > 1 && meter.morsels > 1) {
+        EXPECT_GE(meter.morsel_workers, 1u);
+      } else if (parallelism == 1) {
+        EXPECT_EQ(meter.morsels, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// An index-driven driving step (range scan) morselizes the index
+// lookup result instead of the extent; order and counters must still
+// match the sequential run.
+TEST_F(ParallelDifferentialTest, IndexRangeScanMorselizes) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"PIDX", 32, 64}, 7));
+  DatabaseStats stats = CollectStats(*store);
+  ASSERT_OK_AND_ASSIGN(
+      Query query,
+      ParseQuery(schema_,
+                 "{cargo.code, vehicle.vehicleNo} {} "
+                 "{cargo.desc = \"parcels\"} {collects} {cargo, vehicle}"));
+  ASSERT_OK_AND_ASSIGN(Plan plan, BuildPlan(schema_, stats, query));
+  ASSERT_TRUE(plan.steps[0].index_predicate.has_value())
+      << plan.ToString(schema_);
+
+  ExecutionMeter seq_meter;
+  ASSERT_OK_AND_ASSIGN(ResultSet sequential,
+                       ExecutePlan(*store, plan, &seq_meter));
+  Plan forced = plan;
+  forced.parallelism = 4;
+  forced.morsel_size = 2;
+  WorkerPool pool(4);
+  ExecutionMeter meter;
+  ExecContext context;
+  context.pool = &pool;
+  ASSERT_OK_AND_ASSIGN(ResultSet parallel,
+                       ExecutePlan(*store, forced, &meter, context));
+  EXPECT_EQ(RowKeys(parallel), RowKeys(sequential));
+  EXPECT_EQ(meter.index_probes, seq_meter.index_probes);
+  EXPECT_EQ(meter.instances_scanned, seq_meter.instances_scanned);
+  EXPECT_GT(meter.morsels, 1u);
+}
+
+// Without a pool the executor ignores plan.parallelism and runs
+// sequentially — a plan is always safe to execute.
+TEST_F(ParallelDifferentialTest, NoPoolFallsBackToSequential) {
+  ASSERT_OK_AND_ASSIGN(
+      auto store, GenerateDatabase(schema_, DbSpec{"PSEQ", 16, 40}, 3));
+  DatabaseStats stats = CollectStats(*store);
+  ASSERT_OK_AND_ASSIGN(
+      Query query,
+      ParseQuery(schema_, "{cargo.code} {} {} {} {cargo}"));
+  ASSERT_OK_AND_ASSIGN(Plan plan, BuildPlan(schema_, stats, query));
+  plan.parallelism = 8;
+  plan.morsel_size = 2;
+  ExecutionMeter meter;
+  ASSERT_OK_AND_ASSIGN(ResultSet rows, ExecutePlan(*store, plan, &meter));
+  EXPECT_EQ(rows.rows.size(), 16u);
+  EXPECT_EQ(meter.morsels, 0u);
+  EXPECT_EQ(meter.parallel_wall_micros, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level: the parallelism knob threads from ServeOptions through
+// the planner into execution, and the outcome reports the fan-out.
+// ---------------------------------------------------------------------
+
+EngineOptions ParallelEngineOptions(int parallelism) {
+  EngineOptions options;
+  options.serve.parallelism = parallelism;
+  options.serve.threads = 8;
+  options.serve.morsel_size = 4;
+  // Gate thresholds scaled down so the 64-row test store fans out.
+  options.cost_params.morsel_rows = 4;
+  options.cost_params.parallel_fanout_overhead = 0.0;
+  return options;
+}
+
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  static Engine OpenLoaded(const EngineOptions& options) {
+    auto engine = Engine::Open(SchemaSource::Experiment(),
+                               ConstraintSource::Experiment(), options);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    Status s =
+        engine->Load(DataSource::Generated(DbSpec{"PENG", 64, 96}, 9));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return std::move(engine).value();
+  }
+};
+
+TEST_F(ParallelEngineTest, KnobThreadsThroughToMorselExecution) {
+  Engine parallel = OpenLoaded(ParallelEngineOptions(8));
+  Engine sequential = OpenLoaded(EngineOptions{});
+
+  // quantity is not indexed: the driving step is a full extent scan.
+  const std::string text =
+      "{cargo.code} {} {cargo.quantity >= 0} {} {cargo}";
+  ASSERT_OK_AND_ASSIGN(QueryOutcome par, parallel.Execute(text));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome seq, sequential.Execute(text));
+
+  EXPECT_EQ(RowKeys(par.rows), RowKeys(seq.rows));
+  EXPECT_GT(par.meter.morsels, 1u) << "plan did not fan out";
+  EXPECT_GE(par.meter.morsel_workers, 1u);
+  EXPECT_EQ(seq.meter.morsels, 0u);
+
+  // The prepared path replays the same parallel plan.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery stmt, parallel.Prepare(text));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome replay, stmt.Execute());
+  EXPECT_EQ(RowKeys(replay.rows), RowKeys(seq.rows));
+  EXPECT_GT(replay.meter.morsels, 1u);
+}
+
+TEST_F(ParallelEngineTest, SetServeOptionsSwitchesParallelism) {
+  Engine engine = OpenLoaded(ParallelEngineOptions(8));
+  const std::string text =
+      "{cargo.code} {} {cargo.quantity >= 0} {} {cargo}";
+  ASSERT_OK_AND_ASSIGN(QueryOutcome par, engine.Execute(text));
+  EXPECT_GT(par.meter.morsels, 1u);
+
+  ServeOptions serve = engine.options().serve;
+  serve.parallelism = 1;
+  engine.SetServeOptions(serve);
+  ASSERT_OK_AND_ASSIGN(QueryOutcome seq, engine.Execute(text));
+  EXPECT_EQ(seq.meter.morsels, 0u);  // re-planned sequential
+  EXPECT_EQ(RowKeys(par.rows), RowKeys(seq.rows));
+}
+
+TEST_F(ParallelEngineTest, ConcurrentParallelExecutes) {
+  Engine engine = OpenLoaded(ParallelEngineOptions(4));
+  const std::string text =
+      "{cargo.code, vehicle.vehicleNo} {} {cargo.quantity >= 0} "
+      "{collects} {cargo, vehicle}";
+  ASSERT_OK_AND_ASSIGN(QueryOutcome expected, engine.Execute(text));
+
+  constexpr int kThreads = 4;
+  constexpr int kReps = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kReps; ++i) {
+          auto out = engine.Execute(text);
+          if (!out.ok() ||
+              RowKeys(out->rows) != RowKeys(expected.rows)) {
+            ++mismatches[t];
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace sqopt

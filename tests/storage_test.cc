@@ -134,6 +134,40 @@ TEST_F(StorageTest, MinMaxOnEmptyExtent) {
   EXPECT_TRUE(max.is_null());
 }
 
+TEST_F(StorageTest, PartitionExtentCoversEveryRowOnceInOrder) {
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_OK(
+        store_->Insert(cargo_, Cargo("c" + std::to_string(i), "parcels",
+                                     i, i))
+            .status());
+  }
+  std::vector<Morsel> morsels = store_->PartitionExtent(cargo_, 4);
+  ASSERT_EQ(morsels.size(), 3u);  // 4 + 4 + 2
+  int64_t expected_begin = 0;
+  for (const Morsel& m : morsels) {
+    EXPECT_EQ(m.begin, expected_begin);
+    EXPECT_GT(m.end, m.begin);
+    EXPECT_LE(m.size(), 4);
+    expected_begin = m.end;
+  }
+  EXPECT_EQ(expected_begin, store_->NumObjects(cargo_));
+}
+
+TEST_F(StorageTest, PartitionExtentEdgeCases) {
+  // Empty extent: no morsels.
+  EXPECT_TRUE(store_->PartitionExtent(cargo_, 4).empty());
+  ASSERT_OK(store_->Insert(cargo_, Cargo("c0", "fuel", 1, 1)).status());
+  // Morsel larger than the extent: one morsel, exact bounds.
+  std::vector<Morsel> one = store_->PartitionExtent(cargo_, 100);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0);
+  EXPECT_EQ(one[0].end, 1);
+  // Non-positive morsel size falls back to the default, never throws.
+  std::vector<Morsel> fallback = store_->PartitionExtent(cargo_, 0);
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0].size(), 1);
+}
+
 TEST(ExtentInheritanceTest, SubclassLayoutIncludesInheritedSlots) {
   auto schema = BuildFigure21Schema();
   ASSERT_TRUE(schema.ok());
