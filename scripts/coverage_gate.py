@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov data, no gcovr/lcov dependency.
+
+Walks every .gcda file under --build-dir, asks gcov for JSON
+intermediate output, unions execution counts per (source line) across
+translation units, and computes line coverage for the sources under the
+given --prefix directories (repo-relative). Fails (exit 1) when the
+aggregate line coverage falls below the floor recorded in --floor-file.
+
+The floor file holds one number (percent). It is checked in, so raising
+coverage ratchets the gate: lowering it back requires an explicit,
+reviewable edit.
+
+Usage (what CI runs):
+  python3 scripts/coverage_gate.py \
+      --build-dir build --source-root . \
+      --prefix src/api --prefix src/storage \
+      --floor-file .github/coverage-floor \
+      --report coverage-report.txt
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json_docs(gcda, build_dir):
+    """Runs gcov on one .gcda and yields parsed JSON documents."""
+    try:
+        proc = subprocess.run(
+            ["gcov", "--stdout", "--json-format", os.path.abspath(gcda)],
+            cwd=build_dir,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as e:
+        print(f"coverage_gate: cannot run gcov: {e}", file=sys.stderr)
+        sys.exit(2)
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument(
+        "--prefix",
+        action="append",
+        required=True,
+        help="repo-relative source dir to gate (repeatable)",
+    )
+    parser.add_argument("--floor-file", required=True)
+    parser.add_argument("--report", help="optional report output path")
+    args = parser.parse_args()
+
+    with open(args.floor_file) as f:
+        floor = float(f.read().strip())
+    source_root = os.path.abspath(args.source_root)
+
+    # (relpath, line) -> max execution count across TUs. A line counts
+    # as covered when ANY translation unit executed it.
+    counts = {}
+    gcda_files = []
+    for dirpath, _dirnames, filenames in os.walk(args.build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                gcda_files.append(os.path.join(dirpath, name))
+    if not gcda_files:
+        print("coverage_gate: no .gcda files found — did the coverage "
+              "build run the tests?", file=sys.stderr)
+        return 2
+
+    for gcda in sorted(gcda_files):
+        for doc in gcov_json_docs(gcda, args.build_dir):
+            cwd = doc.get("current_working_directory", args.build_dir)
+            for entry in doc.get("files", []):
+                path = entry.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(cwd, path)
+                path = os.path.normpath(path)
+                if not path.startswith(source_root + os.sep):
+                    continue
+                rel = os.path.relpath(path, source_root)
+                if not any(
+                    rel.startswith(p.rstrip("/") + "/") for p in args.prefix
+                ):
+                    continue
+                for line in entry.get("lines", []):
+                    key = (rel, line["line_number"])
+                    counts[key] = max(
+                        counts.get(key, 0), line.get("count", 0)
+                    )
+
+    if not counts:
+        print("coverage_gate: no lines matched the prefixes "
+              f"{args.prefix}", file=sys.stderr)
+        return 2
+
+    per_file = {}
+    for (rel, _line), count in counts.items():
+        total, covered = per_file.get(rel, (0, 0))
+        per_file[rel] = (total + 1, covered + (1 if count > 0 else 0))
+
+    lines = []
+    grand_total = grand_covered = 0
+    for rel in sorted(per_file):
+        total, covered = per_file[rel]
+        grand_total += total
+        grand_covered += covered
+        lines.append(
+            f"{rel:<44} {covered:>5}/{total:<5} "
+            f"{100.0 * covered / total:6.1f}%"
+        )
+    percent = 100.0 * grand_covered / grand_total
+    lines.append(
+        f"{'TOTAL (' + ', '.join(args.prefix) + ')':<44} "
+        f"{grand_covered:>5}/{grand_total:<5} {percent:6.1f}%"
+    )
+    lines.append(f"floor: {floor:.1f}%")
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report + "\n")
+
+    if percent < floor:
+        print(
+            f"FAIL: line coverage {percent:.1f}% is below the recorded "
+            f"floor {floor:.1f}% ({args.floor_file})",
+            file=sys.stderr,
+        )
+        return 1
+    print("coverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

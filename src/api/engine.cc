@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "api/engine_impl.h"
 #include "constraints/constraint_parser.h"
+#include "constraints/constraint_validator.h"
 #include "exec/plan_builder.h"
 #include "query/query_parser.h"
 #include "sqo/optimizer.h"
@@ -195,9 +198,13 @@ Result<std::shared_ptr<const detail::PreparedState>> BuildPrepared(
 }
 
 // Replays a prepared plan with a fresh meter (the Execute fast path).
+// `data` is the caller's pinned CURRENT snapshot: plans are rebound to
+// it so cached entries observe committed mutations; the entry's own
+// creation-time pin is only the fallback (e.g. a PreparedQuery handle
+// outliving the engine's data slot — which Load/Apply never empty).
 Result<QueryOutcome> ExecutePreparedState(
-    const detail::EngineState& state,
-    const detail::PreparedState& prepared) {
+    const detail::EngineState& state, const detail::PreparedState& prepared,
+    const std::shared_ptr<const detail::LoadedData>& data) {
   QueryOutcome out;
   out.original = prepared.original;
   out.transformed = prepared.transformed;
@@ -207,10 +214,16 @@ Result<QueryOutcome> ExecutePreparedState(
     state.contradictions.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
+  const detail::LoadedData* exec_data =
+      detail::ChooseExecData(data, prepared.data);
+  if (exec_data == nullptr) {
+    return Status::FailedPrecondition(
+        "no data loaded: call Engine::Load before Execute");
+  }
   std::shared_ptr<detail::WorkerPool> pool_holder;
   SQOPT_ASSIGN_OR_RETURN(
       out.rows,
-      ExecutePlan(*prepared.data->store, *prepared.plan, &out.meter,
+      ExecutePlan(*exec_data->store, *prepared.plan, &out.meter,
                   MakeExecContext(state, *prepared.plan, &pool_holder)));
   out.executed = true;
   return out;
@@ -278,15 +291,14 @@ Result<QueryOutcome> ExecuteCached(
       state.plan_cache.Lookup(key);
   bool hit = entry != nullptr;
   if (!hit) {
-    SQOPT_ASSIGN_OR_RETURN(entry,
-                           BuildPrepared(state, std::move(data), query));
+    SQOPT_ASSIGN_OR_RETURN(entry, BuildPrepared(state, data, query));
     state.plan_cache.Insert(key, entry, epoch);
   }
   if (text != nullptr && *text != key) {
     state.plan_cache.InsertAlias(*text, entry, epoch);
   }
   SQOPT_ASSIGN_OR_RETURN(QueryOutcome out,
-                         ExecutePreparedState(state, *entry));
+                         ExecutePreparedState(state, *entry, data));
   // On a hit the entry's `original` is whatever canonically-equal
   // query first populated it; report the query THIS caller submitted.
   out.original = query;
@@ -322,6 +334,9 @@ Result<Engine> Engine::Open(SchemaSource schema_source,
 
 Status Engine::Load(DataSource data_source) {
   detail::EngineState& state = *state_;
+  // Snapshot producers (Load and Apply) serialize on the commit lock so
+  // a reload can never interleave with a half-built commit.
+  std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
   SQOPT_ASSIGN_OR_RETURN(std::unique_ptr<ObjectStore> store,
                          data_source.Build(state.schema));
   if (store == nullptr) {
@@ -345,12 +360,257 @@ Status Engine::Load(DataSource data_source) {
     data->cost_model = std::make_unique<CostModel>(
         &state.schema, &data->db_stats, state.options.cost_params);
   }
+  data->version = 1;
+  data->lineage = ++state.lineages;
   {
     std::lock_guard<std::mutex> lock(state.data_mutex);
     state.data = std::move(data);
   }
   state.plan_cache.Invalidate();
   return Status::OK();
+}
+
+namespace {
+
+// One staged insert's resolved identity: Apply checks handles against
+// the class the referencing op expects, so a handle can never silently
+// name a row of a different class.
+struct StagedInsert {
+  ClassId class_id = kInvalidClass;
+  int64_t row = -1;
+};
+
+// Applies one staged op to the writable clone, resolving pending-insert
+// handles and recording the footprint the validator will check.
+Status ApplyOp(const Schema& schema, ObjectStore& store, const Mutation& op,
+               std::vector<StagedInsert>* inserted,
+               MutationFootprint* footprint, ApplyOutcome* out) {
+  auto resolve = [&](int64_t row,
+                     ClassId expected_class) -> Result<int64_t> {
+    if (row >= 0) return row;
+    size_t k = static_cast<size_t>(-1 - row);
+    if (k >= inserted->size()) {
+      return Status::InvalidArgument(
+          "pending-insert handle " + std::to_string(row) +
+          " does not name an earlier insert of this batch");
+    }
+    if ((*inserted)[k].class_id != expected_class) {
+      return Status::InvalidArgument(
+          "pending-insert handle " + std::to_string(row) + " names a '" +
+          schema.object_class((*inserted)[k].class_id).name +
+          "' but is used as a row of '" +
+          schema.object_class(expected_class).name + "'");
+    }
+    return (*inserted)[k].row;
+  };
+  switch (op.kind) {
+    case Mutation::Kind::kInsert: {
+      SQOPT_ASSIGN_OR_RETURN(int64_t row,
+                             store.Insert(op.class_id, op.object));
+      inserted->push_back({op.class_id, row});
+      footprint->touched_rows[op.class_id].push_back(row);
+      ++out->inserts;
+      return Status::OK();
+    }
+    case Mutation::Kind::kUpdate: {
+      SQOPT_ASSIGN_OR_RETURN(int64_t row, resolve(op.row, op.class_id));
+      SQOPT_RETURN_IF_ERROR(
+          store.UpdateAttribute(op.class_id, row, op.attr_id, op.value));
+      footprint->touched_rows[op.class_id].push_back(row);
+      ++out->updates;
+      return Status::OK();
+    }
+    case Mutation::Kind::kDelete: {
+      SQOPT_ASSIGN_OR_RETURN(int64_t row, resolve(op.row, op.class_id));
+      SQOPT_RETURN_IF_ERROR(store.Delete(op.class_id, row));
+      ++out->deletes;
+      return Status::OK();
+    }
+    case Mutation::Kind::kLink: {
+      const Relationship& rel = schema.relationship(op.rel_id);
+      SQOPT_ASSIGN_OR_RETURN(int64_t row_a, resolve(op.row_a, rel.a));
+      SQOPT_ASSIGN_OR_RETURN(int64_t row_b, resolve(op.row_b, rel.b));
+      SQOPT_RETURN_IF_ERROR(store.Link(op.rel_id, row_a, row_b));
+      footprint->new_links.push_back({op.rel_id, row_a, row_b});
+      ++out->links;
+      return Status::OK();
+    }
+    case Mutation::Kind::kUnlink: {
+      const Relationship& rel = schema.relationship(op.rel_id);
+      SQOPT_ASSIGN_OR_RETURN(int64_t row_a, resolve(op.row_a, rel.a));
+      SQOPT_ASSIGN_OR_RETURN(int64_t row_b, resolve(op.row_b, rel.b));
+      SQOPT_RETURN_IF_ERROR(store.Unlink(op.rel_id, row_a, row_b));
+      ++out->unlinks;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown mutation kind");
+}
+
+}  // namespace
+
+Result<ApplyOutcome> Engine::Apply(const MutationBatch& batch) {
+  detail::EngineState& state = *state_;
+  std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
+  std::shared_ptr<const detail::LoadedData> base = state.data_snapshot();
+  if (base == nullptr) {
+    // Not counted as a rejection: mutation_batches_rejected means
+    // "failed CONSTRAINT validation", and nothing was validated here.
+    return Status::FailedPrecondition(
+        "no data loaded: call Engine::Load before Apply");
+  }
+  ApplyOutcome out;
+  if (batch.empty()) {  // no-op commit: nothing published
+    out.snapshot_version = base->version;
+    return out;
+  }
+
+  // The batch's write set, computed up front so the copy-on-write clone
+  // copies exactly what the ops below will mutate (this loop is also
+  // the single class/relationship id validation site — ApplyOp relies
+  // on it). A delete touches every relationship of its class
+  // (cascading unlink).
+  std::set<ClassId> touched_classes;
+  std::set<RelId> touched_rels;
+  auto valid_class = [&](ClassId id) {
+    return id >= 0 && id < static_cast<ClassId>(state.schema.num_classes());
+  };
+  for (const Mutation& op : batch.ops()) {
+    switch (op.kind) {
+      case Mutation::Kind::kInsert:
+      case Mutation::Kind::kUpdate:
+      case Mutation::Kind::kDelete:
+        if (!valid_class(op.class_id)) {
+          return Status::InvalidArgument("mutation names an unknown class");
+        }
+        touched_classes.insert(op.class_id);
+        if (op.kind == Mutation::Kind::kDelete) {
+          for (RelId rel : state.schema.RelationshipsOf(op.class_id)) {
+            touched_rels.insert(rel);
+          }
+        }
+        break;
+      case Mutation::Kind::kLink:
+      case Mutation::Kind::kUnlink:
+        if (op.rel_id < 0 ||
+            op.rel_id >=
+                static_cast<RelId>(state.schema.num_relationships())) {
+          return Status::InvalidArgument(
+              "mutation names an unknown relationship");
+        }
+        touched_rels.insert(op.rel_id);
+        break;
+    }
+  }
+
+  // Pre-commit cardinalities and per-target op counts for the drift
+  // computation below.
+  std::unordered_map<ClassId, int64_t> old_rows;
+  for (ClassId cid : touched_classes) {
+    old_rows[cid] = base->store->NumLiveObjects(cid);
+  }
+  std::unordered_map<RelId, int64_t> old_pairs;
+  for (RelId rid : touched_rels) {
+    old_pairs[rid] = base->store->NumPairs(rid);
+  }
+  std::unordered_map<ClassId, int64_t> class_ops;
+  std::unordered_map<RelId, int64_t> rel_ops;
+  for (const Mutation& op : batch.ops()) {
+    switch (op.kind) {
+      case Mutation::Kind::kInsert:
+      case Mutation::Kind::kUpdate:
+      case Mutation::Kind::kDelete:
+        ++class_ops[op.class_id];
+        break;
+      case Mutation::Kind::kLink:
+      case Mutation::Kind::kUnlink:
+        ++rel_ops[op.rel_id];
+        break;
+    }
+  }
+
+  // 1. Apply every op to a private copy-on-write clone. Any failure
+  // discards the clone — the published snapshot is untouched, which is
+  // the whole of the atomicity story.
+  std::unique_ptr<ObjectStore> next =
+      base->store->CloneForWrite(touched_classes, touched_rels);
+  MutationFootprint footprint;
+  std::vector<StagedInsert> staged;
+  for (size_t i = 0; i < batch.ops().size(); ++i) {
+    Status s = ApplyOp(state.schema, *next, batch.ops()[i], &staged,
+                       &footprint, &out);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "mutation #" + std::to_string(i) + ": " + s.message());
+    }
+  }
+  out.inserted_rows.reserve(staged.size());
+  for (const StagedInsert& ins : staged) {
+    out.inserted_rows.push_back(ins.row);
+  }
+
+  // 2. Validate the post-apply state before anything becomes visible.
+  ValidationStats vstats;
+  Status valid =
+      ValidateMutations(*next, state.catalog, footprint, &vstats);
+  out.constraint_checks = vstats.clauses_checked;
+  if (!valid.ok()) {
+    state.mutation_batches_rejected.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+
+  // 3. Incremental statistics: start from the previous snapshot's stats
+  // and recollect only the touched classes/relationships.
+  auto data = std::make_shared<detail::LoadedData>();
+  data->db_stats = base->db_stats;
+  for (ClassId cid : touched_classes) {
+    CollectClassStats(*next, cid, &data->db_stats);
+  }
+  for (RelId rid : touched_rels) {
+    CollectRelationshipStats(*next, rid, &data->db_stats);
+  }
+
+  // Drift: the largest fraction of any touched class's rows (or
+  // relationship's pairs) this commit changed — one op changes one row,
+  // and a delete's cascaded unlinks show up in the pair delta.
+  auto drift = [](int64_t changed, int64_t before) {
+    return static_cast<double>(changed) /
+           static_cast<double>(std::max<int64_t>(1, before));
+  };
+  for (ClassId cid : touched_classes) {
+    out.stats_drift =
+        std::max(out.stats_drift, drift(class_ops[cid], old_rows[cid]));
+  }
+  for (RelId rid : touched_rels) {
+    int64_t delta = next->NumPairs(rid) - old_pairs[rid];
+    int64_t changed = std::max(rel_ops[rid], delta < 0 ? -delta : delta);
+    out.stats_drift =
+        std::max(out.stats_drift, drift(changed, old_pairs[rid]));
+  }
+
+  data->store = std::shared_ptr<const ObjectStore>(std::move(next));
+  if (state.options.use_cost_model) {
+    data->cost_model = std::make_unique<CostModel>(
+        &state.schema, &data->db_stats, state.options.cost_params);
+  }
+  data->version = base->version + 1;
+  data->lineage = base->lineage;
+  out.snapshot_version = data->version;
+
+  // 4. Publish, then (maybe) invalidate — same order as Load, for the
+  // same epoch-race reason.
+  {
+    std::lock_guard<std::mutex> lock(state.data_mutex);
+    state.data = std::move(data);
+  }
+  if (out.stats_drift >= state.options.serve.replan_threshold) {
+    state.plan_cache.Invalidate();
+    out.plan_cache_invalidated = true;
+  }
+  state.mutation_batches_applied.fetch_add(1, std::memory_order_relaxed);
+  state.mutation_ops_applied.fetch_add(batch.size(),
+                                       std::memory_order_relaxed);
+  return out;
 }
 
 Status Engine::AddConstraint(std::string_view constraint_text) {
@@ -422,8 +682,9 @@ Result<QueryOutcome> Engine::Execute(std::string_view query_text) const {
     if (std::shared_ptr<const detail::PreparedState> entry =
             state.plan_cache.LookupText(query_text)) {
       RecordAccess(state, entry->original);
-      SQOPT_ASSIGN_OR_RETURN(QueryOutcome out,
-                             ExecutePreparedState(state, *entry));
+      SQOPT_ASSIGN_OR_RETURN(
+          QueryOutcome out,
+          ExecutePreparedState(state, *entry, state.data_snapshot()));
       out.plan_cache_hit = true;
       out.plan_cache = state.plan_cache.stats(/*count_entries=*/false);
       state.queries_executed.fetch_add(1, std::memory_order_relaxed);
@@ -581,7 +842,8 @@ Result<BatchOutcome> Engine::ExecuteBatch(
   // fan morsels across. Deliberate trade-off: an override that differs
   // from the engine's configured threads pays pool spawn/teardown per
   // batch — callers with a steady thread count should configure it at
-  // Open or via SetServeOptions, which use the cached shared pool. (Intra-query fan-out is engine-level and
+  // Open or via SetServeOptions, which use the cached shared pool.
+  // (Intra-query fan-out is engine-level and
   // deliberately not throttled by the override: parallel plans inside
   // this batch still borrow the shared engine-sized pool via
   // GetMorselPool — see the ExecuteBatch contract in engine.h.)
@@ -680,6 +942,11 @@ const CostModelInterface* Engine::cost_model() const {
   return data == nullptr ? nullptr : data->cost_model.get();
 }
 
+uint64_t Engine::data_version() const {
+  std::shared_ptr<const detail::LoadedData> data = state_->data_snapshot();
+  return data == nullptr ? 0 : data->version;
+}
+
 const EngineOptions& Engine::options() const { return state_->options; }
 
 AccessStats Engine::access_stats() const {
@@ -705,6 +972,12 @@ EngineStats Engine::stats() const {
   out.contradictions = state.contradictions.load(std::memory_order_relaxed);
   out.batches_served =
       state.batches_served.load(std::memory_order_relaxed);
+  out.mutation_batches_applied =
+      state.mutation_batches_applied.load(std::memory_order_relaxed);
+  out.mutation_ops_applied =
+      state.mutation_ops_applied.load(std::memory_order_relaxed);
+  out.mutation_batches_rejected =
+      state.mutation_batches_rejected.load(std::memory_order_relaxed);
   return out;
 }
 

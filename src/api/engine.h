@@ -12,9 +12,11 @@
 // conventional plan builder, and the metered executor — behind a
 // single handle. The read path (Execute / ExecuteBatch / Analyze /
 // Prepare / Explain) is const and safe to call from any number of
-// threads against one engine; Load() may run concurrently with it,
-// while the catalog mutations (AddConstraint / Recompile) must be
-// quiesced first. Execute is transparently served from a shared plan
+// threads against one engine; Load() and the transactional write path
+// (Apply) may run concurrently with it — every commit publishes a new
+// immutable snapshot and in-flight readers keep theirs — while the
+// catalog mutations (AddConstraint / Recompile) must be quiesced
+// first. Execute is transparently served from a shared plan
 // cache keyed on the canonicalized query text, so repeated execution —
 // the heavy-traffic case — skips parsing, retrieval, transformation,
 // and planning; ExecuteBatch fans whole batches across a worker pool
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "api/engine_options.h"
+#include "api/mutation.h"
 #include "api/plan_cache.h"
 #include "api/prepared_query.h"
 #include "api/serve.h"
@@ -169,6 +172,11 @@ struct EngineStats {
   uint64_t prepared_executions = 0;  // PreparedQuery::Execute completions
   uint64_t contradictions = 0;       // queries answered without the DB
   uint64_t batches_served = 0;       // ExecuteBatch() completions
+  uint64_t mutation_batches_applied = 0;   // committed Apply() calls
+  uint64_t mutation_ops_applied = 0;       // ops inside committed batches
+  // Apply() batches rejected by constraint validation specifically
+  // (malformed batches — bad rows, duplicate links — are not counted).
+  uint64_t mutation_batches_rejected = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -204,6 +212,29 @@ class Engine {
   // every cached plan: the next Execute of any query re-parses,
   // re-retrieves, and re-plans against the new store.
   Status Load(DataSource data_source);
+
+  // --- Write path. Safe to run concurrently with the read path, like
+  // Load(): writers serialize among themselves on a commit lock,
+  // readers keep the snapshot they pinned. ---
+
+  // Commits `batch` transactionally against the current snapshot:
+  //  * the whole batch applies to a copy-on-write clone of the store
+  //    (only touched classes/relationships are copied), with B-tree
+  //    indexes maintained incrementally per op;
+  //  * the post-apply state is validated against the ConstraintCatalog
+  //    (base clauses, on the rows/links the batch touched) BEFORE
+  //    anything is published — a violating batch is rejected with a
+  //    kConstraintViolation status and the visible store is untouched,
+  //    as it is on any other per-op error (bad row, duplicate link...);
+  //  * class/relationship statistics and histograms are recollected
+  //    incrementally for the touched classes only;
+  //  * the new snapshot is published atomically — every read that
+  //    starts afterwards sees the whole batch, none of it before;
+  //  * the plan cache is dropped only when the commit's statistics
+  //    drift crosses options().serve.replan_threshold — below it,
+  //    cached plans survive and execute against the new snapshot.
+  // Requires Load() first. An empty batch is a no-op commit.
+  Result<ApplyOutcome> Apply(const MutationBatch& batch);
 
   // Adds one constraint and re-precompiles the catalog (closure +
   // grouping re-run; semantic constraints change rarely — the paper's
@@ -285,6 +316,10 @@ class Engine {
   const ObjectStore* store() const;
   const DatabaseStats* database_stats() const;
   const CostModelInterface* cost_model() const;
+  // Version of the current data snapshot: 0 before the first Load, 1
+  // after it, +1 per committed Apply (a reload restarts the lineage at
+  // 1). Lets callers detect whether a write was published.
+  uint64_t data_version() const;
   const EngineOptions& options() const;
   EngineStats stats() const;
 

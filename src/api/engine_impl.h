@@ -34,14 +34,25 @@
 
 namespace sqopt::detail {
 
-// Everything one Load() produced, published as one immutable snapshot.
-// Readers (Execute / Prepare / cached plans) pin the snapshot they
-// started with, so a concurrent reload never swaps the store, the
-// statistics, or the cost model out from under a running query.
+// Everything one Load() or one committed Apply() produced, published as
+// one immutable snapshot. Readers (Execute / Prepare / cached plans)
+// pin the snapshot they started with, so a concurrent reload or commit
+// never swaps the store, the statistics, or the cost model out from
+// under a running query. Apply() builds its snapshot as a copy-on-write
+// sibling of the previous one (ObjectStore::CloneForWrite), so
+// consecutive versions share the extents no commit touched.
 struct LoadedData {
   std::shared_ptr<const ObjectStore> store;
   DatabaseStats db_stats;
   std::unique_ptr<const CostModel> cost_model;  // null in walkthrough mode
+  // 1 for a fresh Load; +1 per committed Apply on the lineage.
+  uint64_t version = 1;
+  // Which Load() this snapshot descends from. Apply preserves it; a
+  // reload starts a new lineage. Prepared plans follow the CURRENT
+  // snapshot within their own lineage (so they observe commits) but
+  // stick to their pinned snapshot across a reload — the documented
+  // PreparedQuery contract.
+  uint64_t lineage = 0;
 };
 
 struct EngineState {
@@ -83,9 +94,18 @@ struct EngineState {
   mutable AccessStats access;  // guarded by access_mutex on the query path
   EngineOptions options;
 
-  // Published by Load() under data_mutex; null until the first Load().
+  // Published by Load()/Apply() under data_mutex; null until the first
+  // Load().
   std::shared_ptr<const LoadedData> data;
   mutable std::mutex data_mutex;
+
+  // Serializes snapshot producers (Load and Apply): a commit clones,
+  // mutates, validates, and publishes under this lock, so writers never
+  // race each other. Readers never take it — they pin `data`.
+  mutable std::mutex commit_mutex;
+  // Monotonic Load() counter feeding LoadedData::lineage. Guarded by
+  // commit_mutex.
+  uint64_t lineages = 0;
 
   // Shared plan cache for Execute/Prepare (internally synchronized).
   mutable PlanCache plan_cache;
@@ -105,6 +125,9 @@ struct EngineState {
   mutable std::atomic<uint64_t> prepared_executions{0};
   mutable std::atomic<uint64_t> contradictions{0};
   mutable std::atomic<uint64_t> batches_served{0};
+  mutable std::atomic<uint64_t> mutation_batches_applied{0};
+  mutable std::atomic<uint64_t> mutation_ops_applied{0};
+  mutable std::atomic<uint64_t> mutation_batches_rejected{0};
 };
 
 // Execution context for one plan: parallel plans borrow the engine's
@@ -122,6 +145,21 @@ inline ExecContext MakeExecContext(const EngineState& state,
   return ctx;
 }
 
+// Picks the snapshot a prepared plan should execute against: the
+// CURRENT snapshot when it belongs to the same Load lineage the plan
+// was built on (so cached plans and prepared statements observe
+// committed Apply mutations), else the plan's own pinned snapshot (a
+// reload must not retarget old handles — see PreparedQuery).
+inline const LoadedData* ChooseExecData(
+    const std::shared_ptr<const LoadedData>& current,
+    const std::shared_ptr<const LoadedData>& pinned) {
+  if (current != nullptr &&
+      (pinned == nullptr || current->lineage == pinned->lineage)) {
+    return current.get();
+  }
+  return pinned.get();
+}
+
 // One fully-prepared query: shared by PreparedQuery handles and by
 // plan-cache entries. Immutable after construction (the execution
 // counter aside), so one instance can serve any number of threads.
@@ -133,8 +171,13 @@ struct PreparedState {
 
   // The data snapshot the plan was built against (null when the engine
   // had no data at Prepare time — the handle then only replays the
-  // analysis). Pinning the whole snapshot keeps the store alive across
-  // reloads for as long as this plan is reachable.
+  // analysis). Execution does NOT read through this pin: the Engine
+  // execute paths and PreparedQuery::Execute rebind the plan to the
+  // engine's CURRENT snapshot, so cached plans observe committed
+  // mutations (plans are correct for any snapshot of the same schema —
+  // only their cost choices age, which the replan threshold bounds).
+  // The pin remains as the fallback when the engine state is gone and
+  // to document provenance.
   std::shared_ptr<const LoadedData> data;
   std::optional<Plan> plan;  // engaged iff data && !empty_result
 

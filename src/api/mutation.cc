@@ -1,0 +1,54 @@
+#include "api/mutation.h"
+
+#include <utility>
+
+namespace sqopt {
+
+int64_t MutationBatch::Insert(ClassId class_id, Object object) {
+  Mutation op;
+  op.kind = Mutation::Kind::kInsert;
+  op.class_id = class_id;
+  op.object = std::move(object);
+  ops_.push_back(std::move(op));
+  // Handle -1-k for the k-th insert; Apply resolves it to the real row.
+  return -1 - static_cast<int64_t>(num_inserts_++);
+}
+
+void MutationBatch::Update(ClassId class_id, int64_t row, AttrId attr_id,
+                           Value value) {
+  Mutation op;
+  op.kind = Mutation::Kind::kUpdate;
+  op.class_id = class_id;
+  op.row = row;
+  op.attr_id = attr_id;
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+}
+
+void MutationBatch::Delete(ClassId class_id, int64_t row) {
+  Mutation op;
+  op.kind = Mutation::Kind::kDelete;
+  op.class_id = class_id;
+  op.row = row;
+  ops_.push_back(std::move(op));
+}
+
+void MutationBatch::Link(RelId rel_id, int64_t row_a, int64_t row_b) {
+  Mutation op;
+  op.kind = Mutation::Kind::kLink;
+  op.rel_id = rel_id;
+  op.row_a = row_a;
+  op.row_b = row_b;
+  ops_.push_back(std::move(op));
+}
+
+void MutationBatch::Unlink(RelId rel_id, int64_t row_a, int64_t row_b) {
+  Mutation op;
+  op.kind = Mutation::Kind::kUnlink;
+  op.rel_id = rel_id;
+  op.row_a = row_a;
+  op.row_b = row_b;
+  ops_.push_back(std::move(op));
+}
+
+}  // namespace sqopt

@@ -38,7 +38,15 @@ Result<QueryOutcome> PreparedQuery::Execute() const {
       engine_->contradictions.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    if (prepared.data == nullptr) {
+    // Execute against the engine's CURRENT snapshot when it descends
+    // from the same Load as this plan, so prepared statements observe
+    // committed Apply() mutations; across a full reload (new lineage)
+    // the handle keeps the snapshot it was planned on.
+    std::shared_ptr<const detail::LoadedData> data =
+        engine_ != nullptr ? engine_->data_snapshot() : nullptr;
+    const detail::LoadedData* exec_data =
+        detail::ChooseExecData(data, prepared.data);
+    if (exec_data == nullptr) {
       return Status::FailedPrecondition(
           "prepared without data: Engine::Load must run before Prepare "
           "for the handle to be executable");
@@ -53,7 +61,7 @@ Result<QueryOutcome> PreparedQuery::Execute() const {
                                         &pool_holder);
     }
     SQOPT_ASSIGN_OR_RETURN(
-        out.rows, ExecutePlan(*prepared.data->store, *prepared.plan,
+        out.rows, ExecutePlan(*exec_data->store, *prepared.plan,
                               &out.meter, context));
     out.executed = true;
   }

@@ -40,6 +40,15 @@ struct ServeOptions {
   // Driving-step candidates per morsel for parallel scans.
   // Non-positive falls back to the same default.
   int64_t morsel_size = kDefaultMorselSize;
+
+  // Replan threshold for the write path: Engine::Apply drops the plan
+  // cache only when a commit's statistics drift — the fraction of a
+  // touched class's rows (or a touched relationship's pairs) the batch
+  // changed — reaches this value. Below it, cached plans survive and
+  // simply execute against the new snapshot (plans are correct for any
+  // snapshot of the same schema; the threshold trades planning
+  // optimality for cache hits). 0 re-plans on every commit.
+  double replan_threshold = 0.15;
 };
 
 // Aggregate meter for one ExecuteBatch call.

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
   }
   return "Unknown";
 }

@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kParseError,
+  // A write was rejected because committing it would leave the store
+  // violating an integrity constraint (see Engine::Apply).
+  kConstraintViolation,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +63,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

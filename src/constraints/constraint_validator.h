@@ -1,0 +1,66 @@
+// Write-path integrity checking: before a mutation batch commits, the
+// engine validates that the post-apply store still satisfies every BASE
+// constraint of the catalog. Derived (closure) clauses are logical
+// consequences of the base set, so validating the base set suffices.
+//
+// Scope-driven: a commit names the rows whose attribute values changed
+// (inserted or updated) and the relationship instances it created, and
+// only clauses that can newly be violated by that footprint are
+// checked —
+//   * intra-class clauses run against each touched row of their class;
+//   * inter-class clauses run against every directly-linked pair that
+//     involves a touched row or a new link.
+// Deletes and unlinks only remove tuples from the universally
+// quantified constraint semantics, so they can never introduce a
+// violation and need no checking.
+//
+// Inter-class semantics: a two-class clause must hold on every pair of
+// objects joined by a relationship that directly connects the two
+// classes. This matches how the workload generator establishes the
+// constraints (segment-closed worlds, where any join path stays inside
+// one segment); writes that keep direct pairs consistent and
+// segment-shaped data keep multi-hop join paths consistent too. See
+// DESIGN.md "Write path".
+#ifndef SQOPT_CONSTRAINTS_CONSTRAINT_VALIDATOR_H_
+#define SQOPT_CONSTRAINTS_CONSTRAINT_VALIDATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint_catalog.h"
+#include "storage/object_store.h"
+
+namespace sqopt {
+
+// What a mutation batch changed, as the validator needs to see it.
+struct MutationFootprint {
+  // Rows whose attribute values are new or changed, per class.
+  std::unordered_map<ClassId, std::vector<int64_t>> touched_rows;
+
+  // Relationship instances created by the batch.
+  struct LinkRef {
+    RelId rel = kInvalidRel;
+    int64_t row_a = -1;  // row of the relationship's class `a`
+    int64_t row_b = -1;  // row of the relationship's class `b`
+  };
+  std::vector<LinkRef> new_links;
+};
+
+struct ValidationStats {
+  uint64_t clauses_checked = 0;  // (clause, tuple) combinations evaluated
+};
+
+// Validates the base constraints of `catalog` against `store`, limited
+// to the tuples `footprint` could have affected. Returns OK when every
+// check passes, or a kConstraintViolation status naming the first
+// violated constraint and the offending row(s).
+Status ValidateMutations(const ObjectStore& store,
+                         const ConstraintCatalog& catalog,
+                         const MutationFootprint& footprint,
+                         ValidationStats* stats = nullptr);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_CONSTRAINTS_CONSTRAINT_VALIDATOR_H_

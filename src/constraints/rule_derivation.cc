@@ -17,6 +17,7 @@ struct ValueGroup {
 std::vector<ValueGroup> GroupByAttr(const Extent& extent, AttrId attr_id) {
   std::map<Value, std::vector<int64_t>> groups;
   for (int64_t row = 0; row < extent.size(); ++row) {
+    if (!extent.IsLive(row)) continue;
     groups[extent.ValueAt(row, attr_id)].push_back(row);
   }
   std::vector<ValueGroup> out;
@@ -43,7 +44,7 @@ Result<std::vector<HornClause>> DeriveStateRules(
 
   for (const ObjectClass& oc : schema.classes()) {
     const Extent& extent = store.extent(oc.id);
-    if (extent.size() < options.min_support) continue;
+    if (extent.live_count() < options.min_support) continue;
     std::vector<AttrId> layout = schema.LayoutOf(oc.id);
 
     // Global bounds and distinct counts per attribute.
@@ -56,8 +57,9 @@ Result<std::vector<HornClause>> DeriveStateRules(
     for (AttrId attr : layout) {
       AttrSummary s;
       std::set<Value> seen;
-      bool all_numeric = extent.size() > 0;
+      bool all_numeric = extent.live_count() > 0;
       for (int64_t row = 0; row < extent.size(); ++row) {
+        if (!extent.IsLive(row)) continue;
         const Value& v = extent.ValueAt(row, attr);
         seen.insert(v);
         if (!v.is_numeric()) all_numeric = false;
@@ -168,6 +170,7 @@ bool RuleHoldsOnStore(const ObjectStore& store, const HornClause& clause) {
     return EvalCompare(lhs, p.op(), p.rhs_value());
   };
   for (int64_t row = 0; row < extent.size(); ++row) {
+    if (!extent.IsLive(row)) continue;
     bool antecedents_hold = true;
     for (const Predicate& a : clause.antecedents()) {
       if (!eval(a, row)) {

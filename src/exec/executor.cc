@@ -160,10 +160,14 @@ void RunPipeline(const ObjectStore& store, const Plan& plan,
            partners.end();
   };
 
-  // Driving step: filter this slice of the candidates.
+  // Driving step: filter this slice of the candidates. An identity
+  // scan walks row SLOTS, so tombstoned rows are skipped here; index
+  // candidates never contain dead rows (Delete drops their entries).
   const AccessStep& drive = plan.steps[0];
+  const Extent& drive_extent = store.extent(drive.class_id);
   std::vector<Binding> bindings;
   for (int64_t c = begin; c < end; ++c) {
+    if (candidates == nullptr && !drive_extent.IsLive(c)) continue;
     Binding binding(num_classes, -1);
     binding[drive.class_id] =
         candidates == nullptr ? c : (*candidates)[static_cast<size_t>(c)];

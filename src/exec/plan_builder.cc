@@ -7,35 +7,40 @@
 
 namespace sqopt {
 
+void CollectClassStats(const ObjectStore& store, ClassId class_id,
+                       DatabaseStats* stats) {
+  const Schema& schema = store.schema();
+  stats->SetClassCardinality(class_id, store.NumLiveObjects(class_id));
+  for (AttrId attr_id : schema.LayoutOf(class_id)) {
+    AttrRef ref{class_id, attr_id};
+    AttrStatsData data;
+    data.distinct_values = store.DistinctValues(ref);
+    if (store.NumLiveObjects(class_id) > 0) {
+      auto [min, max] = store.MinMax(ref);
+      if (!min.is_null() && min.is_numeric()) {
+        data.min = min;
+        data.max = max;
+        // Numeric attribute: collect an equi-width histogram too.
+        data.histogram = Histogram::Build(store.LiveValues(ref));
+      }
+    }
+    stats->SetAttrStats(ref, std::move(data));
+  }
+}
+
+void CollectRelationshipStats(const ObjectStore& store, RelId rel_id,
+                              DatabaseStats* stats) {
+  stats->SetRelationshipCardinality(rel_id, store.NumPairs(rel_id));
+}
+
 DatabaseStats CollectStats(const ObjectStore& store) {
   const Schema& schema = store.schema();
   DatabaseStats stats;
   for (const ObjectClass& oc : schema.classes()) {
-    stats.SetClassCardinality(oc.id, store.NumObjects(oc.id));
-    for (AttrId attr_id : schema.LayoutOf(oc.id)) {
-      AttrRef ref{oc.id, attr_id};
-      AttrStatsData data;
-      data.distinct_values = store.DistinctValues(ref);
-      if (store.NumObjects(oc.id) > 0) {
-        auto [min, max] = store.MinMax(ref);
-        if (!min.is_null() && min.is_numeric()) {
-          data.min = min;
-          data.max = max;
-          // Numeric attribute: collect an equi-width histogram too.
-          std::vector<Value> values;
-          values.reserve(static_cast<size_t>(store.NumObjects(oc.id)));
-          const Extent& extent = store.extent(oc.id);
-          for (int64_t row = 0; row < extent.size(); ++row) {
-            values.push_back(extent.ValueAt(row, attr_id));
-          }
-          data.histogram = Histogram::Build(values);
-        }
-      }
-      stats.SetAttrStats(ref, std::move(data));
-    }
+    CollectClassStats(store, oc.id, &stats);
   }
   for (const Relationship& rel : schema.relationships()) {
-    stats.SetRelationshipCardinality(rel.id, store.NumPairs(rel.id));
+    CollectRelationshipStats(store, rel.id, &stats);
   }
   return stats;
 }

@@ -39,8 +39,19 @@ Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
                        const Query& query, const PlanningOptions& options);
 
 // Gathers cardinalities, relationship cardinalities, and per-attribute
-// distinct counts + min/max from a store.
+// distinct counts + min/max + histograms from a store (live rows only).
 DatabaseStats CollectStats(const ObjectStore& store);
+
+// Recollects the statistics of ONE class (cardinality + every attribute's
+// distinct count / min-max / histogram) into `stats`, leaving all other
+// classes untouched. The write path's incremental alternative to a full
+// CollectStats after a commit that mutated only a few classes.
+void CollectClassStats(const ObjectStore& store, ClassId class_id,
+                       DatabaseStats* stats);
+
+// Same for one relationship's pair cardinality.
+void CollectRelationshipStats(const ObjectStore& store, RelId rel_id,
+                              DatabaseStats* stats);
 
 }  // namespace sqopt
 

@@ -56,6 +56,7 @@ Result<ResultSet> ExecuteReference(const ObjectStore& store,
     ClassId cid = query.classes[depth];
     int64_t n = store.NumObjects(cid);
     for (int64_t row = 0; row < n; ++row) {
+      if (!store.IsLive(cid, row)) continue;
       binding[cid] = row;
       self(self, depth + 1);
     }

@@ -34,6 +34,31 @@ BTree::~BTree() = default;
 BTree::BTree(BTree&&) noexcept = default;
 BTree& BTree::operator=(BTree&&) noexcept = default;
 
+std::unique_ptr<BTree::Node> BTree::CloneSubtree(
+    const Node& node, std::vector<Node*>* leaves) {
+  auto copy = std::make_unique<Node>();
+  copy->leaf = node.leaf;
+  copy->keys = node.keys;
+  copy->rows = node.rows;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneSubtree(*child, leaves));
+  }
+  if (copy->leaf) leaves->push_back(copy.get());
+  return copy;
+}
+
+BTree BTree::Clone() const {
+  BTree copy(order_);
+  std::vector<Node*> leaves;
+  copy.root_ = CloneSubtree(*root_, &leaves);
+  for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+    leaves[i]->next = leaves[i + 1];
+  }
+  copy.size_ = size_;
+  return copy;
+}
+
 namespace {
 
 // Child index for descending: first separator strictly greater than

@@ -28,6 +28,12 @@ class BTree {
   BTree(BTree&&) noexcept;             // defined in .cc (Node incomplete)
   BTree& operator=(BTree&&) noexcept;  // defined in .cc
 
+  // Structural deep copy: identical node layout and leaf chain, no
+  // shared storage with the source. O(entries); the copy-on-write
+  // commit path clones an index once per touched class and then
+  // maintains it incrementally instead of rebuilding from the extent.
+  BTree Clone() const;
+
   void Insert(const Value& key, int64_t row);
 
   // Removes one (key, row) entry. Returns false if no such entry
@@ -62,6 +68,10 @@ class BTree {
 
   // Descends to the leaf that should contain `key`.
   Node* FindLeaf(const Value& key) const;
+  // Recursively copies a subtree, appending each copied leaf to
+  // `leaves` in left-to-right order so Clone can relink the leaf chain.
+  static std::unique_ptr<Node> CloneSubtree(const Node& node,
+                                            std::vector<Node*>* leaves);
   // Splits `node` (leaf or internal) known to be overfull.
   void SplitChild(Node* parent, int index);
 

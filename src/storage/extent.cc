@@ -18,7 +18,24 @@ Result<int64_t> Extent::Insert(Object obj) {
         std::to_string(slot_of_.size()));
   }
   objects_.push_back(std::move(obj));
+  live_.push_back(1);
+  ++live_count_;
   return static_cast<int64_t>(objects_.size() - 1);
+}
+
+Status Extent::Delete(int64_t row) {
+  if (row < 0 || row >= size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range");
+  }
+  if (live_[static_cast<size_t>(row)] == 0) {
+    return Status::NotFound("row " + std::to_string(row) + " of class '" +
+                            schema_->object_class(class_id_).name +
+                            "' is already deleted");
+  }
+  live_[static_cast<size_t>(row)] = 0;
+  --live_count_;
+  return Status::OK();
 }
 
 const Value& Extent::ValueAt(int64_t row, AttrId attr_id) const {

@@ -4,6 +4,7 @@
 #ifndef SQOPT_STORAGE_EXTENT_H_
 #define SQOPT_STORAGE_EXTENT_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -17,13 +18,33 @@ class Extent {
  public:
   Extent(const Schema* schema, ClassId class_id);
 
+  // Extents are deep-copyable: the copy-on-write commit path clones
+  // the extents of mutated classes and leaves the rest shared.
+  Extent(const Extent&) = default;
+  Extent& operator=(const Extent&) = default;
+
   ClassId class_id() const { return class_id_; }
+
+  // Total row SLOTS, live and deleted alike. Row ids are positional and
+  // stable for the lifetime of the store (deletes tombstone, never
+  // compact), so scans iterate [0, size()) and skip !IsLive rows.
   int64_t size() const { return static_cast<int64_t>(objects_.size()); }
+  // Live rows only — the class cardinality statistics see.
+  int64_t live_count() const { return live_count_; }
+  bool IsLive(int64_t row) const {
+    return row >= 0 && row < size() && live_[static_cast<size_t>(row)] != 0;
+  }
   size_t num_slots() const { return slot_of_.size(); }
 
   // Inserts an object; `obj.values` must have exactly num_slots()
   // entries in layout order. Returns the new row id.
   Result<int64_t> Insert(Object obj);
+
+  // Tombstones one live row. The slot (and its values) stay in place so
+  // row ids never shift; kOutOfRange for bad rows, kNotFound when the
+  // row is already deleted. Index + adjacency maintenance is the
+  // ObjectStore's job (Delete there cascades).
+  Status Delete(int64_t row);
 
   const Object& object(int64_t row) const { return objects_[row]; }
 
@@ -44,6 +65,9 @@ class Extent {
   const Schema* schema_;
   ClassId class_id_;
   std::vector<Object> objects_;
+  // Parallel to objects_: 1 = live, 0 = tombstoned.
+  std::vector<uint8_t> live_;
+  int64_t live_count_ = 0;
   std::unordered_map<AttrId, int> slot_of_;
 };
 

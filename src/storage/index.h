@@ -16,6 +16,19 @@ namespace sqopt {
 
 class AttributeIndex {
  public:
+  AttributeIndex() = default;
+
+  // Deep copy (tree structure and probe counter) for copy-on-write
+  // store commits: the clone diverges under incremental maintenance
+  // while readers keep probing the original.
+  std::unique_ptr<AttributeIndex> Clone() const {
+    auto copy = std::make_unique<AttributeIndex>();
+    copy->tree_ = tree_.Clone();
+    copy->probes.store(probes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return copy;
+  }
+
   void Insert(const Value& key, int64_t row) { tree_.Insert(key, row); }
   bool Remove(const Value& key, int64_t row) {
     return tree_.Remove(key, row);

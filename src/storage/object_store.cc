@@ -1,5 +1,6 @@
 #include "storage/object_store.h"
 
+#include <algorithm>
 #include <set>
 
 namespace sqopt {
@@ -10,11 +11,12 @@ ObjectStore::ObjectStore(const Schema* schema) : schema_(schema) {
   extents_.reserve(schema_->num_classes());
   for (size_t i = 0; i < schema_->num_classes(); ++i) {
     extents_.push_back(
-        std::make_unique<Extent>(schema_, static_cast<ClassId>(i)));
+        std::make_shared<Extent>(schema_, static_cast<ClassId>(i)));
   }
-  pairs_.resize(schema_->num_relationships());
-  adj_a_.resize(schema_->num_relationships());
-  adj_b_.resize(schema_->num_relationships());
+  rels_.reserve(schema_->num_relationships());
+  for (size_t i = 0; i < schema_->num_relationships(); ++i) {
+    rels_.push_back(std::make_shared<RelData>());
+  }
 
   // One index per (class, indexed attribute), including inherited
   // indexed attributes on subclasses.
@@ -22,10 +24,33 @@ ObjectStore::ObjectStore(const Schema* schema) : schema_(schema) {
     for (AttrId attr_id : schema_->LayoutOf(oc.id)) {
       AttrRef ref{oc.id, attr_id};
       if (schema_->attribute(ref).indexed) {
-        indexes_[{oc.id, attr_id}] = std::make_unique<AttributeIndex>();
+        indexes_[{oc.id, attr_id}] = std::make_shared<AttributeIndex>();
       }
     }
   }
+}
+
+std::unique_ptr<ObjectStore> ObjectStore::CloneForWrite(
+    const std::set<ClassId>& classes, const std::set<RelId>& rels) const {
+  // Start from a structural twin sharing every substructure, then
+  // replace the to-be-mutated parts with private deep copies.
+  std::unique_ptr<ObjectStore> clone(new ObjectStore());
+  clone->schema_ = schema_;
+  clone->extents_ = extents_;
+  clone->rels_ = rels_;
+  clone->indexes_ = indexes_;
+  for (ClassId cid : classes) {
+    clone->extents_[cid] = std::make_shared<Extent>(*extents_[cid]);
+  }
+  for (RelId rid : rels) {
+    clone->rels_[rid] = std::make_shared<RelData>(*rels_[rid]);
+  }
+  for (auto& [key, index] : clone->indexes_) {
+    if (classes.count(key.first) > 0) {
+      index = std::shared_ptr<AttributeIndex>(index->Clone());
+    }
+  }
+  return clone;
 }
 
 Result<int64_t> ObjectStore::Insert(ClassId class_id, Object obj) {
@@ -45,10 +70,15 @@ Status ObjectStore::Link(RelId rel_id, int64_t row_a, int64_t row_b) {
     return Status::OutOfRange("relationship '" + rel.name +
                               "' links a nonexistent row");
   }
+  if (!IsLive(rel.a, row_a) || !IsLive(rel.b, row_b)) {
+    return Status::FailedPrecondition("relationship '" + rel.name +
+                                      "' links a deleted row");
+  }
+  RelData& data = *rels_[rel_id];
   // Relationship instances form a SET of pairs: a duplicate link would
   // silently double rows produced by pointer-traversal joins.
-  auto it = adj_a_[rel_id].find(row_a);
-  if (it != adj_a_[rel_id].end()) {
+  auto it = data.adj_a.find(row_a);
+  if (it != data.adj_a.end()) {
     for (int64_t existing : it->second) {
       if (existing == row_b) {
         return Status::AlreadyExists("relationship '" + rel.name +
@@ -56,9 +86,32 @@ Status ObjectStore::Link(RelId rel_id, int64_t row_a, int64_t row_b) {
       }
     }
   }
-  pairs_[rel_id].emplace_back(row_a, row_b);
-  adj_a_[rel_id][row_a].push_back(row_b);
-  adj_b_[rel_id][row_b].push_back(row_a);
+  data.pairs.emplace_back(row_a, row_b);
+  data.adj_a[row_a].push_back(row_b);
+  data.adj_b[row_b].push_back(row_a);
+  return Status::OK();
+}
+
+Status ObjectStore::Unlink(RelId rel_id, int64_t row_a, int64_t row_b) {
+  RelData& data = *rels_[rel_id];
+  auto pair_it = std::find(data.pairs.begin(), data.pairs.end(),
+                           std::make_pair(row_a, row_b));
+  if (pair_it == data.pairs.end()) {
+    return Status::NotFound("relationship '" +
+                            schema_->relationship(rel_id).name +
+                            "' has no such pair");
+  }
+  data.pairs.erase(pair_it);
+  auto drop = [](std::unordered_map<int64_t, std::vector<int64_t>>& adj,
+                 int64_t key, int64_t partner) {
+    auto it = adj.find(key);
+    if (it == adj.end()) return;
+    auto& list = it->second;
+    list.erase(std::find(list.begin(), list.end(), partner));
+    if (list.empty()) adj.erase(it);
+  };
+  drop(data.adj_a, row_a, row_b);
+  drop(data.adj_b, row_b, row_a);
   return Status::OK();
 }
 
@@ -67,6 +120,11 @@ Status ObjectStore::UpdateAttribute(ClassId class_id, int64_t row,
   Extent& extent = *extents_[class_id];
   if (row < 0 || row >= extent.size()) {
     return Status::OutOfRange("row out of range");
+  }
+  if (!extent.IsLive(row)) {
+    return Status::NotFound("row " + std::to_string(row) + " of class '" +
+                            schema_->object_class(class_id).name +
+                            "' is deleted");
   }
   auto it = indexes_.find({class_id, attr_id});
   if (it != indexes_.end()) {
@@ -79,12 +137,53 @@ Status ObjectStore::UpdateAttribute(ClassId class_id, int64_t row,
   return extent.SetValue(row, attr_id, std::move(value));
 }
 
+Status ObjectStore::Delete(ClassId class_id, int64_t row) {
+  Extent& extent = *extents_[class_id];
+  SQOPT_RETURN_IF_ERROR(extent.Delete(row));
+  // Index entries go first (values are still in the tombstoned slot).
+  for (auto& [key, index] : indexes_) {
+    if (key.first != class_id) continue;
+    index->Remove(extent.ValueAt(row, key.second), row);
+  }
+  // Cascade: a dead row must never surface through Partners().
+  for (RelId rel_id : schema_->RelationshipsOf(class_id)) {
+    const Relationship& rel = schema_->relationship(rel_id);
+    RelData& data = *rels_[rel_id];
+    bool as_a = rel.a == class_id;
+    bool as_b = rel.b == class_id;
+    data.pairs.erase(
+        std::remove_if(data.pairs.begin(), data.pairs.end(),
+                       [&](const std::pair<int64_t, int64_t>& p) {
+                         return (as_a && p.first == row) ||
+                                (as_b && p.second == row);
+                       }),
+        data.pairs.end());
+    auto scrub = [row](
+        std::unordered_map<int64_t, std::vector<int64_t>>& forward,
+        std::unordered_map<int64_t, std::vector<int64_t>>& reverse) {
+      auto it = forward.find(row);
+      if (it == forward.end()) return;
+      for (int64_t partner : it->second) {
+        auto rit = reverse.find(partner);
+        if (rit == reverse.end()) continue;
+        auto& list = rit->second;
+        list.erase(std::remove(list.begin(), list.end(), row), list.end());
+        if (list.empty()) reverse.erase(rit);
+      }
+      forward.erase(it);
+    };
+    if (as_a) scrub(data.adj_a, data.adj_b);
+    if (as_b) scrub(data.adj_b, data.adj_a);
+  }
+  return Status::OK();
+}
+
 const std::vector<int64_t>& ObjectStore::Partners(RelId rel_id,
                                                   ClassId from_class,
                                                   int64_t row) const {
   const Relationship& rel = schema_->relationship(rel_id);
-  const auto& adjacency =
-      (from_class == rel.a) ? adj_a_[rel_id] : adj_b_[rel_id];
+  const RelData& data = *rels_[rel_id];
+  const auto& adjacency = (from_class == rel.a) ? data.adj_a : data.adj_b;
   auto it = adjacency.find(row);
   return it == adjacency.end() ? kNoPartners : it->second;
 }
@@ -98,6 +197,7 @@ int64_t ObjectStore::DistinctValues(const AttrRef& ref) const {
   const Extent& extent = *extents_[ref.class_id];
   std::set<Value> distinct;
   for (int64_t row = 0; row < extent.size(); ++row) {
+    if (!extent.IsLive(row)) continue;
     distinct.insert(extent.ValueAt(row, ref.attr_id));
   }
   return static_cast<int64_t>(distinct.size());
@@ -105,15 +205,26 @@ int64_t ObjectStore::DistinctValues(const AttrRef& ref) const {
 
 std::pair<Value, Value> ObjectStore::MinMax(const AttrRef& ref) const {
   const Extent& extent = *extents_[ref.class_id];
-  if (extent.size() == 0) return {Value::Null(), Value::Null()};
-  Value min = extent.ValueAt(0, ref.attr_id);
-  Value max = min;
-  for (int64_t row = 1; row < extent.size(); ++row) {
+  Value min = Value::Null();
+  Value max = Value::Null();
+  for (int64_t row = 0; row < extent.size(); ++row) {
+    if (!extent.IsLive(row)) continue;
     const Value& v = extent.ValueAt(row, ref.attr_id);
-    if (v < min) min = v;
-    if (max < v) max = v;
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
   }
   return {min, max};
+}
+
+std::vector<Value> ObjectStore::LiveValues(const AttrRef& ref) const {
+  const Extent& extent = *extents_[ref.class_id];
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(extent.live_count()));
+  for (int64_t row = 0; row < extent.size(); ++row) {
+    if (!extent.IsLive(row)) continue;
+    out.push_back(extent.ValueAt(row, ref.attr_id));
+  }
+  return out;
 }
 
 void ObjectStore::ResetMeters() {

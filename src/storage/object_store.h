@@ -3,6 +3,21 @@
 // `indexed` in the schema. This is the substrate the executor runs
 // against (the paper executed against a relational DBMS; see DESIGN.md
 // §2 "Substitutions").
+//
+// Versioned snapshots: every substructure (extent, per-relationship
+// adjacency, attribute index) lives behind a shared_ptr, so
+// CloneForWrite() produces a copy-on-write sibling that deep-copies
+// only the classes/relationships a commit will touch and shares the
+// rest with the original. The write path (Engine::Apply) mutates the
+// clone privately and publishes it as the next immutable snapshot;
+// readers of the original never observe the divergence.
+//
+// Deletes are tombstones: row ids are positional and stable for the
+// lifetime of a store lineage (adjacency lists and result bindings
+// reference them), so Delete marks the slot dead instead of
+// compacting. Scans skip dead rows; Delete also drops the row's index
+// entries and every relationship instance it participates in, so
+// indexes and Partners() never surface a dead row.
 #ifndef SQOPT_STORAGE_OBJECT_STORE_H_
 #define SQOPT_STORAGE_OBJECT_STORE_H_
 
@@ -26,33 +41,61 @@ class ObjectStore {
 
   const Schema& schema() const { return *schema_; }
 
+  // Copy-on-write clone: deep-copies the extents + indexes of
+  // `classes` and the pair/adjacency structures of `rels`, sharing
+  // everything else with this store. The caller must only mutate the
+  // named classes/relationships on the clone — mutating anything else
+  // would write through shared state visible to this store's readers.
+  std::unique_ptr<ObjectStore> CloneForWrite(
+      const std::set<ClassId>& classes, const std::set<RelId>& rels) const;
+
   // Inserts an object into `class_id`'s extent, maintaining indexes.
   Result<int64_t> Insert(ClassId class_id, Object obj);
 
   // Registers an instance (pair) of relationship `rel_id` between a row
   // of the relationship's class `a` and a row of class `b`. Duplicate
-  // pairs are rejected with kAlreadyExists.
+  // pairs are rejected with kAlreadyExists; dead endpoints with
+  // kFailedPrecondition.
   Status Link(RelId rel_id, int64_t row_a, int64_t row_b);
 
-  // Overwrites one attribute of an existing object, keeping any index
-  // on the attribute consistent. `attr_id` must resolve on the class.
+  // Removes one relationship instance (both adjacency directions).
+  // kNotFound when the pair does not exist.
+  Status Unlink(RelId rel_id, int64_t row_a, int64_t row_b);
+
+  // Overwrites one attribute of an existing live object, keeping any
+  // index on the attribute consistent. `attr_id` must resolve on the
+  // class.
   Status UpdateAttribute(ClassId class_id, int64_t row, AttrId attr_id,
                          Value value);
+
+  // Tombstones one live row: drops its index entries, unlinks every
+  // relationship instance it participates in, and marks the slot dead.
+  // Row ids of other objects are unaffected.
+  Status Delete(ClassId class_id, int64_t row);
 
   const Extent& extent(ClassId class_id) const {
     return *extents_[class_id];
   }
+  // Row SLOTS including tombstones — the positional scan bound.
   int64_t NumObjects(ClassId class_id) const {
     return extents_[class_id]->size();
   }
+  // Live rows only — what statistics and cardinality estimates use.
+  int64_t NumLiveObjects(ClassId class_id) const {
+    return extents_[class_id]->live_count();
+  }
+  bool IsLive(ClassId class_id, int64_t row) const {
+    return extents_[class_id]->IsLive(row);
+  }
   int64_t NumPairs(RelId rel_id) const {
-    return static_cast<int64_t>(pairs_[rel_id].size());
+    return static_cast<int64_t>(rels_[rel_id]->pairs.size());
   }
 
   // Splits `class_id`'s extent into consecutive row-range morsels of at
   // most `morsel_size` rows (the last may be short; non-positive sizes
-  // fall back to kDefaultMorselSize). The ranges cover every row exactly
-  // once, in row order — the parallel executor's scheduling units.
+  // fall back to kDefaultMorselSize). The ranges cover every row slot
+  // exactly once, in row order — the parallel executor's scheduling
+  // units (the pipeline skips tombstoned rows inside each morsel).
   std::vector<Morsel> PartitionExtent(ClassId class_id,
                                       int64_t morsel_size) const {
     return MakeMorsels(NumObjects(class_id), morsel_size);
@@ -66,26 +109,38 @@ class ObjectStore {
   // The index on `ref`, or null if the attribute is not indexed.
   const AttributeIndex* GetIndex(const AttrRef& ref) const;
 
-  // Statistics raw material.
+  // Statistics raw material (live rows only).
   int64_t DistinctValues(const AttrRef& ref) const;
   std::pair<Value, Value> MinMax(const AttrRef& ref) const;  // null/null
                                                              // if empty
+  // All live values of `ref`, in row order (histogram raw material).
+  std::vector<Value> LiveValues(const AttrRef& ref) const;
 
   // Resets the probe counters on all indexes.
   void ResetMeters();
 
  private:
+  // Shell constructor for CloneForWrite: members are filled by copying
+  // the source's shared_ptrs, so building fresh substructures (the
+  // public constructor's job) would only allocate garbage.
+  ObjectStore() = default;
+
   // Index key: (class, attr id) — inherited attributes are indexed per
   // concrete class.
   using IndexKey = std::pair<ClassId, AttrId>;
 
+  // One relationship's instances: the pair list and both adjacency
+  // directions, cloned as a unit by CloneForWrite.
+  struct RelData {
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    std::unordered_map<int64_t, std::vector<int64_t>> adj_a;
+    std::unordered_map<int64_t, std::vector<int64_t>> adj_b;
+  };
+
   const Schema* schema_;
-  std::vector<std::unique_ptr<Extent>> extents_;
-  // Per relationship: the pair list and both adjacency directions.
-  std::vector<std::vector<std::pair<int64_t, int64_t>>> pairs_;
-  std::vector<std::unordered_map<int64_t, std::vector<int64_t>>> adj_a_;
-  std::vector<std::unordered_map<int64_t, std::vector<int64_t>>> adj_b_;
-  std::map<IndexKey, std::unique_ptr<AttributeIndex>> indexes_;
+  std::vector<std::shared_ptr<Extent>> extents_;
+  std::vector<std::shared_ptr<RelData>> rels_;
+  std::map<IndexKey, std::shared_ptr<AttributeIndex>> indexes_;
 
   static const std::vector<int64_t> kNoPartners;
 };

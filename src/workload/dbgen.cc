@@ -66,6 +66,46 @@ constexpr std::array<const char*, kNumSegments> kClearance = {
 
 }  // namespace
 
+Result<Object> MakeSegmentObject(const Schema& schema, ClassId class_id,
+                                 int segment, int64_t ordinal) {
+  if (segment < 0 || segment >= kNumSegments) {
+    return Status::InvalidArgument("segment out of range");
+  }
+  const int seg = segment;
+  const std::string tag = "-w" + std::to_string(ordinal);
+  const std::string& name = schema.object_class(class_id).name;
+  Object obj;
+  // Values sit at fixed points of the ranges GenerateDatabase samples,
+  // so every ExperimentConstraints clause holds by the same argument.
+  if (name == "supplier") {
+    obj.values = {Value::String("supplier" + tag),
+                  Value::String(kRegion[seg]),
+                  Value::Int(seg == 0 ? 9 : 5)};
+  } else if (name == "cargo") {
+    obj.values = {Value::String("cargo" + tag),
+                  Value::String(kCargoDesc[seg]),
+                  Value::Int(seg == 0 ? 100 : 700),
+                  Value::Int(seg == 0 ? 20 : 60)};
+  } else if (name == "vehicle") {
+    obj.values = {Value::Int(100000 + ordinal),
+                  Value::String(kVehicleDesc[seg]), Value::Int(4 - seg),
+                  Value::Int(seg <= 1 ? 30 : 10)};
+  } else if (name == "driver") {
+    obj.values = {Value::String("driver" + tag),
+                  Value::String(kClearance[seg]),
+                  Value::String(seg <= 1 ? "senior" : "junior"),
+                  Value::Int(4 - seg)};
+  } else if (name == "department") {
+    obj.values = {Value::String("dept" + tag), Value::Int(4 - seg),
+                  Value::Int(seg == 0 ? 150000 : 50000)};
+  } else {
+    return Status::InvalidArgument(
+        "MakeSegmentObject requires the experiment schema (got class '" +
+        name + "')");
+  }
+  return obj;
+}
+
 Result<std::unique_ptr<ObjectStore>> GenerateDatabase(const Schema& schema,
                                                       const DbSpec& spec,
                                                       uint64_t seed) {

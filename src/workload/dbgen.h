@@ -54,6 +54,16 @@ inline int SegmentOfRow(int64_t row) {
   return static_cast<int>(row % kNumSegments);
 }
 
+// Deterministic, constraint-consistent attribute values for one new
+// object of `class_id` in `segment` — the write-path counterpart of
+// GenerateDatabase's value model, used by mutation workloads (fuzzers,
+// benches) to grow a database without breaking any of the 15
+// ExperimentConstraints. `ordinal` seeds only the name-like
+// attributes, so objects of one segment are interchangeable w.r.t.
+// every constraint. Requires the experiment schema.
+Result<Object> MakeSegmentObject(const Schema& schema, ClassId class_id,
+                                 int segment, int64_t ordinal);
+
 }  // namespace sqopt
 
 #endif  // SQOPT_WORKLOAD_DBGEN_H_

@@ -185,6 +185,30 @@ TEST(BTreeTest, HeightStaysLogarithmic) {
   EXPECT_TRUE(tree.CheckInvariants());
 }
 
+TEST(BTreeTest, CloneIsStructurallyIdenticalAndIndependent) {
+  BTree tree(4);  // small order: multiple levels + leaf chain
+  for (int i = 0; i < 200; ++i) tree.Insert(Value::Int(i % 50), i);
+
+  BTree copy = tree.Clone();
+  EXPECT_EQ(copy.size(), tree.size());
+  EXPECT_EQ(copy.height(), tree.height());
+  EXPECT_EQ(copy.num_nodes(), tree.num_nodes());
+  EXPECT_TRUE(copy.CheckInvariants());
+  EXPECT_EQ(copy.Scan(), tree.Scan());  // leaf chain relinked in order
+
+  // Divergence stays private in both directions.
+  copy.Insert(Value::Int(999), 999);
+  EXPECT_TRUE(copy.Remove(Value::Int(7), 7));
+  tree.Insert(Value::Int(-5), 1);
+  EXPECT_EQ(copy.Equal(Value::Int(999)).size(), 1u);
+  EXPECT_TRUE(tree.Equal(Value::Int(999)).empty());
+  EXPECT_EQ(tree.Equal(Value::Int(7)).size(), 4u);
+  EXPECT_EQ(copy.Equal(Value::Int(7)).size(), 3u);
+  EXPECT_TRUE(copy.Equal(Value::Int(-5)).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(copy.CheckInvariants());
+}
+
 TEST(BTreeTest, MoveSemantics) {
   BTree a(4);
   for (int i = 0; i < 32; ++i) a.Insert(Value::Int(i), i);

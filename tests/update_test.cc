@@ -2,6 +2,10 @@
 // caveat — state-derived rules must be re-validated after updates.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "constraints/rule_derivation.h"
 #include "exec/executor.h"
 #include "query/query_parser.h"
@@ -104,6 +108,100 @@ TEST_F(UpdateTest, StateRulesInvalidateAfterUpdate) {
   for (const HornClause& rule : fresh) {
     EXPECT_TRUE(RuleHoldsOnStore(*store_, rule)) << rule.ToString(schema_);
   }
+}
+
+TEST_F(UpdateTest, DeleteTombstonesCascadesAndHidesFromScans) {
+  RelId supplies = schema_.FindRelationship("supplies");
+  ClassId supplier = schema_.FindClass("supplier");
+  const int64_t pairs_before = store_->NumPairs(supplies);
+  const size_t partners_of_0 =
+      store_->Partners(supplies, cargo_, 0).size();
+  ASSERT_GT(partners_of_0, 0u);
+
+  ASSERT_OK(store_->Delete(cargo_, 0));
+  EXPECT_FALSE(store_->IsLive(cargo_, 0));
+  EXPECT_EQ(store_->NumLiveObjects(cargo_), 39);
+  EXPECT_EQ(store_->NumObjects(cargo_), 40);  // the slot remains
+  // Cascade: no relationship instance survives the row...
+  EXPECT_TRUE(store_->Partners(supplies, cargo_, 0).empty());
+  EXPECT_EQ(store_->NumPairs(supplies),
+            pairs_before - static_cast<int64_t>(partners_of_0));
+  // ...adjacency is scrubbed from the partner side too...
+  for (int64_t s = 0; s < store_->NumObjects(supplier); ++s) {
+    const std::vector<int64_t>& back =
+        store_->Partners(supplies, supplier, s);
+    EXPECT_EQ(std::count(back.begin(), back.end(), 0), 0);
+  }
+  // ...the index no longer serves the row, and scans skip it.
+  std::vector<int64_t> frozen =
+      store_->GetIndex(desc_)->Equal(Value::String("frozen food"));
+  EXPECT_EQ(std::count(frozen.begin(), frozen.end(), 0), 0);
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery(schema_, "{cargo.code} {} {} {} {cargo}"));
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, ExecuteQuery(*store_, q, nullptr));
+  EXPECT_EQ(rs.rows.size(), 39u);
+  for (const auto& row : rs.rows) {
+    EXPECT_NE(row[0], Value::String("cargo-0"));
+  }
+
+  // Deleting twice is an error; mutating a dead row is an error.
+  EXPECT_EQ(store_->Delete(cargo_, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->UpdateAttribute(cargo_, 0, weight_.attr_id,
+                                    Value::Int(1))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_->Link(supplies, 1, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UpdateTest, UnlinkRemovesExactlyOnePair) {
+  RelId supplies = schema_.FindRelationship("supplies");
+  const int64_t pairs_before = store_->NumPairs(supplies);
+  // The diagonal guarantees pair (3, 3) exists.
+  ASSERT_OK(store_->Unlink(supplies, 3, 3));
+  EXPECT_EQ(store_->NumPairs(supplies), pairs_before - 1);
+  const std::vector<int64_t>& partners =
+      store_->Partners(supplies, schema_.FindClass("supplier"), 3);
+  EXPECT_EQ(std::count(partners.begin(), partners.end(), 3), 0);
+  EXPECT_EQ(store_->Unlink(supplies, 3, 3).code(), StatusCode::kNotFound);
+  // Re-linking after an unlink is legal.
+  ASSERT_OK(store_->Link(supplies, 3, 3));
+}
+
+TEST_F(UpdateTest, CloneForWriteIsolatesTouchedStateAndSharesTheRest) {
+  ClassId vehicle = schema_.FindClass("vehicle");
+  RelId supplies = schema_.FindRelationship("supplies");
+  std::unique_ptr<ObjectStore> clone =
+      store_->CloneForWrite({cargo_}, {supplies});
+
+  // Untouched substructures are SHARED (same objects, not copies)...
+  EXPECT_EQ(&clone->extent(vehicle), &store_->extent(vehicle));
+  AttrRef vno = schema_.ResolveQualified("vehicle.vehicleNo").value();
+  EXPECT_EQ(clone->GetIndex(vno), store_->GetIndex(vno));
+  // ...while touched ones are private copies.
+  EXPECT_NE(&clone->extent(cargo_), &store_->extent(cargo_));
+  EXPECT_NE(clone->GetIndex(desc_), store_->GetIndex(desc_));
+
+  // Mutations on the clone never reach the original.
+  ASSERT_OK(clone->UpdateAttribute(cargo_, 0, desc_.attr_id,
+                                   Value::String("mystery box")));
+  ASSERT_OK(clone->Delete(cargo_, 1));
+  ASSERT_OK(clone->Unlink(supplies, 2, 2));
+  EXPECT_EQ(store_->extent(cargo_).ValueAt(0, desc_.attr_id),
+            Value::String("frozen food"));
+  EXPECT_TRUE(store_->IsLive(cargo_, 1));
+  EXPECT_TRUE(store_->GetIndex(desc_)
+                  ->Equal(Value::String("mystery box"))
+                  .empty());
+  const std::vector<int64_t>& partners =
+      store_->Partners(supplies, schema_.FindClass("supplier"), 2);
+  EXPECT_EQ(std::count(partners.begin(), partners.end(), 2), 1);
+
+  // And the clone's index serves its own divergent state.
+  std::vector<int64_t> mystery =
+      clone->GetIndex(desc_)->Equal(Value::String("mystery box"));
+  ASSERT_EQ(mystery.size(), 1u);
+  EXPECT_EQ(mystery[0], 0);
 }
 
 TEST_F(UpdateTest, IntegrityConstraintsAreUpdateRobustByDesign) {
