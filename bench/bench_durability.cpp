@@ -1,0 +1,169 @@
+// Durability bench: what persistence costs on the write path and what
+// it buys on startup. Measures (1) commit latency through Engine::Apply
+// with the WAL fsync on vs off, (2) Checkpoint time (fold the log into
+// a fresh snapshot), and (3) cold-open time — Engine::Open(dir) on a
+// checkpointed 40k-row database, which deserializes the precompiled
+// catalog, extents, indexes, and statistics — against the full re-Load
+// path (constraint closure precompilation + data generation + stats
+// collection) it replaces. Verifies the reopened engine answers the
+// query pool identically to the loaded one before reporting. Emits
+// BENCH_durability.json for the bench-smoke CI regression gate.
+//
+// Flags:
+//   --quick        fewer commits/checkpoints (CI smoke mode; same DB)
+//   --commits=N    commit-latency sample count per fsync mode
+//   --out=PATH     JSON output path (default BENCH_durability.json)
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "workload/mutation_script.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - start)
+      .count();
+}
+
+// Mean microseconds per Apply of `n` small (4-update) batches.
+double MeanCommitMicros(sqopt::Engine* engine, int n, uint64_t seed) {
+  using namespace sqopt;
+  const Schema& schema = engine->schema();
+  const ClassId supplier = schema.FindClass("supplier");
+  const AttrRef rating = schema.ResolveQualified("supplier.rating").value();
+  const int64_t rows = engine->store()->NumLiveObjects(supplier);
+  Rng rng(seed);
+  const auto start = Clock::now();
+  for (int i = 0; i < n; ++i) {
+    MutationBatch batch;
+    for (int j = 0; j < 4; ++j) {
+      int64_t row = rng.UniformInt(0, rows - 1);
+      int seg = SegmentOfRow(row);
+      batch.Update(supplier, row, rating.attr_id,
+                   Value::Int(seg == 0 ? rng.UniformInt(8, 10)
+                                       : rng.UniformInt(1, 7)));
+    }
+    bench::Unwrap(engine->Apply(batch));
+  }
+  return MsSince(start) * 1000.0 / n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqopt;
+  using bench::BenchJson;
+  using bench::Check;
+  using bench::Unwrap;
+
+  bool quick = false;
+  int commits = 0;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--commits=", 10) == 0) {
+      commits = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  // 5 classes x 8000 = 40k rows — the acceptance-scale database; quick
+  // mode trims only the repetition counts.
+  const DbSpec spec{"durability", 8000, 12000};
+  if (commits <= 0) commits = quick ? 24 : 96;
+  constexpr uint64_t kSeed = 20260729;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("sqopt_bench_durability_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  std::printf("=== Durability (%lld-row DB, %d commits/mode) ===\n",
+              static_cast<long long>(spec.class_cardinality * 5), commits);
+
+  // Full re-Load path: what every restart pays WITHOUT persistence —
+  // rebuild the catalog (closure precompilation), regenerate the data,
+  // recollect statistics + histograms.
+  const auto load_start = Clock::now();
+  Engine engine = bench::OpenExperimentEngine();
+  Check(engine.Load(DataSource::Generated(spec, kSeed)));
+  const double load_ms = MsSince(load_start);
+
+  const auto save_start = Clock::now();
+  Check(engine.Save(dir));
+  const double save_ms = MsSince(save_start);
+
+  // Commit latency, fsync on (the default DurabilityOptions).
+  const double commit_fsync_us = MeanCommitMicros(&engine, commits, kSeed);
+
+  // Same stream with the WAL flush off.
+  {
+    ServeOptions serve = engine.options().serve;
+    serve.durability.fsync = false;
+    engine.SetServeOptions(serve);
+  }
+  const double commit_nofsync_us =
+      MeanCommitMicros(&engine, commits, kSeed ^ 0xF);
+
+  // Checkpoint: fold the log (2 * commits records) into a new snapshot.
+  const auto ckpt_start = Clock::now();
+  Check(engine.Checkpoint());
+  const double checkpoint_ms = MsSince(ckpt_start);
+
+  // Cold open of the checkpointed directory.
+  const auto open_start = Clock::now();
+  Engine reopened = Unwrap(Engine::Open(dir));
+  const double cold_open_ms = MsSince(open_start);
+
+  // Correctness gate before any number leaves this process: identical
+  // catalog size, versions, and query answers.
+  int identical = 1;
+  if (reopened.data_version() != engine.data_version() ||
+      reopened.catalog().num_derived() != engine.catalog().num_derived()) {
+    identical = 0;
+  }
+  for (const std::string& text : MutationScript::QueryPool()) {
+    QueryOutcome a = Unwrap(engine.Execute(text));
+    QueryOutcome b = Unwrap(reopened.Execute(text));
+    if (!a.rows.SameDistinctRows(b.rows)) identical = 0;
+  }
+
+  const double open_speedup = cold_open_ms > 0 ? load_ms / cold_open_ms : 0;
+  std::printf(
+      "load %.0f ms, save %.0f ms, cold open %.0f ms (%.1fx faster than "
+      "re-Load), checkpoint %.0f ms\n"
+      "commit %.0f us (fsync) / %.0f us (no fsync), identical=%d\n",
+      load_ms, save_ms, cold_open_ms, open_speedup, checkpoint_ms,
+      commit_fsync_us, commit_nofsync_us, identical);
+  fs::remove_all(dir);
+
+  BenchJson json("durability");
+  json.Set("quick", quick);
+  json.Set("db_rows", spec.class_cardinality * 5);
+  json.Set("commits_per_mode", commits);
+  json.Set("load_ms", load_ms);
+  json.Set("save_ms", save_ms);
+  json.Set("cold_open_ms", cold_open_ms);
+  json.Set("open_speedup", open_speedup);
+  json.Set("checkpoint_ms", checkpoint_ms);
+  json.Set("commit_fsync_us", commit_fsync_us);
+  json.Set("commit_nofsync_us", commit_nofsync_us);
+  json.Set("identical", identical);
+  json.Set("final_version", engine.data_version());
+  json.Write(out_path);
+  return identical == 1 ? 0 : 1;
+}

@@ -6,10 +6,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include <filesystem>
+
 #include "api/engine_impl.h"
 #include "constraints/constraint_parser.h"
 #include "constraints/constraint_validator.h"
 #include "exec/plan_builder.h"
+#include "persist/crash_point.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
 #include "query/query_parser.h"
 #include "sqo/optimizer.h"
 #include "workload/constraint_gen.h"
@@ -366,8 +371,148 @@ Status Engine::Load(DataSource data_source) {
     std::lock_guard<std::mutex> lock(state.data_mutex);
     state.data = std::move(data);
   }
+  // A wholesale data replacement invalidates the on-disk lineage:
+  // detach rather than silently let the WAL describe data that no
+  // longer exists. Save() re-attaches.
+  state.wal.reset();
+  state.persist_dir.clear();
   state.plan_cache.Invalidate();
   return Status::OK();
+}
+
+Result<Engine> Engine::Open(const std::string& dir, EngineOptions options) {
+  namespace fs = std::filesystem;
+  SQOPT_ASSIGN_OR_RETURN(
+      persist::SnapshotReader snapshot,
+      persist::SnapshotReader::Open(
+          (fs::path(dir) / persist::kSnapshotFileName).string()));
+
+  // Rebuild the schema first: the catalog and the store both point into
+  // it, and EngineState's heap placement gives it a stable address.
+  SQOPT_ASSIGN_OR_RETURN(Schema schema, snapshot.ReadSchema());
+  auto state = std::make_shared<detail::EngineState>(std::move(schema),
+                                                     std::move(options));
+  SQOPT_RETURN_IF_ERROR(snapshot.RestoreCatalog(&state->catalog));
+
+  auto data = std::make_shared<detail::LoadedData>();
+  SQOPT_ASSIGN_OR_RETURN(std::unique_ptr<ObjectStore> store,
+                         snapshot.RestoreStore(&state->schema));
+  data->store = std::shared_ptr<const ObjectStore>(std::move(store));
+  SQOPT_ASSIGN_OR_RETURN(data->db_stats, snapshot.RestoreStats());
+  if (state->options.use_cost_model) {
+    data->cost_model = std::make_unique<CostModel>(
+        &state->schema, &data->db_stats, state->options.cost_params);
+  }
+  data->version = snapshot.data_version();
+  data->lineage = ++state->lineages;
+  {
+    std::lock_guard<std::mutex> lock(state->data_mutex);
+    state->data = std::move(data);
+  }
+
+  // Replay the log's committed suffix through the ordinary Apply path.
+  // Records at or below the snapshot's version were already folded in
+  // by the checkpoint that wrote it (idempotence); a version gap means
+  // the log does not belong to this snapshot.
+  const std::string wal_path =
+      (fs::path(dir) / persist::kWalFileName).string();
+  SQOPT_ASSIGN_OR_RETURN(persist::WalReadResult log,
+                         persist::ReadWal(wal_path));
+  Engine engine(std::move(state));
+  for (const persist::WalRecord& record : log.records) {
+    const uint64_t current = engine.data_version();
+    if (record.version <= current) continue;
+    if (record.version != current + 1) {
+      return Status::Corruption(
+          "WAL version gap: snapshot at " + std::to_string(current) +
+          ", next record is " + std::to_string(record.version));
+    }
+    auto replayed =
+        engine.ApplyLocked(record.batch, /*log_to_wal=*/false);
+    if (!replayed.ok()) {
+      return Status(replayed.status().code(),
+                    "WAL replay of version " +
+                        std::to_string(record.version) +
+                        " failed: " + replayed.status().message());
+    }
+    engine.state_->wal_records_replayed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  // Attach for appending, discarding any torn tail first so the next
+  // record starts on a clean frame boundary.
+  SQOPT_ASSIGN_OR_RETURN(engine.state_->wal,
+                         persist::WalWriter::Open(wal_path, log.valid_bytes));
+  engine.state_->persist_dir = dir;
+  return engine;
+}
+
+Status Engine::Save(const std::string& dir) {
+  detail::EngineState& state = *state_;
+  std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
+  std::shared_ptr<const detail::LoadedData> data = state.data_snapshot();
+  if (data == nullptr) {
+    return Status::FailedPrecondition(
+        "no data loaded: call Engine::Load before Save");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + dir +
+                            "': " + ec.message());
+  }
+  // Kill any log already in the directory BEFORE the new snapshot
+  // becomes visible — the reverse order would let a crash inside Save
+  // pair the fresh snapshot with a stale WAL from a previous lineage,
+  // whose gap-free version numbers would replay foreign batches at
+  // the next Open. With this order a crash leaves the OLD snapshot
+  // and no log: a clean committed prefix of the directory's previous
+  // occupant.
+  const std::string wal_path =
+      (fs::path(dir) / persist::kWalFileName).string();
+  if (fs::remove(wal_path, ec)) {
+    SQOPT_RETURN_IF_ERROR(persist::FsyncDirOf(wal_path));
+  }
+  SQOPT_RETURN_IF_ERROR(persist::WriteSnapshotFile(
+      (fs::path(dir) / persist::kSnapshotFileName).string(), state.schema,
+      state.catalog, *data->store, data->db_stats, data->version));
+  SQOPT_ASSIGN_OR_RETURN(std::unique_ptr<persist::WalWriter> wal,
+                         persist::WalWriter::Open(wal_path));
+  SQOPT_RETURN_IF_ERROR(wal->Truncate(/*fsync=*/true));
+  state.wal = std::move(wal);
+  state.persist_dir = dir;
+  return Status::OK();
+}
+
+Status Engine::Checkpoint() {
+  detail::EngineState& state = *state_;
+  std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
+  if (state.wal == nullptr) {
+    return Status::FailedPrecondition(
+        "engine is not durable: call Save(dir) or Open(dir) first");
+  }
+  std::shared_ptr<const detail::LoadedData> data = state.data_snapshot();
+  // The snapshot lands via tmp-write + fsync + rename (atomic replace);
+  // only once it is durably in place may the log shrink. Between the
+  // rename and the truncate the WAL still holds records the snapshot
+  // already folded in — recovery skips them by version.
+  SQOPT_RETURN_IF_ERROR(persist::WriteSnapshotFile(
+      (std::filesystem::path(state.persist_dir) /
+       persist::kSnapshotFileName)
+          .string(),
+      state.schema, state.catalog, *data->store, data->db_stats,
+      data->version));
+  persist::MaybeCrash("checkpoint_post_rename");
+  SQOPT_RETURN_IF_ERROR(state.wal->Truncate(/*fsync=*/true));
+  persist::MaybeCrash("checkpoint_post_truncate");
+  state.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::string Engine::persist_dir() const {
+  std::lock_guard<std::mutex> lock(state_->commit_mutex);
+  return state_->persist_dir;
 }
 
 namespace {
@@ -450,8 +595,13 @@ Status ApplyOp(const Schema& schema, ObjectStore& store, const Mutation& op,
 }  // namespace
 
 Result<ApplyOutcome> Engine::Apply(const MutationBatch& batch) {
+  std::lock_guard<std::mutex> commit_lock(state_->commit_mutex);
+  return ApplyLocked(batch, /*log_to_wal=*/true);
+}
+
+Result<ApplyOutcome> Engine::ApplyLocked(const MutationBatch& batch,
+                                         bool log_to_wal) {
   detail::EngineState& state = *state_;
-  std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
   std::shared_ptr<const detail::LoadedData> base = state.data_snapshot();
   if (base == nullptr) {
     // Not counted as a rejection: mutation_batches_rejected means
@@ -557,6 +707,17 @@ Result<ApplyOutcome> Engine::Apply(const MutationBatch& batch) {
   if (!valid.ok()) {
     state.mutation_batches_rejected.fetch_add(1, std::memory_order_relaxed);
     return valid;
+  }
+
+  // 2b. Write-ahead: on a durable engine the validated batch reaches
+  // the log (and, per DurabilityOptions, the disk) BEFORE anything is
+  // published. A failed append aborts the commit with the store
+  // untouched; a crash after the append but before the publish is
+  // recovered by replay — the record carries the version this commit
+  // will publish as, so recovery lands on the identical state.
+  if (log_to_wal && state.wal != nullptr) {
+    SQOPT_RETURN_IF_ERROR(state.wal->Append(
+        base->version + 1, batch, state.options.serve.durability.fsync));
   }
 
   // 3. Incremental statistics: start from the previous snapshot's stats
@@ -978,6 +1139,9 @@ EngineStats Engine::stats() const {
       state.mutation_ops_applied.load(std::memory_order_relaxed);
   out.mutation_batches_rejected =
       state.mutation_batches_rejected.load(std::memory_order_relaxed);
+  out.checkpoints = state.checkpoints.load(std::memory_order_relaxed);
+  out.wal_records_replayed =
+      state.wal_records_replayed.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -177,6 +177,11 @@ struct EngineStats {
   // Apply() batches rejected by constraint validation specifically
   // (malformed batches — bad rows, duplicate links — are not counted).
   uint64_t mutation_batches_rejected = 0;
+  // Completed Checkpoint() calls.
+  uint64_t checkpoints = 0;
+  // WAL records replayed by Open(dir) — the committed suffix the last
+  // checkpoint had not folded in yet.
+  uint64_t wal_records_replayed = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -191,6 +196,22 @@ class Engine {
   // constraint error fails the open.
   static Result<Engine> Open(SchemaSource schema_source,
                              ConstraintSource constraint_source,
+                             EngineOptions options = {});
+
+  // Opens a persistence directory previously produced by Save() /
+  // Checkpoint(): restores the schema, the precompiled constraint
+  // catalog (derived rules included — no closure recomputation), the
+  // store with its B-tree indexes, and the collected statistics from
+  // the binary snapshot, then replays the write-ahead log's committed
+  // suffix through the ordinary Apply path (constraint validation
+  // included). A torn WAL tail is discarded; a record at or below the
+  // snapshot's version is skipped (a checkpoint killed between rename
+  // and truncate leaves exactly that); checksum or structural damage in
+  // the snapshot itself fails with kCorruption. The returned engine
+  // stays attached to `dir`: subsequent Apply calls append to the WAL
+  // per options.serve.durability. `options` is NOT persisted — every
+  // open chooses its own knobs.
+  static Result<Engine> Open(const std::string& dir,
                              EngineOptions options = {});
 
   Engine(Engine&&) noexcept = default;
@@ -210,8 +231,30 @@ class Engine {
   // Attaches (or replaces) the data, collects statistics, and builds
   // the cost model (unless options.use_cost_model is false). Drops
   // every cached plan: the next Execute of any query re-parses,
-  // re-retrieves, and re-plans against the new store.
+  // re-retrieves, and re-plans against the new store. On a durable
+  // engine a reload DETACHES the persistence directory (the on-disk
+  // lineage no longer describes the data); Save() re-attaches.
   Status Load(DataSource data_source);
+
+  // --- Durability. See DESIGN.md "Durability". ---
+
+  // Makes this engine durable at `dir` (created if absent): writes a
+  // full snapshot of the current state — schema, precompiled catalog,
+  // extents, adjacency, indexes, statistics — as one atomic file plus
+  // a fresh write-ahead log, and attaches the engine so every later
+  // Apply is logged before it publishes. Requires Load() first.
+  Status Save(const std::string& dir);
+
+  // Folds the log into a new snapshot: writes the current state to a
+  // tmp file, fsyncs, renames it over the old snapshot, fsyncs the
+  // directory, and only then truncates the WAL. A kill anywhere in
+  // that sequence recovers to exactly the pre- or post-checkpoint
+  // state (WAL replay is version-idempotent). Requires a durable
+  // engine (Save or Open(dir)).
+  Status Checkpoint();
+
+  // Directory this engine persists to; empty when purely in-memory.
+  std::string persist_dir() const;
 
   // --- Write path. Safe to run concurrently with the read path, like
   // Load(): writers serialize among themselves on a commit lock,
@@ -344,6 +387,13 @@ class Engine {
   // arrived as text) registers the raw-text cache alias.
   Result<QueryOutcome> ExecuteParsed(const Query& query,
                                      std::optional<std::string> text) const;
+
+  // The commit body of Apply(), runnable with or without WAL logging:
+  // public Apply logs (when attached), WAL replay at Open(dir) does
+  // not (the record being replayed IS the log). Caller holds
+  // commit_mutex.
+  Result<ApplyOutcome> ApplyLocked(const MutationBatch& batch,
+                                   bool log_to_wal);
 
   std::shared_ptr<detail::EngineState> state_;
 };

@@ -29,6 +29,7 @@
 #include "cost/stats.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
+#include "persist/wal.h"
 #include "sqo/report.h"
 #include "storage/object_store.h"
 
@@ -107,6 +108,16 @@ struct EngineState {
   // commit_mutex.
   uint64_t lineages = 0;
 
+  // Durable attachment (Engine::Save / Open(dir)); both guarded by
+  // commit_mutex. Null/empty on purely in-memory engines. When `wal`
+  // is set, Apply appends the batch (CRC-framed, fsync'd per
+  // options.serve.durability) BEFORE publishing its snapshot, and
+  // Checkpoint folds the log into a fresh snapshot file. Load()
+  // detaches: a wholesale data replacement invalidates the on-disk
+  // lineage, so the caller must Save() again to re-attach.
+  std::unique_ptr<persist::WalWriter> wal;
+  std::string persist_dir;
+
   // Shared plan cache for Execute/Prepare (internally synchronized).
   mutable PlanCache plan_cache;
 
@@ -128,6 +139,8 @@ struct EngineState {
   mutable std::atomic<uint64_t> mutation_batches_applied{0};
   mutable std::atomic<uint64_t> mutation_ops_applied{0};
   mutable std::atomic<uint64_t> mutation_batches_rejected{0};
+  mutable std::atomic<uint64_t> checkpoints{0};
+  mutable std::atomic<uint64_t> wal_records_replayed{0};
 };
 
 // Execution context for one plan: parallel plans borrow the engine's

@@ -19,6 +19,18 @@
 
 namespace sqopt {
 
+// Durability knobs for engines attached to a persistence directory
+// (Engine::Save / Engine::Open(dir)); ignored on purely in-memory
+// engines. See DESIGN.md "Durability".
+struct DurabilityOptions {
+  // fsync the write-ahead log on every committed Apply before the
+  // snapshot is published. Off skips only the flush (the record is
+  // still written), trading durability of the last few commits against
+  // an OS crash for commit latency; a process kill loses nothing
+  // either way.
+  bool fsync = true;
+};
+
 struct ServeOptions {
   // Worker threads for ExecuteBatch and for morsel fan-out. 0 =
   // hardware concurrency, clamped to [1, 16].
@@ -49,6 +61,9 @@ struct ServeOptions {
   // snapshot of the same schema; the threshold trades planning
   // optimality for cache hits). 0 re-plans on every commit.
   double replan_threshold = 0.15;
+
+  // WAL flushing for durable engines (see DurabilityOptions).
+  DurabilityOptions durability;
 };
 
 // Aggregate meter for one ExecuteBatch call.

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kConstraintViolation:
       return "ConstraintViolation";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -26,6 +26,9 @@ enum class StatusCode {
   // A write was rejected because committing it would leave the store
   // violating an integrity constraint (see Engine::Apply).
   kConstraintViolation,
+  // A durable file (snapshot section, WAL record) failed its checksum
+  // or structural validation (see src/persist/).
+  kCorruption,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +69,9 @@ class Status {
   }
   static Status ConstraintViolation(std::string msg) {
     return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

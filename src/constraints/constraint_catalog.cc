@@ -51,6 +51,30 @@ Status ConstraintCatalog::Precompile(const AccessStats* stats,
   return Status::OK();
 }
 
+Status ConstraintCatalog::RestorePrecompiled(
+    std::vector<HornClause> base, std::vector<HornClause> clauses,
+    std::vector<ConstraintClass> classifications,
+    std::vector<ClassId> grouping_assignment) {
+  if (base.size() > clauses.size() ||
+      clauses.size() != classifications.size() ||
+      clauses.size() != grouping_assignment.size()) {
+    return Status::Corruption(
+        "constraint catalog snapshot is internally inconsistent (" +
+        std::to_string(base.size()) + " base, " +
+        std::to_string(clauses.size()) + " clauses, " +
+        std::to_string(classifications.size()) + " classifications, " +
+        std::to_string(grouping_assignment.size()) + " assignments)");
+  }
+  SQOPT_RETURN_IF_ERROR(grouping_.Restore(std::move(grouping_assignment),
+                                          schema_->num_classes()));
+  num_base_ = base.size();
+  base_ = std::move(base);
+  clauses_ = std::move(clauses);
+  classes_ = std::move(classifications);
+  precompiled_ = true;
+  return Status::OK();
+}
+
 std::vector<ConstraintId> ConstraintCatalog::RetrieveForQuery(
     const std::vector<ClassId>& query_classes) const {
   return grouping_.Retrieve(query_classes);

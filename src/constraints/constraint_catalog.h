@@ -82,6 +82,18 @@ class ConstraintCatalog {
 
   const ConstraintGrouping& grouping() const { return grouping_; }
 
+  // --- Persistence hook (src/persist/snapshot.cc). ---
+
+  // Restores a fully-precompiled catalog from serialized state: the
+  // base set, the closed clause list (base prefix + derived), the
+  // per-clause classification, and the grouping assignment — so a cold
+  // open never re-runs closure computation ("rule mining") or
+  // grouping. Replaces any previously registered state.
+  Status RestorePrecompiled(std::vector<HornClause> base,
+                            std::vector<HornClause> clauses,
+                            std::vector<ConstraintClass> classifications,
+                            std::vector<ClassId> grouping_assignment);
+
   // Snapshot of the cumulative retrieval counters.
   RetrievalStats retrieval_stats() const {
     RetrievalStats out;

@@ -52,6 +52,22 @@ void ConstraintGrouping::Build(const Schema& schema,
   }
 }
 
+Status ConstraintGrouping::Restore(std::vector<ClassId> assignment,
+                                   size_t num_classes) {
+  groups_.assign(num_classes, {});
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    ClassId chosen = assignment[i];
+    if (chosen < 0 || static_cast<size_t>(chosen) >= num_classes) {
+      return Status::Corruption(
+          "grouping assignment names an unknown class " +
+          std::to_string(chosen));
+    }
+    groups_[chosen].push_back(static_cast<ConstraintId>(i));
+  }
+  assignment_ = std::move(assignment);
+  return Status::OK();
+}
+
 std::vector<ConstraintId> ConstraintGrouping::Retrieve(
     const std::vector<ClassId>& query_classes) const {
   std::vector<ConstraintId> out;

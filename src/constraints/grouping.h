@@ -59,6 +59,12 @@ class ConstraintGrouping {
     return groups_[class_id].size();
   }
 
+  // Persistence hooks (src/persist/snapshot.cc): the assignment IS the
+  // grouping (groups are its inverse), so a snapshot serializes only
+  // the per-constraint class and Restore rebuilds the group lists.
+  const std::vector<ClassId>& assignment() const { return assignment_; }
+  Status Restore(std::vector<ClassId> assignment, size_t num_classes);
+
  private:
   std::vector<ClassId> assignment_;             // constraint -> class
   std::vector<std::vector<ConstraintId>> groups_;  // class -> constraints

@@ -33,6 +33,18 @@ Histogram Histogram::Build(const std::vector<Value>& values,
   return h;
 }
 
+Histogram Histogram::FromParts(double lo, double hi, int64_t total,
+                               std::vector<int64_t> counts) {
+  Histogram h;
+  if (total <= 0 || counts.empty() || hi <= lo) return h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.width_ = (hi - lo) / static_cast<double>(counts.size());
+  h.total_ = total;
+  h.counts_ = std::move(counts);
+  return h;
+}
+
 double Histogram::Selectivity(CompareOp op, const Value& constant,
                               double fallback) const {
   if (empty() || !constant.is_numeric()) return fallback;

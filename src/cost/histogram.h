@@ -22,6 +22,13 @@ class Histogram {
   static Histogram Build(const std::vector<Value>& values,
                          int num_buckets = 16);
 
+  // Persistence hook (src/persist/snapshot.cc): reassembles a
+  // histogram from its serialized parts. `counts` empty or `total` 0
+  // produce an empty histogram; the bucket width is recomputed from
+  // [lo, hi] exactly as Build derives it.
+  static Histogram FromParts(double lo, double hi, int64_t total,
+                             std::vector<int64_t> counts);
+
   bool empty() const { return total_ == 0; }
   int64_t total() const { return total_; }
   int num_buckets() const { return static_cast<int>(counts_.size()); }

@@ -47,6 +47,20 @@ class DatabaseStats {
 
   static constexpr int64_t kDefaultCardinality = 100;
 
+  // Persistence hooks (src/persist/snapshot.cc): the raw maps, so a
+  // snapshot can serialize collected statistics instead of forcing a
+  // cold open to re-scan every extent.
+  const std::unordered_map<ClassId, int64_t>& class_cardinalities() const {
+    return class_cardinality_;
+  }
+  const std::unordered_map<RelId, int64_t>& rel_cardinalities() const {
+    return rel_cardinality_;
+  }
+  const std::unordered_map<AttrRef, AttrStatsData, AttrRefHash>&
+  attr_stats() const {
+    return attr_stats_;
+  }
+
  private:
   std::unordered_map<ClassId, int64_t> class_cardinality_;
   std::unordered_map<RelId, int64_t> rel_cardinality_;

@@ -1,0 +1,35 @@
+#include "persist/crash_point.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace sqopt::persist {
+
+namespace {
+// The armed point name. Arming happens once, before the code path under
+// test runs, in a single-threaded harness process — a plain atomic
+// pointer swap is all the synchronization this needs.
+std::atomic<const char*> g_armed{nullptr};
+char g_point_buf[64];
+}  // namespace
+
+void ArmCrashPoint(const char* point) {
+  std::strncpy(g_point_buf, point, sizeof(g_point_buf) - 1);
+  g_point_buf[sizeof(g_point_buf) - 1] = '\0';
+  g_armed.store(g_point_buf, std::memory_order_release);
+}
+
+void DisarmCrashPoint() { g_armed.store(nullptr, std::memory_order_release); }
+
+void MaybeCrash(const char* point) {
+  const char* armed = g_armed.load(std::memory_order_acquire);
+  if (armed == nullptr) return;
+  if (std::strcmp(armed, point) != 0) return;
+  // Simulate the kill: no atexit handlers, no stream flushes, no
+  // destructors. 137 = 128 + SIGKILL, what a real kill -9 reports.
+  _exit(137);
+}
+
+}  // namespace sqopt::persist

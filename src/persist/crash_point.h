@@ -1,0 +1,23 @@
+// Crash injection for the crash-recovery harness: the persistence code
+// calls MaybeCrash(point) at the instants a real crash is interesting
+// (mid-WAL-append, between a checkpoint's rename and its log truncate,
+// ...). In production nothing is armed and the calls are a branch on a
+// relaxed atomic. The harness's writer process arms exactly one point
+// (ArmCrashPoint) and the next time execution reaches it the process
+// _exit(137)s — no destructors, no flushes, like a kill -9 at that
+// offset.
+#ifndef SQOPT_PERSIST_CRASH_POINT_H_
+#define SQOPT_PERSIST_CRASH_POINT_H_
+
+namespace sqopt::persist {
+
+// Known points: wal_pre_write, wal_pre_sync, wal_post_sync,
+// snapshot_pre_tmp_sync, snapshot_pre_rename, checkpoint_post_rename,
+// checkpoint_post_truncate.
+void ArmCrashPoint(const char* point);
+void DisarmCrashPoint();
+void MaybeCrash(const char* point);
+
+}  // namespace sqopt::persist
+
+#endif  // SQOPT_PERSIST_CRASH_POINT_H_

@@ -1,0 +1,200 @@
+#include "persist/serde.h"
+
+#include <array>
+#include <cstring>
+
+namespace sqopt::persist {
+
+namespace {
+
+// Slicing-by-4 tables: table[0] is the classic byte-at-a-time table,
+// table[k][b] extends it by k extra zero bytes, letting the hot loop
+// fold 4 input bytes per iteration (snapshot sections run to megabytes
+// — the cold-open path checksums the whole file).
+std::array<std::array<uint32_t, 256>, 4> MakeCrcTables() {
+  std::array<std::array<uint32_t, 256>, 4> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (int t = 1; t < 4; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 4> kTables =
+      MakeCrcTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  while (len >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = kTables[3][c & 0xFFu] ^ kTables[2][(c >> 8) & 0xFFu] ^
+        kTables[1][(c >> 16) & 0xFFu] ^ kTables[0][(c >> 24) & 0xFFu];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.bool_value() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutI64(v.int_value());
+      break;
+    case ValueType::kDouble:
+      PutF64(v.double_value());
+      break;
+    case ValueType::kString:
+      PutString(v.string_value());
+      break;
+    case ValueType::kRef:
+      PutI32(v.ref_value().class_id);
+      PutI64(v.ref_value().row);
+      break;
+  }
+}
+
+Status ByteReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("serialized data truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::U8() {
+  SQOPT_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  SQOPT_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  SQOPT_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<int32_t> ByteReader::I32() {
+  SQOPT_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> ByteReader::I64() {
+  SQOPT_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::F64() {
+  SQOPT_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::String() {
+  SQOPT_ASSIGN_OR_RETURN(uint32_t len, U32());
+  SQOPT_RETURN_IF_ERROR(Need(len));
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Result<std::string_view> ByteReader::Raw(size_t n) {
+  SQOPT_RETURN_IF_ERROR(Need(n));
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<Value> ByteReader::ReadValue() {
+  SQOPT_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      SQOPT_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      SQOPT_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      SQOPT_ASSIGN_OR_RETURN(double v, F64());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      SQOPT_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kRef: {
+      SQOPT_ASSIGN_OR_RETURN(int32_t class_id, I32());
+      SQOPT_ASSIGN_OR_RETURN(int64_t row, I64());
+      return Value::Ref(Oid{class_id, row});
+    }
+  }
+  return Status::Corruption("unknown value type tag " +
+                            std::to_string(static_cast<int>(tag)));
+}
+
+}  // namespace sqopt::persist

@@ -1,0 +1,88 @@
+// Byte-level encoding for the durable on-disk format: a little-endian
+// append-only writer, a bounds-checked reader that turns every overrun
+// or malformed field into a typed kCorruption status (never UB), and
+// the CRC-32 the snapshot sections and WAL records are framed with.
+// Values are encoded byte by byte, so the format is identical across
+// compilers, optimization levels, and host endianness — the
+// cross-compiler CI leg holds this by construction.
+#ifndef SQOPT_PERSIST_SERDE_H_
+#define SQOPT_PERSIST_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace sqopt::persist {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) of `len` bytes. `seed`
+// chains partial computations: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// Appends little-endian fixed-width fields to an in-memory buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);  // IEEE-754 bit pattern as u64
+  void PutString(std::string_view s);  // u32 length + raw bytes
+  void PutValue(const Value& v);       // u8 type tag + payload
+  // Raw bytes, no length prefix (section framing carries its own).
+  void PutRaw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Consumes a byte range front to back. Every accessor bounds-checks and
+// returns kCorruption instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<int64_t> I64();
+  Result<double> F64();
+  // Rejects lengths larger than the remaining bytes, so a corrupt
+  // length field can never trigger a huge allocation.
+  Result<std::string> String();
+  Result<Value> ReadValue();
+  // `n` raw bytes, zero-copy view into the underlying buffer.
+  Result<std::string_view> Raw(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  // Caps a deserialized element count by the bytes actually left:
+  // every encoded element consumes at least `min_bytes` (>= 1), so a
+  // larger count is corrupt and will fail a bounds-checked read soon
+  // anyway — but reserve()ing it first would abort the process on
+  // std::length_error instead of surfacing the typed kCorruption this
+  // module promises. Use for every reserve() fed by untrusted input.
+  size_t CappedCount(uint64_t n, size_t min_bytes = 1) const {
+    const uint64_t cap = remaining() / (min_bytes == 0 ? 1 : min_bytes);
+    return static_cast<size_t>(n < cap ? n : cap);
+  }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqopt::persist
+
+#endif  // SQOPT_PERSIST_SERDE_H_

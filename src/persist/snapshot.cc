@@ -1,0 +1,620 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema_builder.h"
+#include "persist/crash_point.h"
+#include "persist/serde.h"
+
+namespace sqopt::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Q', 'O', 'P', 'S', 'N', 'P', '1'};
+
+enum SectionId : uint32_t {
+  kSectionSchema = 1,
+  kSectionCatalog = 2,
+  kSectionExtents = 3,
+  kSectionRels = 4,
+  kSectionIndexes = 5,
+  kSectionStats = 6,
+};
+
+// ---------------------------------------------------------------------
+// Predicate / Horn-clause encoding (shared by the catalog section and,
+// transitively, nothing else — the WAL encodes mutations, not rules).
+// ---------------------------------------------------------------------
+
+void PutAttrRef(ByteWriter* w, const AttrRef& ref) {
+  w->PutI32(ref.class_id);
+  w->PutI32(ref.attr_id);
+}
+
+Result<AttrRef> ReadAttrRef(ByteReader* r) {
+  AttrRef ref;
+  SQOPT_ASSIGN_OR_RETURN(ref.class_id, r->I32());
+  SQOPT_ASSIGN_OR_RETURN(ref.attr_id, r->I32());
+  return ref;
+}
+
+void PutPredicate(ByteWriter* w, const Predicate& p) {
+  PutAttrRef(w, p.lhs());
+  w->PutU8(static_cast<uint8_t>(p.op()));
+  w->PutU8(p.is_attr_attr() ? 1 : 0);
+  if (p.is_attr_attr()) {
+    PutAttrRef(w, p.rhs_attr());
+  } else {
+    w->PutValue(p.rhs_value());
+  }
+}
+
+Result<Predicate> ReadPredicate(ByteReader* r) {
+  SQOPT_ASSIGN_OR_RETURN(AttrRef lhs, ReadAttrRef(r));
+  SQOPT_ASSIGN_OR_RETURN(uint8_t op, r->U8());
+  if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+    return Status::Corruption("unknown compare op tag " +
+                              std::to_string(static_cast<int>(op)));
+  }
+  SQOPT_ASSIGN_OR_RETURN(uint8_t is_attr, r->U8());
+  if (is_attr != 0) {
+    SQOPT_ASSIGN_OR_RETURN(AttrRef rhs, ReadAttrRef(r));
+    return Predicate::AttrAttr(lhs, static_cast<CompareOp>(op), rhs);
+  }
+  SQOPT_ASSIGN_OR_RETURN(Value rhs, r->ReadValue());
+  return Predicate::AttrConst(lhs, static_cast<CompareOp>(op),
+                              std::move(rhs));
+}
+
+void PutClause(ByteWriter* w, const HornClause& clause) {
+  w->PutString(clause.label());
+  w->PutU32(static_cast<uint32_t>(clause.antecedents().size()));
+  for (const Predicate& p : clause.antecedents()) PutPredicate(w, p);
+  PutPredicate(w, clause.consequent());
+  w->PutU32(static_cast<uint32_t>(clause.derived_from().size()));
+  for (ConstraintId id : clause.derived_from()) w->PutI32(id);
+}
+
+Result<HornClause> ReadClause(ByteReader* r) {
+  SQOPT_ASSIGN_OR_RETURN(std::string label, r->String());
+  SQOPT_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  std::vector<Predicate> antecedents;
+  antecedents.reserve(r->CappedCount(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(Predicate p, ReadPredicate(r));
+    antecedents.push_back(std::move(p));
+  }
+  SQOPT_ASSIGN_OR_RETURN(Predicate consequent, ReadPredicate(r));
+  HornClause clause(std::move(label), std::move(antecedents),
+                    std::move(consequent));
+  SQOPT_ASSIGN_OR_RETURN(uint32_t d, r->U32());
+  std::vector<ConstraintId> derived_from;
+  derived_from.reserve(r->CappedCount(d, sizeof(ConstraintId)));
+  for (uint32_t i = 0; i < d; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(ConstraintId id, r->I32());
+    derived_from.push_back(id);
+  }
+  clause.set_derived_from(std::move(derived_from));
+  return clause;
+}
+
+// ---------------------------------------------------------------------
+// Section payloads.
+// ---------------------------------------------------------------------
+
+std::string EncodeSchema(const Schema& schema) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(schema.num_classes()));
+  for (const ObjectClass& oc : schema.classes()) {
+    w.PutString(oc.name);
+    w.PutString(oc.parent == kInvalidClass
+                    ? std::string()
+                    : schema.object_class(oc.parent).name);
+    w.PutU32(static_cast<uint32_t>(oc.attributes.size()));
+    for (const Attribute& attr : oc.attributes) {
+      w.PutString(attr.name);
+      w.PutU8(static_cast<uint8_t>(attr.type));
+      w.PutU8(attr.indexed ? 1 : 0);
+      w.PutI64(attr.distinct_values);
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(schema.num_relationships()));
+  for (const Relationship& rel : schema.relationships()) {
+    w.PutString(rel.name);
+    w.PutString(schema.object_class(rel.a).name);
+    w.PutString(schema.object_class(rel.b).name);
+  }
+  return w.Take();
+}
+
+Result<Schema> DecodeSchema(std::string_view payload) {
+  ByteReader r(payload);
+  SchemaBuilder builder;
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_classes, r.U32());
+  for (uint32_t i = 0; i < num_classes; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(std::string name, r.String());
+    SQOPT_ASSIGN_OR_RETURN(std::string parent, r.String());
+    auto cb = builder.AddClass(std::move(name));
+    if (!parent.empty()) cb.Parent(std::move(parent));
+    SQOPT_ASSIGN_OR_RETURN(uint32_t num_attrs, r.U32());
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      SQOPT_ASSIGN_OR_RETURN(std::string attr_name, r.String());
+      SQOPT_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      if (type > static_cast<uint8_t>(ValueType::kRef)) {
+        return Status::Corruption("unknown attribute type tag " +
+                                  std::to_string(static_cast<int>(type)));
+      }
+      SQOPT_ASSIGN_OR_RETURN(uint8_t indexed, r.U8());
+      SQOPT_ASSIGN_OR_RETURN(int64_t distinct, r.I64());
+      cb.Attr(std::move(attr_name), static_cast<ValueType>(type),
+              indexed != 0, distinct);
+    }
+  }
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_rels, r.U32());
+  for (uint32_t i = 0; i < num_rels; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(std::string name, r.String());
+    SQOPT_ASSIGN_OR_RETURN(std::string a, r.String());
+    SQOPT_ASSIGN_OR_RETURN(std::string b, r.String());
+    builder.AddRelationship(std::move(name), std::move(a), std::move(b));
+  }
+  auto built = builder.Build();
+  if (!built.ok()) {
+    return Status::Corruption("snapshot schema does not rebuild: " +
+                              built.status().message());
+  }
+  return std::move(built).value();
+}
+
+std::string EncodeCatalog(const ConstraintCatalog& catalog) {
+  // The base set is exactly the prefix of the closed clause list
+  // (ComputeClosure moves the input in front and appends derivations),
+  // so only the count is stored — serializing the base clauses again
+  // would double the section for bytes a prefix slice reproduces.
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(catalog.num_base()));
+  w.PutU32(static_cast<uint32_t>(catalog.clauses().size()));
+  for (size_t i = 0; i < catalog.clauses().size(); ++i) {
+    PutClause(&w, catalog.clauses()[i]);
+    w.PutU8(static_cast<uint8_t>(
+        catalog.classification(static_cast<ConstraintId>(i))));
+    w.PutI32(catalog.grouping().GroupOf(static_cast<ConstraintId>(i)));
+  }
+  return w.Take();
+}
+
+Status DecodeCatalog(std::string_view payload, ConstraintCatalog* catalog) {
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_base, r.U32());
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_clauses, r.U32());
+  if (num_base > num_clauses) {
+    return Status::Corruption(
+        "catalog snapshot claims more base clauses (" +
+        std::to_string(num_base) + ") than clauses (" +
+        std::to_string(num_clauses) + ")");
+  }
+  std::vector<HornClause> clauses;
+  std::vector<ConstraintClass> classifications;
+  std::vector<ClassId> assignment;
+  const size_t clause_cap = r.CappedCount(num_clauses);
+  clauses.reserve(clause_cap);
+  classifications.reserve(clause_cap);
+  assignment.reserve(clause_cap);
+  for (uint32_t i = 0; i < num_clauses; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(HornClause clause, ReadClause(&r));
+    clauses.push_back(std::move(clause));
+    SQOPT_ASSIGN_OR_RETURN(uint8_t cls, r.U8());
+    if (cls > static_cast<uint8_t>(ConstraintClass::kInter)) {
+      return Status::Corruption("unknown constraint classification tag");
+    }
+    classifications.push_back(static_cast<ConstraintClass>(cls));
+    SQOPT_ASSIGN_OR_RETURN(ClassId group, r.I32());
+    assignment.push_back(group);
+  }
+  std::vector<HornClause> base(clauses.begin(), clauses.begin() + num_base);
+  return catalog->RestorePrecompiled(std::move(base), std::move(clauses),
+                                     std::move(classifications),
+                                     std::move(assignment));
+}
+
+std::string EncodeExtents(const Schema& schema, const ObjectStore& store) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(schema.num_classes()));
+  for (const ObjectClass& oc : schema.classes()) {
+    const Extent& extent = store.extent(oc.id);
+    w.PutU32(static_cast<uint32_t>(extent.num_slots()));
+    w.PutU64(static_cast<uint64_t>(extent.size()));
+    for (int64_t row = 0; row < extent.size(); ++row) {
+      w.PutU8(extent.IsLive(row) ? 1 : 0);
+      for (const Value& v : extent.object(row).values) {
+        w.PutValue(v);
+      }
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeExtents(std::string_view payload, ObjectStore* store) {
+  const Schema& schema = store->schema();
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_classes, r.U32());
+  if (num_classes != schema.num_classes()) {
+    return Status::Corruption("snapshot has " + std::to_string(num_classes) +
+                              " extents for a schema with " +
+                              std::to_string(schema.num_classes()) +
+                              " classes");
+  }
+  for (const ObjectClass& oc : schema.classes()) {
+    SQOPT_ASSIGN_OR_RETURN(uint32_t num_slots, r.U32());
+    SQOPT_ASSIGN_OR_RETURN(uint64_t rows, r.U64());
+    std::vector<Object> objects;
+    std::vector<uint8_t> live;
+    // Each row costs at least its live flag plus one byte per value.
+    const size_t row_cap = r.CappedCount(rows, 1 + num_slots);
+    objects.reserve(row_cap);
+    live.reserve(row_cap);
+    for (uint64_t row = 0; row < rows; ++row) {
+      SQOPT_ASSIGN_OR_RETURN(uint8_t is_live, r.U8());
+      live.push_back(is_live);
+      Object obj;
+      obj.values.reserve(r.CappedCount(num_slots));
+      for (uint32_t s = 0; s < num_slots; ++s) {
+        SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+        obj.values.push_back(std::move(v));
+      }
+      objects.push_back(std::move(obj));
+    }
+    SQOPT_RETURN_IF_ERROR(
+        store->RestoreClassSlots(oc.id, std::move(objects), std::move(live)));
+  }
+  return Status::OK();
+}
+
+std::string EncodeRels(const Schema& schema, const ObjectStore& store) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(schema.num_relationships()));
+  for (const Relationship& rel : schema.relationships()) {
+    const auto& pairs = store.Pairs(rel.id);
+    w.PutU64(static_cast<uint64_t>(pairs.size()));
+    for (const auto& [a, b] : pairs) {
+      w.PutI64(a);
+      w.PutI64(b);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeRels(std::string_view payload, ObjectStore* store) {
+  const Schema& schema = store->schema();
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_rels, r.U32());
+  if (num_rels != schema.num_relationships()) {
+    return Status::Corruption("snapshot relationship count mismatch");
+  }
+  for (const Relationship& rel : schema.relationships()) {
+    SQOPT_ASSIGN_OR_RETURN(uint64_t n, r.U64());
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    pairs.reserve(r.CappedCount(n, 16));
+    for (uint64_t i = 0; i < n; ++i) {
+      SQOPT_ASSIGN_OR_RETURN(int64_t a, r.I64());
+      SQOPT_ASSIGN_OR_RETURN(int64_t b, r.I64());
+      pairs.emplace_back(a, b);
+    }
+    SQOPT_RETURN_IF_ERROR(
+        store->RestoreRelationshipPairs(rel.id, std::move(pairs)));
+  }
+  return Status::OK();
+}
+
+std::string EncodeIndexes(const Schema& schema, const ObjectStore& store) {
+  ByteWriter w;
+  // Count first (same enumeration as the store constructor's).
+  uint32_t count = 0;
+  for (const ObjectClass& oc : schema.classes()) {
+    for (AttrId attr_id : schema.LayoutOf(oc.id)) {
+      if (store.GetIndex({oc.id, attr_id}) != nullptr) ++count;
+    }
+  }
+  w.PutU32(count);
+  for (const ObjectClass& oc : schema.classes()) {
+    for (AttrId attr_id : schema.LayoutOf(oc.id)) {
+      const AttributeIndex* index = store.GetIndex({oc.id, attr_id});
+      if (index == nullptr) continue;
+      w.PutI32(oc.id);
+      w.PutI32(attr_id);
+      auto entries = index->tree().Scan();
+      w.PutU64(static_cast<uint64_t>(entries.size()));
+      for (const auto& [key, row] : entries) {
+        w.PutValue(key);
+        w.PutI64(row);
+      }
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeIndexes(std::string_view payload, ObjectStore* store) {
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(ClassId class_id, r.I32());
+    SQOPT_ASSIGN_OR_RETURN(AttrId attr_id, r.I32());
+    SQOPT_ASSIGN_OR_RETURN(uint64_t n, r.U64());
+    std::vector<std::pair<Value, int64_t>> entries;
+    entries.reserve(r.CappedCount(n, 9));
+    for (uint64_t e = 0; e < n; ++e) {
+      SQOPT_ASSIGN_OR_RETURN(Value key, r.ReadValue());
+      SQOPT_ASSIGN_OR_RETURN(int64_t row, r.I64());
+      entries.emplace_back(std::move(key), row);
+    }
+    SQOPT_RETURN_IF_ERROR(
+        store->RestoreIndexEntries(class_id, attr_id, std::move(entries)));
+  }
+  return Status::OK();
+}
+
+void PutHistogram(ByteWriter* w, const Histogram& h) {
+  w->PutF64(h.lo());
+  w->PutF64(h.hi());
+  w->PutI64(h.total());
+  w->PutU32(static_cast<uint32_t>(h.num_buckets()));
+  for (int b = 0; b < h.num_buckets(); ++b) {
+    w->PutI64(h.bucket_count(b));
+  }
+}
+
+Result<Histogram> ReadHistogram(ByteReader* r) {
+  SQOPT_ASSIGN_OR_RETURN(double lo, r->F64());
+  SQOPT_ASSIGN_OR_RETURN(double hi, r->F64());
+  SQOPT_ASSIGN_OR_RETURN(int64_t total, r->I64());
+  SQOPT_ASSIGN_OR_RETURN(uint32_t buckets, r->U32());
+  std::vector<int64_t> counts;
+  counts.reserve(r->CappedCount(buckets, 8));
+  for (uint32_t b = 0; b < buckets; ++b) {
+    SQOPT_ASSIGN_OR_RETURN(int64_t c, r->I64());
+    counts.push_back(c);
+  }
+  return Histogram::FromParts(lo, hi, total, std::move(counts));
+}
+
+std::string EncodeStats(const DatabaseStats& stats) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(stats.class_cardinalities().size()));
+  for (const auto& [id, card] : stats.class_cardinalities()) {
+    w.PutI32(id);
+    w.PutI64(card);
+  }
+  w.PutU32(static_cast<uint32_t>(stats.rel_cardinalities().size()));
+  for (const auto& [id, card] : stats.rel_cardinalities()) {
+    w.PutI32(id);
+    w.PutI64(card);
+  }
+  w.PutU32(static_cast<uint32_t>(stats.attr_stats().size()));
+  for (const auto& [ref, data] : stats.attr_stats()) {
+    PutAttrRef(&w, ref);
+    w.PutI64(data.distinct_values);
+    w.PutU8(data.min.has_value() ? 1 : 0);
+    if (data.min.has_value()) w.PutValue(*data.min);
+    w.PutU8(data.max.has_value() ? 1 : 0);
+    if (data.max.has_value()) w.PutValue(*data.max);
+    PutHistogram(&w, data.histogram);
+  }
+  return w.Take();
+}
+
+Result<DatabaseStats> DecodeStats(std::string_view payload) {
+  ByteReader r(payload);
+  DatabaseStats stats;
+  SQOPT_ASSIGN_OR_RETURN(uint32_t classes, r.U32());
+  for (uint32_t i = 0; i < classes; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(ClassId id, r.I32());
+    SQOPT_ASSIGN_OR_RETURN(int64_t card, r.I64());
+    stats.SetClassCardinality(id, card);
+  }
+  SQOPT_ASSIGN_OR_RETURN(uint32_t rels, r.U32());
+  for (uint32_t i = 0; i < rels; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(RelId id, r.I32());
+    SQOPT_ASSIGN_OR_RETURN(int64_t card, r.I64());
+    stats.SetRelationshipCardinality(id, card);
+  }
+  SQOPT_ASSIGN_OR_RETURN(uint32_t attrs, r.U32());
+  for (uint32_t i = 0; i < attrs; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(AttrRef ref, ReadAttrRef(&r));
+    AttrStatsData data;
+    SQOPT_ASSIGN_OR_RETURN(data.distinct_values, r.I64());
+    SQOPT_ASSIGN_OR_RETURN(uint8_t has_min, r.U8());
+    if (has_min != 0) {
+      SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+      data.min = std::move(v);
+    }
+    SQOPT_ASSIGN_OR_RETURN(uint8_t has_max, r.U8());
+    if (has_max != 0) {
+      SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+      data.max = std::move(v);
+    }
+    SQOPT_ASSIGN_OR_RETURN(data.histogram, ReadHistogram(&r));
+    stats.SetAttrStats(ref, std::move(data));
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------
+// File assembly.
+// ---------------------------------------------------------------------
+
+void AppendSection(ByteWriter* w, uint32_t id, const std::string& payload) {
+  w->PutU32(id);
+  w->PutU64(payload.size());
+  w->PutU32(Crc32(payload.data(), payload.size()));
+  w->PutRaw(payload);
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& bytes,
+                        bool fsync) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create '" + tmp + "'");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("short write to '" + tmp + "'");
+    }
+    written += static_cast<size_t>(n);
+  }
+  MaybeCrash("snapshot_pre_tmp_sync");
+  if (fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("fsync failed on '" + tmp + "'");
+  }
+  ::close(fd);
+  MaybeCrash("snapshot_pre_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' over '" + path +
+                            "'");
+  }
+  if (fsync) {
+    SQOPT_RETURN_IF_ERROR(FsyncDirOf(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncDirOf(const std::string& file_path) {
+  std::filesystem::path dir =
+      std::filesystem::path(file_path).parent_path();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir.string() +
+                            "' for fsync");
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed on directory '" + dir.string() +
+                            "'");
+  }
+  return Status::OK();
+}
+
+Status WriteSnapshotFile(const std::string& path, const Schema& schema,
+                         const ConstraintCatalog& catalog,
+                         const ObjectStore& store,
+                         const DatabaseStats& stats, uint64_t data_version,
+                         bool fsync) {
+  ByteWriter w;
+  for (char c : kMagic) w.PutU8(static_cast<uint8_t>(c));
+  w.PutU32(kSnapshotFormatVersion);
+  w.PutU64(data_version);
+  w.PutU32(6);  // section count
+  AppendSection(&w, kSectionSchema, EncodeSchema(schema));
+  AppendSection(&w, kSectionCatalog, EncodeCatalog(catalog));
+  AppendSection(&w, kSectionExtents, EncodeExtents(schema, store));
+  AppendSection(&w, kSectionRels, EncodeRels(schema, store));
+  AppendSection(&w, kSectionIndexes, EncodeIndexes(schema, store));
+  AppendSection(&w, kSectionStats, EncodeStats(stats));
+  return WriteFileDurably(path, w.buffer(), fsync);
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("no snapshot at '" + path + "'");
+  }
+  const auto size = in.tellg();
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), size);
+  if (!in) {
+    return Status::Corruption("cannot read '" + path + "'");
+  }
+  in.close();
+
+  ByteReader r(bytes);
+  for (char expected : kMagic) {
+    SQOPT_ASSIGN_OR_RETURN(uint8_t c, r.U8());
+    if (static_cast<char>(c) != expected) {
+      return Status::Corruption("'" + path + "' is not a sqopt snapshot");
+    }
+  }
+  SQOPT_ASSIGN_OR_RETURN(uint32_t format, r.U32());
+  if (format != kSnapshotFormatVersion) {
+    return Status::Corruption("snapshot format version " +
+                              std::to_string(format) + " unsupported (" +
+                              "this build reads version " +
+                              std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  SnapshotReader reader;
+  SQOPT_ASSIGN_OR_RETURN(reader.data_version_, r.U64());
+  SQOPT_ASSIGN_OR_RETURN(uint32_t sections, r.U32());
+  for (uint32_t i = 0; i < sections; ++i) {
+    SQOPT_ASSIGN_OR_RETURN(uint32_t id, r.U32());
+    SQOPT_ASSIGN_OR_RETURN(uint64_t len, r.U64());
+    if (len > r.remaining()) {
+      return Status::Corruption("snapshot section " + std::to_string(id) +
+                                " truncated");
+    }
+    SQOPT_ASSIGN_OR_RETURN(uint32_t crc, r.U32());
+    SQOPT_ASSIGN_OR_RETURN(std::string_view payload,
+                           r.Raw(static_cast<size_t>(len)));
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Corruption("snapshot section " + std::to_string(id) +
+                                " failed its checksum");
+    }
+    reader.sections_[id] = std::string(payload);
+  }
+  return reader;
+}
+
+Result<std::string_view> SnapshotReader::Section(uint32_t section_id) const {
+  auto it = sections_.find(section_id);
+  if (it == sections_.end()) {
+    return Status::Corruption("snapshot is missing section " +
+                              std::to_string(section_id));
+  }
+  return std::string_view(it->second);
+}
+
+Result<Schema> SnapshotReader::ReadSchema() const {
+  SQOPT_ASSIGN_OR_RETURN(std::string_view payload, Section(kSectionSchema));
+  return DecodeSchema(payload);
+}
+
+Status SnapshotReader::RestoreCatalog(ConstraintCatalog* catalog) const {
+  SQOPT_ASSIGN_OR_RETURN(std::string_view payload, Section(kSectionCatalog));
+  return DecodeCatalog(payload, catalog);
+}
+
+Result<std::unique_ptr<ObjectStore>> SnapshotReader::RestoreStore(
+    const Schema* schema) const {
+  auto store = std::make_unique<ObjectStore>(schema);
+  SQOPT_ASSIGN_OR_RETURN(std::string_view extents, Section(kSectionExtents));
+  SQOPT_RETURN_IF_ERROR(DecodeExtents(extents, store.get()));
+  SQOPT_ASSIGN_OR_RETURN(std::string_view rels, Section(kSectionRels));
+  SQOPT_RETURN_IF_ERROR(DecodeRels(rels, store.get()));
+  SQOPT_ASSIGN_OR_RETURN(std::string_view indexes,
+                         Section(kSectionIndexes));
+  SQOPT_RETURN_IF_ERROR(DecodeIndexes(indexes, store.get()));
+  return store;
+}
+
+Result<DatabaseStats> SnapshotReader::RestoreStats() const {
+  SQOPT_ASSIGN_OR_RETURN(std::string_view payload, Section(kSectionStats));
+  return DecodeStats(payload);
+}
+
+}  // namespace sqopt::persist

@@ -1,0 +1,93 @@
+// The versioned binary snapshot format behind Engine::Save / Open(dir)
+// / Checkpoint: one file holding everything a cold open needs to come
+// back without re-parsing sources, re-running constraint closure
+// ("rule mining"), or re-collecting statistics —
+//
+//   header   magic "SQOPSNP1", format version, data version, #sections
+//   section  u32 id | u64 payload length | u32 CRC-32 | payload
+//
+// with one section each for the schema, the precompiled constraint
+// catalog (base + derived clauses, classifications, grouping), the
+// per-class extents (values + live bitmaps), the relationship pair
+// lists, the B-tree attribute indexes (entries in key order), and the
+// database statistics (cardinalities, attr stats, histograms). Every
+// field is little-endian and byte-addressed (see serde.h), so a
+// snapshot written by gcc/Release opens under clang/Debug and across
+// host endianness. Any checksum or structural mismatch surfaces as a
+// typed kCorruption status — never UB, never a partial load.
+//
+// Writing is atomic: the bytes go to `path.tmp`, are fsync'd, and the
+// tmp is renamed over `path` (then the directory is fsync'd), so a
+// kill at any point leaves either the old snapshot or the new one.
+#ifndef SQOPT_PERSIST_SNAPSHOT_H_
+#define SQOPT_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/constraint_catalog.h"
+#include "cost/stats.h"
+#include "storage/object_store.h"
+
+namespace sqopt::persist {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// File names inside a persistence directory.
+inline constexpr const char* kSnapshotFileName = "snapshot.sqopt";
+inline constexpr const char* kWalFileName = "wal.sqopt";
+
+// Serializes the full engine state and atomically replaces `path`.
+// `data_version` is the LoadedData version the snapshot captures;
+// recovery skips WAL records at or below it. `fsync` controls whether
+// the tmp file and directory are flushed before/after the rename (off
+// only makes sense in benchmarks).
+Status WriteSnapshotFile(const std::string& path, const Schema& schema,
+                         const ConstraintCatalog& catalog,
+                         const ObjectStore& store,
+                         const DatabaseStats& stats, uint64_t data_version,
+                         bool fsync = true);
+
+// Reads and checksum-verifies a snapshot file up front, then hands out
+// its parts. Restore order matters only in that RestoreStore needs the
+// schema the caller rebuilt via ReadSchema (the store holds a pointer
+// to it, so the caller must give it a stable address first).
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  uint64_t data_version() const { return data_version_; }
+
+  Result<Schema> ReadSchema() const;
+
+  // `catalog` must have been constructed over the schema ReadSchema
+  // returned (same class/attribute ids).
+  Status RestoreCatalog(ConstraintCatalog* catalog) const;
+
+  // `schema` must outlive the returned store.
+  Result<std::unique_ptr<ObjectStore>> RestoreStore(
+      const Schema* schema) const;
+
+  Result<DatabaseStats> RestoreStats() const;
+
+ private:
+  SnapshotReader() = default;
+
+  // Returns the payload of `section_id` or kCorruption when absent.
+  Result<std::string_view> Section(uint32_t section_id) const;
+
+  std::map<uint32_t, std::string> sections_;
+  uint64_t data_version_ = 0;
+};
+
+// Flushes a file descriptor's directory so a rename is durable. Shared
+// with the WAL (wal.cc).
+Status FsyncDirOf(const std::string& file_path);
+
+}  // namespace sqopt::persist
+
+#endif  // SQOPT_PERSIST_SNAPSHOT_H_

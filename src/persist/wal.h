@@ -1,0 +1,95 @@
+// The write-ahead log behind durable Engine::Apply. One append-only
+// file per persistence directory:
+//
+//   header   magic "SQOPWAL1", u32 format version
+//   record   u32 sentinel | u32 payload length | u32 CRC-32 | payload
+//   payload  u64 version | u32 op count | ops (see wal.cc)
+//
+// `version` is the LoadedData version the batch committed as, which
+// makes replay idempotent: recovery skips records at or below the
+// snapshot's version (a checkpoint killed between its rename and its
+// truncate leaves exactly that state behind) and requires the rest to
+// be gap-free. A torn tail — a record cut short by a crash, or whose
+// checksum fails — ends the valid prefix: ReadWal returns the records
+// before it plus the byte offset where the prefix ends, and WalWriter
+// truncates there before appending, so one crash never poisons the
+// next.
+#ifndef SQOPT_PERSIST_WAL_H_
+#define SQOPT_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/mutation.h"
+#include "common/status.h"
+
+namespace sqopt::persist {
+
+inline constexpr uint32_t kWalFormatVersion = 1;
+
+// Bytes before the first record frame (magic + u32 format version).
+// Exposed so tests and the crash harness can sweep "every offset in
+// the record region" without hardcoding the header size.
+inline constexpr size_t kWalHeaderBytes = 12;
+
+struct WalRecord {
+  uint64_t version = 0;  // snapshot version this batch committed as
+  MutationBatch batch;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  // the valid prefix, in file order
+  int64_t valid_bytes = 0;         // file offset where the prefix ends
+  bool torn_tail = false;          // bytes past valid_bytes were ignored
+};
+
+// Reads the valid prefix of the log at `path`. A missing file is an
+// empty log (fresh directory); a bad header is kCorruption. Structural
+// damage past the first valid record only shortens the prefix — WAL
+// semantics cannot distinguish a torn append from later corruption, so
+// both end the log there.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+// Append handle. Exactly one writer per directory (the engine holds it
+// behind its commit lock).
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&&) = delete;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens `path` for appending, creating it (with a fresh header) when
+  // absent. `truncate_to` >= 0 cuts the file there first — the caller
+  // passes ReadWal's valid_bytes so a torn tail is discarded before
+  // the first new append.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 int64_t truncate_to = -1);
+
+  // Appends one CRC-framed record; flushes to the OS always, fsyncs
+  // when `fsync` (DurabilityOptions::fsync). On any error the file is
+  // truncated back to its pre-append length, so a failed append never
+  // leaves a half-record for recovery to trip on.
+  Status Append(uint64_t version, const MutationBatch& batch, bool fsync);
+
+  // Cuts the log back to just its header — the checkpoint's final act,
+  // after the new snapshot is durably in place.
+  Status Truncate(bool fsync);
+
+  int64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  WalWriter(int fd, std::string path, int64_t size)
+      : fd_(fd), path_(std::move(path)), size_bytes_(size) {}
+
+  int fd_ = -1;
+  std::string path_;
+  int64_t size_bytes_ = 0;
+};
+
+}  // namespace sqopt::persist
+
+#endif  // SQOPT_PERSIST_WAL_H_

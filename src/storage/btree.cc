@@ -59,6 +59,57 @@ BTree BTree::Clone() const {
   return copy;
 }
 
+BTree BTree::BuildFromSorted(std::vector<std::pair<Value, int64_t>> entries,
+                             int order) {
+  BTree tree(order);
+  if (entries.empty()) return tree;
+  const size_t max_keys = static_cast<size_t>(tree.order_ - 1);
+
+  // Leaves, left to right at full legal fill (Insert splits a node
+  // BEFORE it exceeds max_keys, so full leaves stay mutable). `mins`
+  // runs parallel to each level: the smallest key under that node,
+  // which becomes the separator to its left one level up.
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<Value> mins;
+  for (size_t begin = 0; begin < entries.size(); begin += max_keys) {
+    const size_t end = std::min(begin + max_keys, entries.size());
+    auto leaf = std::make_unique<Node>();
+    leaf->keys.reserve(end - begin);
+    leaf->rows.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      leaf->keys.push_back(std::move(entries[i].first));
+      leaf->rows.push_back(entries[i].second);
+    }
+    mins.push_back(leaf->keys.front());
+    if (!level.empty()) level.back()->next = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    std::vector<Value> parent_mins;
+    const size_t fanout = static_cast<size_t>(tree.order_);
+    for (size_t begin = 0; begin < level.size(); begin += fanout) {
+      const size_t end = std::min(begin + fanout, level.size());
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      parent_mins.push_back(mins[begin]);
+      for (size_t i = begin; i < end; ++i) {
+        // Separator between children i-1 and i = smallest key under
+        // child i (the convention SplitChild's leaf case establishes).
+        if (i > begin) parent->keys.push_back(std::move(mins[i]));
+        parent->children.push_back(std::move(level[i]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    mins = std::move(parent_mins);
+  }
+  tree.root_ = std::move(level.front());
+  tree.size_ = entries.size();
+  return tree;
+}
+
 namespace {
 
 // Child index for descending: first separator strictly greater than

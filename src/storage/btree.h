@@ -34,6 +34,15 @@ class BTree {
   // maintains it incrementally instead of rebuilding from the extent.
   BTree Clone() const;
 
+  // Persistence hook: builds a tree from entries already in key order
+  // (the serialized form Scan() emits) in O(n) — leaves fill left to
+  // right at maximum legal fanout and the internal levels assemble
+  // bottom-up, instead of n root descents through Insert. The caller
+  // must pass a sorted sequence (ObjectStore::RestoreIndexEntries
+  // validates order and rejects unsorted snapshots as corrupt).
+  static BTree BuildFromSorted(
+      std::vector<std::pair<Value, int64_t>> entries, int order = 64);
+
   void Insert(const Value& key, int64_t row);
 
   // Removes one (key, row) entry. Returns false if no such entry

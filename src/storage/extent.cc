@@ -38,6 +38,30 @@ Status Extent::Delete(int64_t row) {
   return Status::OK();
 }
 
+Status Extent::RestoreSlots(std::vector<Object> objects,
+                            std::vector<uint8_t> live) {
+  if (objects.size() != live.size()) {
+    return Status::Corruption(
+        "extent of class '" + schema_->object_class(class_id_).name +
+        "': live bitmap size does not match slot count");
+  }
+  int64_t live_count = 0;
+  for (size_t row = 0; row < objects.size(); ++row) {
+    if (objects[row].values.size() != slot_of_.size()) {
+      return Status::Corruption(
+          "extent of class '" + schema_->object_class(class_id_).name +
+          "': serialized row " + std::to_string(row) + " has " +
+          std::to_string(objects[row].values.size()) +
+          " values, layout has " + std::to_string(slot_of_.size()));
+    }
+    if (live[row] != 0) ++live_count;
+  }
+  objects_ = std::move(objects);
+  live_ = std::move(live);
+  live_count_ = live_count;
+  return Status::OK();
+}
+
 const Value& Extent::ValueAt(int64_t row, AttrId attr_id) const {
   static const Value kNull = Value::Null();
   int slot = SlotOf(attr_id);

@@ -61,6 +61,15 @@ class Extent {
   // attribute does not belong to this class.
   int SlotOf(AttrId attr_id) const;
 
+  // Persistence hook (src/persist/snapshot.cc): replaces this extent's
+  // contents with deserialized slots. `live` runs parallel to `objects`
+  // (1 = live, 0 = tombstoned); tombstoned slots keep their values, so
+  // a restored extent is byte-for-byte the one that was saved. Rejects
+  // size mismatches with kCorruption. Index maintenance is the caller's
+  // job, as everywhere on this class.
+  Status RestoreSlots(std::vector<Object> objects,
+                      std::vector<uint8_t> live);
+
  private:
   const Schema* schema_;
   ClassId class_id_;

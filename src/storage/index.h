@@ -29,6 +29,12 @@ class AttributeIndex {
     return copy;
   }
 
+  // Snapshot-restore hook: replaces the tree with one bulk-built from
+  // entries already in key order (see BTree::BuildFromSorted).
+  void LoadSorted(std::vector<std::pair<Value, int64_t>> entries) {
+    tree_ = BTree::BuildFromSorted(std::move(entries));
+  }
+
   void Insert(const Value& key, int64_t row) { tree_.Insert(key, row); }
   bool Remove(const Value& key, int64_t row) {
     return tree_.Remove(key, row);

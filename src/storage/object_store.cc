@@ -227,6 +227,67 @@ std::vector<Value> ObjectStore::LiveValues(const AttrRef& ref) const {
   return out;
 }
 
+Status ObjectStore::RestoreClassSlots(ClassId class_id,
+                                      std::vector<Object> objects,
+                                      std::vector<uint8_t> live) {
+  if (class_id < 0 ||
+      class_id >= static_cast<ClassId>(extents_.size())) {
+    return Status::Corruption("snapshot names an unknown class id " +
+                              std::to_string(class_id));
+  }
+  return extents_[class_id]->RestoreSlots(std::move(objects),
+                                          std::move(live));
+}
+
+Status ObjectStore::RestoreRelationshipPairs(
+    RelId rel_id, std::vector<std::pair<int64_t, int64_t>> pairs) {
+  if (rel_id < 0 || rel_id >= static_cast<RelId>(rels_.size())) {
+    return Status::Corruption("snapshot names an unknown relationship id " +
+                              std::to_string(rel_id));
+  }
+  const Relationship& rel = schema_->relationship(rel_id);
+  RelData data;
+  for (const auto& [row_a, row_b] : pairs) {
+    if (row_a < 0 || row_a >= NumObjects(rel.a) || row_b < 0 ||
+        row_b >= NumObjects(rel.b)) {
+      return Status::Corruption("relationship '" + rel.name +
+                                "' pair references a nonexistent row");
+    }
+    data.adj_a[row_a].push_back(row_b);
+    data.adj_b[row_b].push_back(row_a);
+  }
+  data.pairs = std::move(pairs);
+  *rels_[rel_id] = std::move(data);
+  return Status::OK();
+}
+
+Status ObjectStore::RestoreIndexEntries(
+    ClassId class_id, AttrId attr_id,
+    std::vector<std::pair<Value, int64_t>> entries) {
+  auto it = indexes_.find({class_id, attr_id});
+  if (it == indexes_.end()) {
+    return Status::Corruption(
+        "snapshot carries an index for a non-indexed attribute (class " +
+        std::to_string(class_id) + ", attr " + std::to_string(attr_id) +
+        ")");
+  }
+  // The serialized form is a leaf-chain scan, so it must be sorted;
+  // bulk-loading an unsorted sequence would silently break every
+  // lookup invariant, so reject it as corruption instead.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].first < entries[i - 1].first) {
+      return Status::Corruption(
+          "snapshot index entries out of order (class " +
+          std::to_string(class_id) + ", attr " + std::to_string(attr_id) +
+          ")");
+    }
+  }
+  auto fresh = std::make_shared<AttributeIndex>();
+  fresh->LoadSorted(std::move(entries));
+  it->second = std::move(fresh);
+  return Status::OK();
+}
+
 void ObjectStore::ResetMeters() {
   for (auto& [key, index] : indexes_) index->probes = 0;
 }

@@ -119,6 +119,35 @@ class ObjectStore {
   // Resets the probe counters on all indexes.
   void ResetMeters();
 
+  // --- Persistence hooks (src/persist/snapshot.cc). The restore
+  // methods replace whole substructures on a freshly-constructed store;
+  // they must not be called on a store that shares state with readers
+  // (a CloneForWrite sibling). ---
+
+  // All instances of `rel_id`, in insertion order.
+  const std::vector<std::pair<int64_t, int64_t>>& Pairs(RelId rel_id) const {
+    return rels_[rel_id]->pairs;
+  }
+
+  // Replaces `class_id`'s extent with deserialized slots (values for
+  // every slot, live and tombstoned alike). Indexes are NOT maintained:
+  // the snapshot restores them separately via RestoreIndexEntries.
+  Status RestoreClassSlots(ClassId class_id, std::vector<Object> objects,
+                           std::vector<uint8_t> live);
+
+  // Replaces `rel_id`'s instances and rebuilds both adjacency
+  // directions. Endpoint rows must exist (extents restore first).
+  Status RestoreRelationshipPairs(
+      RelId rel_id, std::vector<std::pair<int64_t, int64_t>> pairs);
+
+  // Replaces the index on (class_id, attr_id) with a bulk-built tree
+  // over the deserialized entries, which must arrive key-ascending (the
+  // serialized form is a leaf-chain scan); unsorted input and
+  // attributes that are not indexed under this schema are rejected as
+  // corruption.
+  Status RestoreIndexEntries(ClassId class_id, AttrId attr_id,
+                             std::vector<std::pair<Value, int64_t>> entries);
+
  private:
   // Shell constructor for CloneForWrite: members are filled by copying
   // the source's shared_ptrs, so building fresh substructures (the

@@ -1,0 +1,162 @@
+#include "workload/mutation_script.h"
+
+#include <utility>
+
+#include "workload/dbgen.h"
+
+namespace sqopt {
+
+MutationScript::MutationScript(const Schema* schema,
+                               std::vector<int64_t> base_rows,
+                               uint64_t seed)
+    : schema_(schema), base_rows_(std::move(base_rows)), rng_(seed) {
+  class_order_ = {schema_->FindClass("supplier"),
+                  schema_->FindClass("cargo"),
+                  schema_->FindClass("vehicle"),
+                  schema_->FindClass("driver"),
+                  schema_->FindClass("department")};
+}
+
+Status MutationScript::StageWorldInsert(MutationBatch* batch) {
+  const int seg = static_cast<int>(rng_.Index(kNumSegments));
+  const int64_t ordinal = 1000000 + worlds_inserted_;
+  std::vector<int64_t> handle(schema_->num_classes(), -1);
+  for (ClassId cid : class_order_) {
+    SQOPT_ASSIGN_OR_RETURN(Object obj,
+                           MakeSegmentObject(*schema_, cid, seg, ordinal));
+    handle[cid] = batch->Insert(cid, std::move(obj));
+  }
+  for (const Relationship& rel : schema_->relationships()) {
+    batch->Link(rel.id, handle[rel.a], handle[rel.b]);
+  }
+  ++worlds_inserted_;
+  return Status::OK();
+}
+
+Status MutationScript::StageUpdate(MutationBatch* batch) {
+  const ClassId cid = class_order_[rng_.Index(class_order_.size())];
+  // Fixture rows only: they never die, and their segment is positional.
+  const int64_t row = static_cast<int64_t>(
+      rng_.Index(static_cast<size_t>(base_rows_[cid])));
+  const int seg = SegmentOfRow(row);
+  auto attr = [&](const char* name) {
+    return schema_->FindAttribute(cid, name).attr_id;
+  };
+  // Values stay inside the segment's legal range, mirroring
+  // GenerateDatabase's value model, so every constraint keeps holding.
+  if (cid == class_order_[0]) {  // supplier
+    if (rng_.Bernoulli(0.5)) {
+      batch->Update(cid, row, attr("name"),
+                    Value::String("ws" + std::to_string(rng_.Next() % 997)));
+    } else {
+      batch->Update(cid, row, attr("rating"),
+                    Value::Int(seg == 0 ? rng_.UniformInt(8, 10)
+                                        : rng_.UniformInt(1, 7)));
+    }
+  } else if (cid == class_order_[1]) {  // cargo
+    switch (rng_.Index(3)) {
+      case 0:
+        batch->Update(cid, row, attr("code"),
+                      Value::String("wc" + std::to_string(rng_.Next() % 997)));
+        break;
+      case 1:
+        batch->Update(cid, row, attr("quantity"),
+                      Value::Int(seg == 0 ? rng_.UniformInt(1, 499)
+                                          : rng_.UniformInt(500, 1000)));
+        break;
+      default:
+        batch->Update(cid, row, attr("weight"),
+                      Value::Int(seg == 0 ? rng_.UniformInt(10, 40)
+                                          : rng_.UniformInt(41, 100)));
+    }
+  } else if (cid == class_order_[2]) {  // vehicle
+    if (rng_.Bernoulli(0.5)) {
+      batch->Update(cid, row, attr("vehicleNo"),
+                    Value::Int(rng_.UniformInt(200000, 299999)));
+    } else {
+      batch->Update(cid, row, attr("capacity"),
+                    Value::Int(seg <= 1 ? rng_.UniformInt(20, 50)
+                                        : rng_.UniformInt(5, 19)));
+    }
+  } else if (cid == class_order_[3]) {  // driver
+    batch->Update(cid, row, attr("name"),
+                  Value::String("wd" + std::to_string(rng_.Next() % 997)));
+  } else {  // department
+    batch->Update(cid, row, attr("budget"),
+                  Value::Int(seg == 0 ? rng_.UniformInt(100000, 200000)
+                                      : rng_.UniformInt(10000, 99999)));
+  }
+  return Status::OK();
+}
+
+Status MutationScript::StageRelinkOrUpdate(MutationBatch* batch) {
+  if (worlds_inserted_ == worlds_deleted_) return StageUpdate(batch);
+  // An alive world still carries all six diagonal links (deletes take
+  // whole worlds, relinks restore what they cut) — unlink one and put
+  // it back in the same batch, a structural no-op that still pushes
+  // two framed ops through the WAL.
+  const int64_t w =
+      worlds_deleted_ +
+      static_cast<int64_t>(rng_.Index(
+          static_cast<size_t>(worlds_inserted_ - worlds_deleted_)));
+  const Relationship& rel = schema_->relationship(
+      static_cast<RelId>(rng_.Index(schema_->num_relationships())));
+  batch->Unlink(rel.id, WorldRow(rel.a, w), WorldRow(rel.b, w));
+  batch->Link(rel.id, WorldRow(rel.a, w), WorldRow(rel.b, w));
+  return Status::OK();
+}
+
+Result<MutationBatch> MutationScript::Next() {
+  for (ClassId cid : class_order_) {
+    if (cid == kInvalidClass) {
+      return Status::InvalidArgument(
+          "MutationScript requires the experiment schema");
+    }
+  }
+  MutationBatch batch;
+  switch (batch_index_ % 4) {
+    case 0:
+    case 2:
+      SQOPT_RETURN_IF_ERROR(StageWorldInsert(&batch));
+      break;
+    case 1: {
+      const int updates = static_cast<int>(rng_.UniformInt(1, 3));
+      for (int i = 0; i < updates; ++i) {
+        SQOPT_RETURN_IF_ERROR(StageUpdate(&batch));
+      }
+      break;
+    }
+    default:
+      if (worlds_inserted_ - worlds_deleted_ > 2 && rng_.Bernoulli(0.6)) {
+        // Retire the oldest alive world: its five rows tombstone and
+        // their links cascade away, on the engine and on replay alike.
+        const int64_t w = worlds_deleted_;
+        for (ClassId cid : class_order_) {
+          batch.Delete(cid, WorldRow(cid, w));
+        }
+        ++worlds_deleted_;
+      } else {
+        SQOPT_RETURN_IF_ERROR(StageRelinkOrUpdate(&batch));
+      }
+  }
+  ++batch_index_;
+  return batch;
+}
+
+std::vector<std::string> MutationScript::QueryPool() {
+  return {
+      "{supplier.name} {} {supplier.rating >= 8} {} {supplier}",
+      "{cargo.code} {} {cargo.weight <= 40} {} {cargo}",
+      "{supplier.name, cargo.code} {} {cargo.desc = \"frozen food\"} "
+      "{supplies} {supplier, cargo}",
+      "{cargo.code, vehicle.vehicleNo} {} "
+      "{vehicle.desc = \"refrigerated truck\"} {collects} {cargo, vehicle}",
+      "{driver.name, department.name} {} {department.securityClass >= 4} "
+      "{belongsTo} {driver, department}",
+      "{supplier.name, cargo.code, vehicle.vehicleNo} {} "
+      "{cargo.weight <= 40} {supplies, collects} "
+      "{supplier, cargo, vehicle}",
+  };
+}
+
+}  // namespace sqopt

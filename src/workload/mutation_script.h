@@ -1,0 +1,76 @@
+// Deterministic, constraint-consistent mutation scripts over the
+// experiment schema — the raw material of the crash-recovery harness
+// and its oracle. Batch k is fully determined by (base row counts,
+// seed, k), so two processes that replay the same prefix from the same
+// fixture arrive at bit-identical stores: the harness's writer commits
+// batches against a durable engine while the verifier regenerates the
+// exact committed prefix into a fresh in-memory engine and diffs every
+// query between the two.
+//
+// The op mix covers the whole WAL vocabulary: "world" inserts (one
+// object per class, linked across all six relationships — the shape
+// GenerateDatabase produces), segment-consistent attribute updates,
+// whole-world deletes (exercising cascade unlink on replay), and
+// unlink/relink round-trips. Every staged batch satisfies all 15
+// ExperimentConstraints, so Engine::Apply never rejects one.
+#ifndef SQOPT_WORKLOAD_MUTATION_SCRIPT_H_
+#define SQOPT_WORKLOAD_MUTATION_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/mutation.h"
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqopt {
+
+class MutationScript {
+ public:
+  // `schema` must be the experiment schema (BuildExperimentSchema) and
+  // must outlive the script. `base_rows[cid]` is the extent SLOT count
+  // of class cid in the fixture the script runs against (all fixture
+  // rows live, segment = row % kNumSegments — what GenerateDatabase
+  // produces); the script computes the row ids of its own inserts from
+  // these, so it never needs to see the store.
+  MutationScript(const Schema* schema, std::vector<int64_t> base_rows,
+                 uint64_t seed);
+
+  // The next batch, never empty. Batches must be consumed in order —
+  // the script advances its world bookkeeping as they are handed out.
+  Result<MutationBatch> Next();
+
+  int64_t batches_issued() const { return batch_index_; }
+
+  // Queries that jointly touch every class and relationship the script
+  // mutates; each projects or predicates every class it names, so any
+  // semantic transformation the optimizer applies must preserve them
+  // whatever the relationship structure. The recovery differential
+  // runs this pool on both engines after every kill.
+  static std::vector<std::string> QueryPool();
+
+ private:
+  // Row id of world `w`'s member in class `cid` (worlds append exactly
+  // one row per class, in insertion order).
+  int64_t WorldRow(ClassId cid, int64_t w) const {
+    return base_rows_[cid] + w;
+  }
+
+  Status StageWorldInsert(MutationBatch* batch);
+  Status StageUpdate(MutationBatch* batch);
+  Status StageRelinkOrUpdate(MutationBatch* batch);
+
+  const Schema* schema_;
+  std::vector<int64_t> base_rows_;
+  Rng rng_;
+  int64_t batch_index_ = 0;
+  int64_t worlds_inserted_ = 0;
+  int64_t worlds_deleted_ = 0;  // worlds [0, worlds_deleted_) are dead
+  std::vector<ClassId> class_order_;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_MUTATION_SCRIPT_H_

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <set>
@@ -36,6 +37,16 @@ namespace {
 
 constexpr uint64_t kSeed = 20260729;
 const DbSpec kSpec{"mutation_fuzz", 40, 60};
+
+// Round budget: PR CI runs the defaults; the nightly soak workflow
+// scales both schedules up via SQOPT_FUZZ_ROUNDS (7500 rounds of
+// schedule A ≈ 50k+ operations) without touching the code.
+int RoundsFromEnv(int default_rounds) {
+  const char* env = std::getenv("SQOPT_FUZZ_ROUNDS");
+  if (env == nullptr) return default_rounds;
+  const int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : default_rounds;
+}
 
 // Replays a batch onto a plain mutable store with the same pending-
 // insert handle resolution Engine::Apply uses. The shadow store is the
@@ -445,7 +456,7 @@ TEST(MutationFuzzTest, InterleavedDifferentialSchedule) {
       "{supplier, cargo, vehicle}";
 
   Rng pick(kSeed ^ 0xABCD);
-  constexpr int kRounds = 800;
+  const int kRounds = RoundsFromEnv(800);
   for (int round = 0; round < kRounds; ++round) {
     SCOPED_TRACE(::testing::Message()
                  << "round=" << round << " seed=" << kSeed);
@@ -491,7 +502,7 @@ TEST(MutationFuzzTest, ClassEliminationStaysSoundUnderMutation) {
   };
 
   Rng pick(kSeed ^ 0x5EED);
-  constexpr int kRounds = 250;
+  const int kRounds = RoundsFromEnv(250);
   for (int round = 0; round < kRounds; ++round) {
     SCOPED_TRACE(::testing::Message()
                  << "round=" << round << " seed=" << kSeed + 1);
