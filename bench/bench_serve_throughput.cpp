@@ -96,9 +96,12 @@ int main(int argc, char** argv) {
 
   auto report = [](const char* label, const BatchStats& s) {
     std::printf("%-26s %8.0f qps  p50 %6llu us  p95 %6llu us  "
+                "p99 %6llu us  max %6llu us  "
                 "hit rate %4.0f%%  (%zu ok, %zu failed, %d threads)\n",
                 label, s.qps, static_cast<unsigned long long>(s.p50_micros),
                 static_cast<unsigned long long>(s.p95_micros),
+                static_cast<unsigned long long>(s.p99_micros),
+                static_cast<unsigned long long>(s.max_micros),
                 100.0 * s.cache_hit_rate, s.succeeded, s.failed, s.threads);
   };
   report("1 thread, cold cache", cold.stats);
@@ -120,6 +123,8 @@ int main(int argc, char** argv) {
   json.Set("qps", warm.stats.qps);
   json.Set("p50_us", warm.stats.p50_micros);
   json.Set("p95_us", warm.stats.p95_micros);
+  json.Set("p99_us", warm.stats.p99_micros);
+  json.Set("max_us", warm.stats.max_micros);
   json.Set("cache_hit_rate", warm.stats.cache_hit_rate);
   json.Set("single_thread_cold_qps", cold.stats.qps);
   json.Set("speedup_vs_cold", speedup);

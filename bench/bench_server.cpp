@@ -1,0 +1,230 @@
+// Network serving bench: an in-process sqopt server on a loopback TCP
+// socket, driven by the same open-loop Zipfian load engine as
+// tools/loadgen (src/server/load_runner.h). Three phases:
+//
+//   1. sustained — open-loop at a fixed target QPS; must run clean
+//      (zero protocol errors, zero sheds) and reports p50/p95/p99/max
+//      from scheduled arrival, the tail numbers the in-process
+//      closed-loop serve bench structurally cannot see.
+//   2. capacity  — closed-loop saturation probe, so "overload" is
+//      defined relative to the machine the bench runs on.
+//   3. overload  — open-loop at 2x measured capacity; the server must
+//      shed load with typed kOverloaded responses, keep the queue at
+//      its bound (no unbounded growth), answer a post-run ping (no
+//      crash), and drain cleanly on shutdown.
+//
+// Emits BENCH_server.json for the bench-smoke regression gate.
+//
+// Flags:
+//   --quick     smaller DB + shorter budgets (CI smoke mode)
+//   --sweep     append a 1x/2x/4x overload sweep (nightly long budget)
+//   --out=PATH  JSON output path (default BENCH_server.json)
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/load_runner.h"
+#include "server/server.h"
+#include "workload/query_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace sqopt;
+  using bench::BenchJson;
+  using bench::Check;
+  using bench::OpenExperimentEngine;
+  using bench::Unwrap;
+
+  bool quick = false;
+  bool sweep = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Full mode serves the 40k-row fixture scale (8k rows x 5 classes) —
+  // the same scale the durability bench's cold-open numbers use.
+  const DbSpec spec = quick ? DbSpec{"server", 800, 1200}
+                            : DbSpec{"server", 8000, 12000};
+  constexpr uint64_t kSeed = 20260807;
+
+  Engine engine = OpenExperimentEngine();
+  Check(engine.Load(DataSource::Generated(spec, kSeed)));
+  const std::vector<std::string> pool = ExperimentQueryPool();
+  // Warm the shared plan cache: steady-state serving is the regime
+  // under test, not first-query planning.
+  for (const std::string& q : pool) Check(engine.Execute(q).status());
+
+  server::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = 4;
+  // Shallow enough that the overload phase's synchronous connections
+  // can hold more outstanding requests than workers + queue — the
+  // regime where admission control engages.
+  options.max_queue = 32;
+  options.default_deadline_ms = 2000;
+  auto started = server::Server::Start(&engine, options);
+  Check(started.status());
+  server::Server& server = **started;
+  const int port = server.port();
+  const int64_t rows_total =
+      spec.class_cardinality * static_cast<int64_t>(5);
+
+  std::printf("=== Server bench (port %d, %lld rows, %zu-query pool) ===\n",
+              port, static_cast<long long>(rows_total), pool.size());
+
+  auto print_report = [](const char* label, const server::LoadReport& r) {
+    std::printf(
+        "%-10s offered %7.0f qps  ok %7.0f qps  p50 %6llu  p95 %6llu  "
+        "p99 %6llu  max %7llu us  shed %llu  timeout %llu  proto %llu\n",
+        label, r.offered_qps, r.achieved_qps,
+        static_cast<unsigned long long>(r.p50_us),
+        static_cast<unsigned long long>(r.p95_us),
+        static_cast<unsigned long long>(r.p99_us),
+        static_cast<unsigned long long>(r.max_us),
+        static_cast<unsigned long long>(r.overloaded),
+        static_cast<unsigned long long>(r.timed_out),
+        static_cast<unsigned long long>(r.protocol_errors));
+  };
+
+  // --- Phase 1: sustained open-loop at a modest fixed target. ---
+  server::LoadOptions sustained_options;
+  sustained_options.target_qps = quick ? 400.0 : 600.0;
+  sustained_options.duration_ms = quick ? 2000 : 8000;
+  sustained_options.connections = 8;
+  sustained_options.seed = kSeed;
+  server::LoadReport sustained =
+      Unwrap(server::RunOpenLoop("127.0.0.1", port, pool,
+                                 sustained_options));
+  print_report("sustained", sustained);
+  if (!sustained.clean() || sustained.overloaded > 0 ||
+      sustained.failed > 0) {
+    std::fprintf(stderr,
+                 "server bench: sustained phase was not clean "
+                 "(target too high for this machine?)\n");
+    return 1;
+  }
+
+  // --- Phase 2: closed-loop capacity probe. ---
+  const double capacity = Unwrap(server::MeasureCapacityQps(
+      "127.0.0.1", port, pool, /*connections=*/16,
+      /*duration_ms=*/quick ? 1000 : 3000, kSeed));
+  std::printf("capacity   %7.0f qps (closed-loop, 16 conns)\n", capacity);
+
+  // --- Phase 3: open-loop at 2x capacity — the server must shed. ---
+  auto overload_run = [&](double multiplier,
+                          uint64_t duration_ms) -> server::LoadReport {
+    server::LoadOptions o;
+    o.target_qps = capacity * multiplier;
+    o.duration_ms = duration_ms;
+    // Each connection is synchronous, so outstanding requests are
+    // bounded by the connection count; admission control only engages
+    // when that exceeds workers + max_queue.
+    o.connections = static_cast<int>(options.max_queue) * 4;
+    o.seed = kSeed + 1;
+    return Unwrap(server::RunOpenLoop("127.0.0.1", port, pool, o));
+  };
+  server::LoadReport overload =
+      overload_run(2.0, quick ? 1500 : 5000);
+  print_report("overload", overload);
+
+  const server::ServerStats stats = server.stats();
+  bool failed = false;
+  if (overload.overloaded == 0) {
+    std::fprintf(stderr,
+                 "server bench: 2x overload produced no kOverloaded "
+                 "rejections\n");
+    failed = true;
+  }
+  if (overload.protocol_errors > 0) {
+    std::fprintf(stderr, "server bench: protocol errors under overload\n");
+    failed = true;
+  }
+  if (stats.queue_depth_hwm > options.max_queue) {
+    std::fprintf(stderr, "server bench: queue grew past its bound\n");
+    failed = true;
+  }
+  // The server must still be alive and answering after the storm.
+  {
+    auto probe = server::Client::Connect("127.0.0.1", port);
+    if (!probe.ok() || !probe->Ping().ok()) {
+      std::fprintf(stderr, "server bench: server unreachable after "
+                           "overload\n");
+      failed = true;
+    }
+  }
+
+  double rejection_rate =
+      overload.sent > 0
+          ? static_cast<double>(overload.overloaded) /
+                static_cast<double>(overload.sent)
+          : 0.0;
+
+  BenchJson json("server");
+  json.Set("quick", quick);
+  json.Set("rows_total", rows_total);
+  json.Set("threads", options.threads);
+  json.Set("max_queue", static_cast<uint64_t>(options.max_queue));
+  json.Set("sustained_target_qps", sustained_options.target_qps);
+  json.Set("sustained_offered_qps", sustained.offered_qps);
+  json.Set("sustained_qps", sustained.achieved_qps);
+  json.Set("sustained_p50_us", sustained.p50_us);
+  json.Set("sustained_p95_us", sustained.p95_us);
+  json.Set("sustained_p99_us", sustained.p99_us);
+  json.Set("sustained_max_us", sustained.max_us);
+  json.Set("capacity_qps", capacity);
+  json.Set("overload_target_qps", capacity * 2.0);
+  json.Set("overload_ok_qps", overload.achieved_qps);
+  json.Set("overload_rejected", overload.overloaded);
+  json.Set("overload_rejection_rate", rejection_rate);
+  json.Set("overload_p99_us", overload.p99_us);
+  json.Set("overload_shed", overload.overloaded > 0 ? 1 : 0);
+  json.Set("protocol_errors",
+           sustained.protocol_errors + overload.protocol_errors);
+  json.Set("queue_hwm", stats.queue_depth_hwm);
+
+  // --- Optional nightly sweep: how shedding scales past 2x. ---
+  if (sweep) {
+    for (double multiplier : {1.0, 2.0, 4.0}) {
+      server::LoadReport r = overload_run(multiplier, 5000);
+      char label[32];
+      std::snprintf(label, sizeof(label), "x%.0f", multiplier);
+      print_report(label, r);
+      const std::string prefix =
+          "sweep_x" + std::to_string(static_cast<int>(multiplier));
+      json.Set(prefix + "_ok_qps", r.achieved_qps);
+      json.Set(prefix + "_rejected", r.overloaded);
+      json.Set(prefix + "_p99_us", r.p99_us);
+      if (r.protocol_errors > 0) {
+        std::fprintf(stderr, "server bench: protocol errors in %s sweep\n",
+                     label);
+        failed = true;
+      }
+    }
+  }
+
+  // Graceful drain: every admitted request answered, buffers flushed.
+  server.Shutdown();
+  const server::ServerStats final_stats = server.stats();
+  const bool drain_clean =
+      final_stats.queue_depth == 0 && final_stats.connections_active == 0;
+  if (!drain_clean) {
+    std::fprintf(stderr, "server bench: drain left work behind\n");
+    failed = true;
+  }
+  json.Set("drain_clean", drain_clean ? 1 : 0);
+  json.Write(out_path);
+  return failed ? 1 : 0;
+}

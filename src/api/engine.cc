@@ -1076,6 +1076,9 @@ Result<BatchOutcome> Engine::ExecuteBatch(
   out.stats.p50_micros = latencies_micros[latencies_micros.size() / 2];
   out.stats.p95_micros =
       latencies_micros[latencies_micros.size() * 95 / 100];
+  out.stats.p99_micros =
+      latencies_micros[latencies_micros.size() * 99 / 100];
+  out.stats.max_micros = latencies_micros.back();
   state.batches_served.fetch_add(1, std::memory_order_relaxed);
   return out;
 }

@@ -79,6 +79,8 @@ struct BatchStats {
   // Per-query latency distribution (successful and failed alike).
   uint64_t p50_micros = 0;
   uint64_t p95_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
 
   // Plan-cache traffic attributable to this batch's successful queries.
   uint64_t cache_hits = 0;

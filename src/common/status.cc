@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

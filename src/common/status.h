@@ -29,6 +29,13 @@ enum class StatusCode {
   // A durable file (snapshot section, WAL record) failed its checksum
   // or structural validation (see src/persist/).
   kCorruption,
+  // The serving layer shed this request: the bounded admission queue
+  // was full (or the server was draining). Retry against a less loaded
+  // server — the request was never executed (see src/server/).
+  kOverloaded,
+  // The request's deadline expired before execution started; the
+  // request was never executed (see src/server/).
+  kTimeout,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +79,12 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,59 @@
+// A small blocking client for the sqopt wire protocol: one TCP
+// connection, synchronous request/response. This is what the load
+// generator, the server bench, and the integration tests speak; it is
+// deliberately simple — open-loop concurrency comes from running many
+// clients, not from pipelining one.
+#ifndef SQOPT_SERVER_CLIENT_H_
+#define SQOPT_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace sqopt::server {
+
+class Client {
+ public:
+  // Connects (blocking, with `timeout_ms` for both the connect and
+  // every subsequent send/receive).
+  static Result<Client> Connect(const std::string& host, int port,
+                                int timeout_ms = 5000);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends one request and blocks for its response. Transport failures
+  // (reset, timeout, unframeable bytes) surface as error Results; a
+  // typed server-side rejection (kOverloaded, kTimeout, execution
+  // errors) is a SUCCESSFUL Result whose Response carries the code.
+  Result<Response> Call(const Request& request);
+
+  // Convenience wrappers.
+  Result<Response> Query(std::string_view text, uint32_t deadline_ms = 0);
+  Result<std::string> Stats();
+  Status Ping();
+
+  // Raw access for protocol tests: send arbitrary bytes / read one
+  // framed response off the wire.
+  Status SendRaw(std::string_view bytes);
+  Result<Response> ReceiveResponse();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace sqopt::server
+
+#endif  // SQOPT_SERVER_CLIENT_H_

@@ -1,0 +1,646 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace sqopt::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+uint64_t MicrosSince(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+// One TCP connection. The I/O thread owns the fd, the FrameReader, and
+// the idle/flush bookkeeping; the write buffer is shared with workers
+// (they append encoded responses) and guarded by `mu` together with
+// `closed`, which tells a late worker the fd is already gone.
+struct Conn {
+  int fd = -1;
+
+  // --- I/O-thread-only state. ---
+  FrameReader reader;
+  Clock::time_point last_activity;
+  bool close_after_flush = false;
+
+  // --- Shared with workers, guarded by mu. ---
+  std::mutex mu;
+  std::string outbuf;
+  bool closed = false;
+
+  // Requests admitted for this connection and not yet answered; the
+  // reaper never closes a connection with one pending.
+  std::atomic<int> inflight{0};
+};
+
+Response ErrorResponse(RequestType type, const Status& status) {
+  Response r;
+  r.type = type;
+  r.code = status.code();
+  r.message = status.message();
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Impl.
+// ---------------------------------------------------------------------
+
+struct Server::Impl {
+  const Engine* engine = nullptr;
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int bound_port = 0;
+  int wake_rd = -1;  // self-pipe: workers and RequestDrain nudge poll()
+  int wake_wr = -1;
+
+  std::thread io_thread;
+  std::vector<std::thread> workers;
+
+  // Admission queue (I/O thread pushes, workers pop).
+  struct Task {
+    std::shared_ptr<Conn> conn;
+    Request request;
+    Clock::time_point deadline;
+  };
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Task> queue;
+  bool stop_workers = false;
+
+  // Connection registry; I/O thread only.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+  std::atomic<bool> draining{false};
+  // Admitted requests not yet answered (queued + executing).
+  std::atomic<uint64_t> inflight{0};
+
+  // Counters (see ServerStats).
+  std::atomic<uint64_t> accepted{0}, active{0}, reaped_idle{0};
+  std::atomic<uint64_t> requests_received{0}, responses_sent{0};
+  std::atomic<uint64_t> queries_ok{0}, queries_failed{0};
+  std::atomic<uint64_t> rejected_overloaded{0}, timed_out{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> queue_depth{0}, queue_depth_hwm{0};
+
+  // Await/join latch.
+  std::mutex join_mu;
+  bool joined = false;
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_rd >= 0) ::close(wake_rd);
+    if (wake_wr >= 0) ::close(wake_wr);
+  }
+
+  void Wake() {
+    const char b = 'w';
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_wr, &b, 1);
+  }
+
+  // Appends an encoded response to the connection (unless it died) and
+  // nudges the poller so POLLOUT gets registered.
+  void Respond(const std::shared_ptr<Conn>& conn, const Response& response) {
+    const std::string frame = EncodeResponse(response);
+    bool delivered = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->outbuf.append(frame);
+        delivered = true;
+      }
+    }
+    if (delivered) {
+      responses_sent.fetch_add(1, std::memory_order_relaxed);
+      Wake();
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Worker side.
+  // ------------------------------------------------------------------
+
+  void WorkerLoop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [&] { return stop_workers || !queue.empty(); });
+        if (queue.empty()) return;  // only reachable when stopping
+        task = std::move(queue.front());
+        queue.pop_front();
+        queue_depth.store(queue.size(), std::memory_order_relaxed);
+      }
+
+      Response response;
+      response.type = RequestType::kQuery;
+      if (Clock::now() > task.deadline) {
+        timed_out.fetch_add(1, std::memory_order_relaxed);
+        response.code = StatusCode::kTimeout;
+        response.message = "deadline expired before execution started";
+      } else {
+        if (opts.execute_delay_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opts.execute_delay_ms));
+        }
+        const Clock::time_point t0 = Clock::now();
+        Result<QueryOutcome> outcome =
+            engine->Execute(task.request.query_text);
+        response.exec_micros = MicrosSince(t0);
+        if (!outcome.ok()) {
+          queries_failed.fetch_add(1, std::memory_order_relaxed);
+          response.code = outcome.status().code();
+          response.message = outcome.status().message();
+        } else {
+          queries_ok.fetch_add(1, std::memory_order_relaxed);
+          response.plan_cache_hit = outcome->plan_cache_hit;
+          response.answered_without_database =
+              outcome->answered_without_database;
+          response.rows = std::move(outcome->rows.rows);
+        }
+      }
+      Respond(task.conn, response);
+      task.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      Wake();  // drain progress: the poller rechecks its exit condition
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // I/O side (single thread).
+  // ------------------------------------------------------------------
+
+  void Admit(const std::shared_ptr<Conn>& conn, Request request) {
+    if (draining.load(std::memory_order_relaxed)) {
+      rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, ErrorResponse(RequestType::kQuery,
+                                  Status::Overloaded("server is draining")));
+      return;
+    }
+    if (queue_depth.load(std::memory_order_relaxed) >= opts.max_queue) {
+      rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn,
+              ErrorResponse(
+                  RequestType::kQuery,
+                  Status::Overloaded(
+                      "admission queue full (" +
+                      std::to_string(opts.max_queue) + " requests)")));
+      return;
+    }
+    uint32_t deadline_ms = request.deadline_ms == 0
+                               ? opts.default_deadline_ms
+                               : std::min(request.deadline_ms,
+                                          opts.max_deadline_ms);
+    Task task;
+    task.conn = conn;
+    task.request = std::move(request);
+    task.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      queue.push_back(std::move(task));
+      const uint64_t depth = queue.size();
+      queue_depth.store(depth, std::memory_order_relaxed);
+      if (depth > queue_depth_hwm.load(std::memory_order_relaxed)) {
+        queue_depth_hwm.store(depth, std::memory_order_relaxed);
+      }
+    }
+    queue_cv.notify_one();
+  }
+
+  void HandleFrame(const std::shared_ptr<Conn>& conn,
+                   std::string_view payload) {
+    requests_received.fetch_add(1, std::memory_order_relaxed);
+    Result<Request> request = DecodeRequest(payload);
+    if (!request.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, ErrorResponse(RequestType::kQuery, request.status()));
+      return;
+    }
+    switch (request->type) {
+      case RequestType::kPing: {
+        Response r;
+        r.type = RequestType::kPing;
+        Respond(conn, r);
+        break;
+      }
+      case RequestType::kStats: {
+        Response r;
+        r.type = RequestType::kStats;
+        r.stats_text = MetricsText();
+        Respond(conn, r);
+        break;
+      }
+      case RequestType::kQuery:
+        Admit(conn, std::move(*request));
+        break;
+    }
+  }
+
+  // Reads everything available; returns false when the connection is
+  // finished and should be closed by the caller.
+  bool ReadConn(const std::shared_ptr<Conn>& conn) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->last_activity = Clock::now();
+        conn->reader.Append(buf, static_cast<size_t>(n));
+        std::string payload;
+        for (;;) {
+          const FrameReader::Outcome outcome = conn->reader.Next(&payload);
+          if (outcome == FrameReader::Outcome::kNeedMore) break;
+          if (outcome == FrameReader::Outcome::kFrame) {
+            HandleFrame(conn, payload);
+          } else if (outcome == FrameReader::Outcome::kBadCrc) {
+            // Recoverable: the frame boundary is known, so the stream
+            // is still in sync — answer with a typed error and keep
+            // serving this connection.
+            protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            Respond(conn,
+                    ErrorResponse(RequestType::kQuery,
+                                  Status::Corruption(
+                                      "request frame failed CRC check")));
+          } else {  // kTooLarge: cannot resync; answer and hang up.
+            protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            Respond(conn,
+                    ErrorResponse(
+                        RequestType::kQuery,
+                        Status::Corruption("frame exceeds maximum size")));
+            conn->close_after_flush = true;
+            return true;  // keep alive until the error flushes
+          }
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Peer closed. Bytes stuck mid-frame mean it died inside one.
+        if (conn->reader.buffered() > 0) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // hard socket error
+    }
+  }
+
+  // Flushes pending output; returns false when the connection died.
+  bool FlushConn(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (!conn->outbuf.empty()) {
+      const ssize_t n = ::send(conn->fd, conn->outbuf.data(),
+                               conn->outbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->outbuf.erase(0, static_cast<size_t>(n));
+        conn->last_activity = Clock::now();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return !conn->close_after_flush;
+  }
+
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closed = true;
+      conn->outbuf.clear();
+    }
+    ::close(conn->fd);
+    conns.erase(conn->fd);
+    active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          return;
+        }
+        return;  // transient accept failure; retry on the next wakeup
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn->last_activity = Clock::now();
+      conns.emplace(fd, std::move(conn));
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      active.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool AllFlushed() {
+    for (auto& [fd, conn] : conns) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->outbuf.empty()) return false;
+    }
+    return true;
+  }
+
+  void ReapIdle() {
+    if (opts.idle_timeout_ms == 0) return;
+    const Clock::time_point cutoff =
+        Clock::now() - std::chrono::milliseconds(opts.idle_timeout_ms);
+    std::vector<std::shared_ptr<Conn>> victims;
+    for (auto& [fd, conn] : conns) {
+      if (conn->last_activity > cutoff) continue;
+      if (conn->inflight.load(std::memory_order_relaxed) > 0) continue;
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->outbuf.empty()) continue;
+      victims.push_back(conn);
+    }
+    for (const auto& conn : victims) {
+      reaped_idle.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn);
+    }
+  }
+
+  void IoLoop() {
+    const size_t watermark = opts.backpressure_watermark == 0
+                                 ? opts.max_queue
+                                 : opts.backpressure_watermark;
+    bool reads_paused = false;
+    std::vector<pollfd> pfds;
+    std::vector<std::shared_ptr<Conn>> polled;
+    for (;;) {
+      const bool drain = draining.load(std::memory_order_relaxed);
+      if (drain && queue_depth.load(std::memory_order_relaxed) == 0 &&
+          inflight.load(std::memory_order_relaxed) == 0 && AllFlushed()) {
+        break;
+      }
+
+      // Backpressure hysteresis: stop reading at the watermark, resume
+      // once the workers have drained half of it.
+      const size_t depth = queue_depth.load(std::memory_order_relaxed);
+      if (!reads_paused && depth >= watermark) {
+        reads_paused = true;
+      } else if (reads_paused && depth <= watermark / 2) {
+        reads_paused = false;
+      }
+
+      pfds.clear();
+      polled.clear();
+      pfds.push_back({wake_rd, POLLIN, 0});
+      const bool poll_listen = !drain;
+      if (poll_listen) pfds.push_back({listen_fd, POLLIN, 0});
+      for (auto& [fd, conn] : conns) {
+        short events = 0;
+        if (!drain && !reads_paused) events |= POLLIN;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (!conn->outbuf.empty()) events |= POLLOUT;
+        }
+        pfds.push_back({fd, events, 0});
+        polled.push_back(conn);
+      }
+
+      if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50) < 0 &&
+          errno != EINTR) {
+        break;  // unrecoverable poll failure
+      }
+
+      size_t idx = 0;
+      if (pfds[idx].revents & POLLIN) {
+        char sink[256];
+        while (::read(wake_rd, sink, sizeof(sink)) > 0) {
+        }
+      }
+      ++idx;
+      if (poll_listen) {
+        if (pfds[idx].revents & POLLIN) AcceptAll();
+        ++idx;
+      }
+      std::vector<std::shared_ptr<Conn>> dead;
+      for (size_t i = 0; i < polled.size(); ++i) {
+        const short revents = pfds[idx + i].revents;
+        const std::shared_ptr<Conn>& conn = polled[i];
+        bool alive = true;
+        if (revents & POLLOUT) alive = FlushConn(conn);
+        if (alive && (revents & (POLLIN | POLLERR | POLLHUP))) {
+          alive = ReadConn(conn);
+          // Frames handled above may have produced inline responses
+          // (stats, ping, errors); try to push them out right away
+          // instead of waiting one poll round-trip.
+          if (alive) alive = FlushConn(conn);
+        }
+        if (!alive) dead.push_back(conn);
+      }
+      for (const auto& conn : dead) CloseConn(conn);
+      ReapIdle();
+    }
+
+    // Drained: every admitted request was answered and flushed. Stop
+    // the workers and close what's left.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      stop_workers = true;
+    }
+    queue_cv.notify_all();
+    std::vector<std::shared_ptr<Conn>> leftover;
+    leftover.reserve(conns.size());
+    for (auto& [fd, conn] : conns) leftover.push_back(conn);
+    for (const auto& conn : leftover) CloseConn(conn);
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+
+  std::string MetricsText() const {
+    char line[128];
+    std::string out;
+    auto put = [&](const char* name, uint64_t v) {
+      std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                    static_cast<unsigned long long>(v));
+      out += line;
+    };
+    put("server_connections_accepted", accepted.load());
+    put("server_connections_active", active.load());
+    put("server_connections_reaped_idle", reaped_idle.load());
+    put("server_requests_received", requests_received.load());
+    put("server_responses_sent", responses_sent.load());
+    put("server_queries_ok", queries_ok.load());
+    put("server_queries_failed", queries_failed.load());
+    put("server_rejected_overloaded", rejected_overloaded.load());
+    put("server_timed_out", timed_out.load());
+    put("server_protocol_errors", protocol_errors.load());
+    put("server_queue_depth", queue_depth.load());
+    put("server_queue_depth_hwm", queue_depth_hwm.load());
+    const EngineStats es = engine->stats();
+    put("engine_queries_parsed", es.queries_parsed);
+    put("engine_queries_executed", es.queries_executed);
+    put("engine_queries_analyzed", es.queries_analyzed);
+    put("engine_statements_prepared", es.statements_prepared);
+    put("engine_prepared_executions", es.prepared_executions);
+    put("engine_contradictions", es.contradictions);
+    put("engine_batches_served", es.batches_served);
+    put("engine_mutation_batches_applied", es.mutation_batches_applied);
+    put("engine_mutation_ops_applied", es.mutation_ops_applied);
+    put("engine_mutation_batches_rejected", es.mutation_batches_rejected);
+    put("engine_checkpoints", es.checkpoints);
+    put("engine_wal_records_replayed", es.wal_records_replayed);
+    const PlanCacheStats pc = engine->plan_cache_stats();
+    put("plan_cache_hits", pc.hits);
+    put("plan_cache_misses", pc.misses);
+    put("plan_cache_evictions", pc.evictions);
+    put("plan_cache_invalidations", pc.invalidations);
+    put("plan_cache_entries", pc.entries);
+    put("plan_cache_aliases", pc.aliases);
+    put("plan_cache_capacity", pc.capacity);
+    put("plan_cache_shards", pc.shards);
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Public surface.
+// ---------------------------------------------------------------------
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(const Engine* engine,
+                                              ServerOptions options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (engine->store() == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no data loaded: call Engine::Load before Server::Start");
+  }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("ServerOptions::threads must be >= 1");
+  }
+  if (options.max_queue < 1) {
+    return Status::InvalidArgument("ServerOptions::max_queue must be >= 1");
+  }
+
+  auto impl = std::make_unique<Impl>();
+  impl->engine = engine;
+  impl->opts = options;
+
+  impl->listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (impl->listen_fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host address: " +
+                                   options.host);
+  }
+  if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(impl->listen_fd, 128) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  impl->bound_port = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) return Errno("pipe2");
+  impl->wake_rd = pipe_fds[0];
+  impl->wake_wr = pipe_fds[1];
+
+  Impl* raw = impl.get();
+  impl->workers.reserve(static_cast<size_t>(options.threads));
+  for (int i = 0; i < options.threads; ++i) {
+    impl->workers.emplace_back([raw] { raw->WorkerLoop(); });
+  }
+  impl->io_thread = std::thread([raw] { raw->IoLoop(); });
+
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) Shutdown();
+}
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::RequestDrain() {
+  impl_->draining.store(true, std::memory_order_relaxed);
+  impl_->Wake();
+}
+
+void Server::Await() {
+  std::lock_guard<std::mutex> lock(impl_->join_mu);
+  if (impl_->joined) return;
+  impl_->joined = true;
+  if (impl_->io_thread.joinable()) impl_->io_thread.join();
+  for (std::thread& w : impl_->workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Server::Shutdown() {
+  RequestDrain();
+  Await();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = impl_->accepted.load();
+  s.connections_active = impl_->active.load();
+  s.connections_reaped_idle = impl_->reaped_idle.load();
+  s.requests_received = impl_->requests_received.load();
+  s.responses_sent = impl_->responses_sent.load();
+  s.queries_ok = impl_->queries_ok.load();
+  s.queries_failed = impl_->queries_failed.load();
+  s.rejected_overloaded = impl_->rejected_overloaded.load();
+  s.timed_out = impl_->timed_out.load();
+  s.protocol_errors = impl_->protocol_errors.load();
+  s.queue_depth = impl_->queue_depth.load();
+  s.queue_depth_hwm = impl_->queue_depth_hwm.load();
+  return s;
+}
+
+std::string Server::MetricsText() const { return impl_->MetricsText(); }
+
+}  // namespace sqopt::server

@@ -1,0 +1,131 @@
+// The network serving layer: an async TCP front end over the const,
+// thread-safe Engine read path. One I/O thread multiplexes every
+// connection over non-blocking sockets + poll(2) (accept, per-
+// connection read/write state machines, idle reaping); a fixed worker
+// pool executes admitted queries against the shared engine — and
+// therefore the shared plan cache, so concurrent clients sending the
+// same query text serve from one cached plan exactly like ExecuteBatch
+// slots do.
+//
+// Admission control: decoded query requests enter a bounded queue.
+// A full queue rejects the request immediately with a typed
+// kOverloaded response (the request is never executed, memory stays
+// bounded); at the configurable backpressure watermark the I/O thread
+// additionally stops reading request bytes until the queue drains,
+// so a firehose client is throttled by TCP flow control instead of
+// ballooning the input buffers.
+//
+// Deadlines: every query carries a deadline (client-supplied or the
+// server default) covering queue wait. A request whose deadline has
+// expired when a worker picks it up is answered with a typed kTimeout
+// response without executing; execution itself is never interrupted.
+//
+// Graceful drain: RequestDrain() (async-signal-safe — SIGTERM handlers
+// call it directly) stops accepting and stops reading, finishes every
+// queued and in-flight request, flushes every response, then closes.
+// See DESIGN.md "Network serving".
+#ifndef SQOPT_SERVER_SERVER_H_
+#define SQOPT_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+#include "common/status.h"
+
+namespace sqopt::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the bound port from port()
+
+  // Worker threads executing admitted queries. Independent of the
+  // engine's internal ExecuteBatch/morsel pool.
+  int threads = 4;
+
+  // Admission bound: queued-but-not-started requests beyond which new
+  // queries are rejected with kOverloaded.
+  size_t max_queue = 128;
+
+  // Stop reading request bytes when the queue reaches this depth;
+  // resume below half of it. 0 = max_queue (reject-only backpressure).
+  size_t backpressure_watermark = 0;
+
+  // Deadline applied to requests that don't carry one; client-supplied
+  // deadlines are clamped to max_deadline_ms.
+  uint32_t default_deadline_ms = 5000;
+  uint32_t max_deadline_ms = 60000;
+
+  // Connections with no traffic and no pending work for this long are
+  // reaped. 0 disables reaping.
+  uint32_t idle_timeout_ms = 60000;
+
+  // Fault injection: sleep this long inside each worker before
+  // executing a query. Lets tests and the overload bench pin the
+  // server's capacity deterministically. 0 in production.
+  uint32_t execute_delay_ms = 0;
+};
+
+// Cumulative server-side counters; reads are atomic snapshots.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_reaped_idle = 0;
+  uint64_t requests_received = 0;   // decoded frames, all types
+  uint64_t responses_sent = 0;      // responses written back to connections
+  uint64_t queries_ok = 0;          // query responses with code kOk
+  uint64_t queries_failed = 0;      // typed engine errors (parse etc.)
+  uint64_t rejected_overloaded = 0; // admission-queue rejections
+  uint64_t timed_out = 0;           // deadline expiries
+  uint64_t protocol_errors = 0;     // bad CRC, bad payload, oversized frame
+  uint64_t queue_depth = 0;         // instantaneous admitted-not-started
+  uint64_t queue_depth_hwm = 0;     // high-water mark since start
+};
+
+class Server {
+ public:
+  // Binds, listens, and spawns the I/O thread + workers. `engine` must
+  // have data loaded and must outlive the server; the server only uses
+  // the const read path (Execute / stats accessors).
+  static Result<std::unique_ptr<Server>> Start(const Engine* engine,
+                                               ServerOptions options);
+
+  ~Server();  // implies Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound TCP port (resolves an ephemeral bind).
+  int port() const;
+
+  // Begins graceful drain: stop accepting, stop reading, finish queued
+  // + in-flight requests, flush responses, close. Async-signal-safe
+  // (an atomic store and a pipe write) — call it from a SIGTERM
+  // handler.
+  void RequestDrain();
+
+  // Blocks until the drain completes and every thread has been joined.
+  // Idempotent and safe from multiple threads.
+  void Await();
+
+  // RequestDrain + Await.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  // The plaintext metrics snapshot the STATS request serves:
+  // "name value" lines covering ServerStats, EngineStats, and the
+  // plan-cache counters.
+  std::string MetricsText() const;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sqopt::server
+
+#endif  // SQOPT_SERVER_SERVER_H_

@@ -1,0 +1,168 @@
+#include "server/wire.h"
+
+#include <utility>
+
+#include "persist/serde.h"
+
+namespace sqopt::server {
+
+namespace {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+using persist::Crc32;
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+constexpr uint8_t kFlagCacheHit = 1u << 0;
+constexpr uint8_t kFlagNoDatabase = 1u << 1;
+
+Result<RequestType> ReadRequestType(uint8_t raw) {
+  switch (raw) {
+    case static_cast<uint8_t>(RequestType::kQuery):
+      return RequestType::kQuery;
+    case static_cast<uint8_t>(RequestType::kStats):
+      return RequestType::kStats;
+    case static_cast<uint8_t>(RequestType::kPing):
+      return RequestType::kPing;
+    default:
+      return Status::Corruption("unknown request type byte " +
+                                std::to_string(static_cast<int>(raw)));
+  }
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload.data(), payload.size()));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+std::string EncodeRequest(const Request& request) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(request.type));
+  if (request.type == RequestType::kQuery) {
+    w.PutU32(request.deadline_ms);
+    w.PutString(request.query_text);
+  }
+  return EncodeFrame(w.buffer());
+}
+
+std::string EncodeResponse(const Response& response) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(response.type));
+  w.PutU8(static_cast<uint8_t>(response.code));
+  w.PutString(response.message);
+  if (response.ok()) {
+    switch (response.type) {
+      case RequestType::kQuery: {
+        uint8_t flags = 0;
+        if (response.plan_cache_hit) flags |= kFlagCacheHit;
+        if (response.answered_without_database) flags |= kFlagNoDatabase;
+        w.PutU8(flags);
+        w.PutU64(response.exec_micros);
+        w.PutU32(static_cast<uint32_t>(response.rows.size()));
+        for (const std::vector<Value>& row : response.rows) {
+          w.PutU32(static_cast<uint32_t>(row.size()));
+          for (const Value& v : row) w.PutValue(v);
+        }
+        break;
+      }
+      case RequestType::kStats:
+        w.PutString(response.stats_text);
+        break;
+      case RequestType::kPing:
+        break;
+    }
+  }
+  return EncodeFrame(w.buffer());
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint8_t raw_type, r.U8());
+  Request request;
+  SQOPT_ASSIGN_OR_RETURN(request.type, ReadRequestType(raw_type));
+  if (request.type == RequestType::kQuery) {
+    SQOPT_ASSIGN_OR_RETURN(request.deadline_ms, r.U32());
+    SQOPT_ASSIGN_OR_RETURN(request.query_text, r.String());
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after request payload");
+  }
+  return request;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  ByteReader r(payload);
+  SQOPT_ASSIGN_OR_RETURN(uint8_t raw_type, r.U8());
+  Response response;
+  SQOPT_ASSIGN_OR_RETURN(response.type, ReadRequestType(raw_type));
+  SQOPT_ASSIGN_OR_RETURN(uint8_t raw_code, r.U8());
+  if (raw_code > static_cast<uint8_t>(StatusCode::kTimeout)) {
+    return Status::Corruption("unknown status code byte " +
+                              std::to_string(static_cast<int>(raw_code)));
+  }
+  response.code = static_cast<StatusCode>(raw_code);
+  SQOPT_ASSIGN_OR_RETURN(response.message, r.String());
+  if (response.ok()) {
+    switch (response.type) {
+      case RequestType::kQuery: {
+        SQOPT_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+        response.plan_cache_hit = (flags & kFlagCacheHit) != 0;
+        response.answered_without_database = (flags & kFlagNoDatabase) != 0;
+        SQOPT_ASSIGN_OR_RETURN(response.exec_micros, r.U64());
+        SQOPT_ASSIGN_OR_RETURN(uint32_t n_rows, r.U32());
+        response.rows.reserve(r.CappedCount(n_rows, 4));
+        for (uint32_t i = 0; i < n_rows; ++i) {
+          SQOPT_ASSIGN_OR_RETURN(uint32_t n_values, r.U32());
+          std::vector<Value> row;
+          row.reserve(r.CappedCount(n_values, 1));
+          for (uint32_t j = 0; j < n_values; ++j) {
+            SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+            row.push_back(std::move(v));
+          }
+          response.rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case RequestType::kStats: {
+        SQOPT_ASSIGN_OR_RETURN(response.stats_text, r.String());
+        break;
+      }
+      case RequestType::kPing:
+        break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after response payload");
+  }
+  return response;
+}
+
+FrameReader::Outcome FrameReader::Next(std::string* payload) {
+  // Compact the consumed prefix away once it dominates the buffer, so
+  // a long-lived connection doesn't grow its input buffer forever.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Outcome::kNeedMore;
+  ByteReader header(std::string_view(buf_).substr(pos_, kFrameHeaderBytes));
+  const uint32_t len = *header.U32();
+  const uint32_t crc = *header.U32();
+  if (len > kMaxFramePayload) return Outcome::kTooLarge;
+  if (avail < kFrameHeaderBytes + len) return Outcome::kNeedMore;
+  const std::string_view body =
+      std::string_view(buf_).substr(pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  if (Crc32(body.data(), body.size()) != crc) return Outcome::kBadCrc;
+  payload->assign(body.data(), body.size());
+  return Outcome::kFrame;
+}
+
+}  // namespace sqopt::server

@@ -1,0 +1,129 @@
+// The sqopt wire protocol: length-prefixed, CRC-framed request/response
+// messages over a byte stream, encoded with the same little-endian
+// ByteWriter/ByteReader conventions as the durable on-disk format
+// (src/persist/serde.h) — so the wire bytes, like the snapshot bytes,
+// are identical across compilers and host endianness.
+//
+// Frame layout (all fields little-endian):
+//
+//   u32 payload_len   bytes that follow the 8-byte header
+//   u32 payload_crc   CRC-32 (persist::Crc32) of the payload bytes
+//   [payload_len bytes of payload]
+//
+// A frame whose CRC does not match is RECOVERABLE: the reader knows the
+// frame boundary, consumes the bad frame, and the connection survives —
+// the server answers it with a typed kCorruption response. A frame
+// whose length field exceeds kMaxFramePayload is NOT recoverable (the
+// length itself cannot be trusted, so there is no boundary to resync
+// at); the connection must be closed after one typed error response.
+//
+// Request payload:
+//   u8  type           (RequestType)
+//   u32 deadline_ms    kQuery only; 0 = server default
+//   string query_text  kQuery only (u32 length + bytes)
+//
+// Response payload:
+//   u8  type           echo of the request type
+//   u8  code           StatusCode of the outcome
+//   string message     empty when code == kOk
+//   -- kQuery, code == kOk --
+//   u8  flags          bit0 plan_cache_hit, bit1 answered_without_database
+//   u64 exec_micros    server-side execution latency
+//   u32 n_rows; per row: u32 n_values; per value: serde PutValue
+//   -- kStats, code == kOk --
+//   string stats_text  plaintext "name value\n" lines
+#ifndef SQOPT_SERVER_WIRE_H_
+#define SQOPT_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace sqopt::server {
+
+// Hard ceiling on one frame's payload. Generous for query text and
+// result sets at the experiment scale; prevents a corrupt or hostile
+// length field from driving a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;  // 8 MiB
+
+enum class RequestType : uint8_t {
+  kQuery = 1,  // execute one query, reply with rows
+  kStats = 2,  // plaintext metrics snapshot
+  kPing = 3,   // liveness probe, empty OK reply
+};
+
+struct Request {
+  RequestType type = RequestType::kQuery;
+  // Total budget for queue wait + execution start, in milliseconds.
+  // 0 = the server's configured default.
+  uint32_t deadline_ms = 0;
+  std::string query_text;
+};
+
+struct Response {
+  RequestType type = RequestType::kQuery;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  // kQuery success payload.
+  bool plan_cache_hit = false;
+  bool answered_without_database = false;
+  uint64_t exec_micros = 0;
+  std::vector<std::vector<Value>> rows;
+
+  // kStats success payload.
+  std::string stats_text;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  // The outcome as a Status (OK for success responses).
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+};
+
+// Wraps `payload` in a frame header (length + CRC).
+std::string EncodeFrame(std::string_view payload);
+
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+// Payload decoding (the framing has already been stripped and CRC
+// verified by FrameReader). Malformed payloads — unknown type byte,
+// truncated fields — return kCorruption.
+Result<Request> DecodeRequest(std::string_view payload);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// Incremental frame extraction from a byte stream: Append() received
+// bytes, then call Next() until it returns kNeedMore. One FrameReader
+// per connection direction.
+class FrameReader {
+ public:
+  enum class Outcome {
+    kFrame,     // *payload filled with one verified frame payload
+    kNeedMore,  // no complete frame buffered yet
+    kBadCrc,    // a full frame arrived but its CRC is wrong; the frame
+                // was consumed and the stream is still in sync
+    kTooLarge,  // length field exceeds kMaxFramePayload — the stream
+                // cannot be resynced; close the connection
+  };
+
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  Outcome Next(std::string* payload);
+
+  // Bytes buffered but not yet consumed (a partial frame at connection
+  // close means the peer truncated mid-frame).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqopt::server
+
+#endif  // SQOPT_SERVER_WIRE_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "workload/dbgen.h"
+#include "workload/query_pool.h"
 
 namespace sqopt {
 
@@ -144,19 +145,7 @@ Result<MutationBatch> MutationScript::Next() {
 }
 
 std::vector<std::string> MutationScript::QueryPool() {
-  return {
-      "{supplier.name} {} {supplier.rating >= 8} {} {supplier}",
-      "{cargo.code} {} {cargo.weight <= 40} {} {cargo}",
-      "{supplier.name, cargo.code} {} {cargo.desc = \"frozen food\"} "
-      "{supplies} {supplier, cargo}",
-      "{cargo.code, vehicle.vehicleNo} {} "
-      "{vehicle.desc = \"refrigerated truck\"} {collects} {cargo, vehicle}",
-      "{driver.name, department.name} {} {department.securityClass >= 4} "
-      "{belongsTo} {driver, department}",
-      "{supplier.name, cargo.code, vehicle.vehicleNo} {} "
-      "{cargo.weight <= 40} {supplies, collects} "
-      "{supplier, cargo, vehicle}",
-  };
+  return ExperimentQueryPool();
 }
 
 }  // namespace sqopt

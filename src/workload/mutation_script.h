@@ -44,11 +44,10 @@ class MutationScript {
 
   int64_t batches_issued() const { return batch_index_; }
 
-  // Queries that jointly touch every class and relationship the script
-  // mutates; each projects or predicates every class it names, so any
-  // semantic transformation the optimizer applies must preserve them
-  // whatever the relationship structure. The recovery differential
-  // runs this pool on both engines after every kill.
+  // The shared experiment query pool (see workload/query_pool.h); the
+  // recovery differential runs it on both engines after every kill.
+  // Kept as a member so existing harness call sites stay valid — the
+  // pool itself is defined once, in ExperimentQueryPool().
   static std::vector<std::string> QueryPool();
 
  private:

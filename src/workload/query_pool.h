@@ -1,0 +1,25 @@
+// The deterministic experiment-schema query pool shared by everything
+// that drives traffic at an engine built from BuildExperimentSchema:
+// the crash-recovery harness's differential verifier, the network load
+// generator's Zipfian mix, and the server bench. One definition, three
+// consumers — hoisted out of MutationScript so the fixture queries,
+// the wire-protocol traffic, and the recovery oracle can never
+// diverge. Each query jointly projects or predicates every class it
+// names, so any semantic transformation the optimizer applies must
+// preserve it whatever the relationship structure.
+#ifndef SQOPT_WORKLOAD_QUERY_POOL_H_
+#define SQOPT_WORKLOAD_QUERY_POOL_H_
+
+#include <string>
+#include <vector>
+
+namespace sqopt {
+
+// Queries that jointly touch every class and all six relationships of
+// the experiment schema. Stable order: callers index into the pool
+// with seeded RNGs and expect the same query for the same draw.
+std::vector<std::string> ExperimentQueryPool();
+
+}  // namespace sqopt
+
+#endif  // SQOPT_WORKLOAD_QUERY_POOL_H_

@@ -32,6 +32,16 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+}
+
+TEST(StatusTest, ServingCodesHaveStableNames) {
+  EXPECT_EQ(Status::Overloaded("q full").ToString(), "Overloaded: q full");
+  EXPECT_EQ(Status::Timeout("deadline").ToString(), "Timeout: deadline");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

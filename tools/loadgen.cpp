@@ -1,0 +1,157 @@
+// Standalone open-loop load generator for sqopt_server: drives the
+// shared experiment query pool (workload/query_pool.h) at a target QPS
+// with a Zipfian mix, and reports offered/achieved throughput, typed
+// rejection counts, and scheduled-arrival latency percentiles. Exits
+// non-zero when --expect-clean is set and anything other than OK or a
+// typed rejection came back — the CI smoke leg's "zero protocol
+// errors" assertion.
+//
+// Flags:
+//   --host=H           (default 127.0.0.1)
+//   --port=N           (default 7411)
+//   --port-file=PATH   read the port from PATH (written by sqopt_server)
+//   --qps=N            open-loop target rate (default 500)
+//   --duration-ms=N    run length (default 2000)
+//   --connections=N    client connections/threads (default 8)
+//   --theta=F          Zipf skew, 0 = uniform (default 0.9)
+//   --deadline-ms=N    per-request deadline, 0 = server default
+//   --seed=N           mix seed (default 20260807)
+//   --wait-ms=N        retry the first connection for up to N ms
+//                      (server startup race; default 5000)
+//   --expect-clean     exit 1 on any protocol error
+//   --expect-rejections exit 1 if the server shed NO load (overload runs)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/load_runner.h"
+#include "workload/query_pool.h"
+
+namespace {
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "loadgen: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqopt;  // NOLINT(build/namespaces) — tool binary
+
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  int port = 7411;
+  uint64_t wait_ms = 5000;
+  bool expect_clean = false;
+  bool expect_rejections = false;
+  server::LoadOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--host=")) {
+      host = v;
+    } else if (const char* v = value("--port=")) {
+      port = std::atoi(v);
+    } else if (const char* v = value("--port-file=")) {
+      port_file = v;
+    } else if (const char* v = value("--qps=")) {
+      options.target_qps = std::atof(v);
+    } else if (const char* v = value("--duration-ms=")) {
+      options.duration_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--connections=")) {
+      options.connections = std::atoi(v);
+    } else if (const char* v = value("--theta=")) {
+      options.zipf_theta = std::atof(v);
+    } else if (const char* v = value("--deadline-ms=")) {
+      options.deadline_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--wait-ms=")) {
+      wait_ms = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--expect-clean") == 0) {
+      expect_clean = true;
+    } else if (std::strcmp(arg, "--expect-rejections") == 0) {
+      expect_rejections = true;
+    } else {
+      Die(std::string("unknown flag ") + arg);
+    }
+  }
+
+  if (!port_file.empty()) {
+    // The server writes its bound port once it is listening; poll for
+    // the file so "start server &; run loadgen" needs no sleep.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(wait_ms);
+    for (;;) {
+      std::ifstream in(port_file);
+      if (in >> port && port > 0) break;
+      if (std::chrono::steady_clock::now() > give_up) {
+        Die("port file " + port_file + " never appeared");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // Wait for the server to accept (it may still be loading the DB).
+  {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(wait_ms);
+    for (;;) {
+      auto probe = server::Client::Connect(host, port, 1000);
+      if (probe.ok() && probe->Ping().ok()) break;
+      if (std::chrono::steady_clock::now() > give_up) {
+        Die("server at " + host + ":" + std::to_string(port) +
+            " not reachable");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  const std::vector<std::string> pool = ExperimentQueryPool();
+  auto ran = server::RunOpenLoop(host, port, pool, options);
+  if (!ran.ok()) Die("run: " + ran.status().ToString());
+  const server::LoadReport& r = *ran;
+
+  std::printf(
+      "loadgen: offered %.0f qps for %.1fs (%llu reqs, %d conns, "
+      "theta %.2f)\n",
+      r.offered_qps, r.wall_seconds,
+      static_cast<unsigned long long>(r.sent), options.connections,
+      options.zipf_theta);
+  std::printf(
+      "loadgen: ok %llu (%.0f qps)  overloaded %llu  timed_out %llu  "
+      "failed %llu  protocol_errors %llu\n",
+      static_cast<unsigned long long>(r.ok), r.achieved_qps,
+      static_cast<unsigned long long>(r.overloaded),
+      static_cast<unsigned long long>(r.timed_out),
+      static_cast<unsigned long long>(r.failed),
+      static_cast<unsigned long long>(r.protocol_errors));
+  std::printf("loadgen: latency p50 %llu us  p95 %llu us  p99 %llu us  "
+              "max %llu us\n",
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p95_us),
+              static_cast<unsigned long long>(r.p99_us),
+              static_cast<unsigned long long>(r.max_us));
+
+  if (expect_clean && (!r.clean() || r.failed > 0)) {
+    std::fprintf(stderr, "loadgen: FAILURE — expected a clean run\n");
+    return 1;
+  }
+  if (expect_rejections && r.overloaded == 0) {
+    std::fprintf(stderr,
+                 "loadgen: FAILURE — expected the server to shed load\n");
+    return 1;
+  }
+  return 0;
+}

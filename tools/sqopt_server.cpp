@@ -1,0 +1,144 @@
+// The sqopt network server binary: opens an engine (a persistence
+// directory from Engine::Save / crash_harness --mode fixture, or a
+// freshly generated experiment database) and serves the wire protocol
+// until SIGTERM/SIGINT, then drains gracefully — stops accepting,
+// finishes in-flight requests, flushes every response — and exits 0.
+//
+// Usage:
+//   sqopt_server --dir FIXTURE_DIR [flags]     serve a persisted engine
+//   sqopt_server --gen ROWS [flags]            serve a generated DB
+//                                              (ROWS per class, expt schema)
+// Flags:
+//   --port=N            TCP port (default 7411; 0 = ephemeral)
+//   --port-file=PATH    write the bound port to PATH (readiness signal)
+//   --threads=N         worker threads (default 4)
+//   --queue=N           admission queue bound (default 128)
+//   --watermark=N       backpressure watermark (default: queue bound)
+//   --deadline-ms=N     default per-request deadline (default 5000)
+//   --idle-timeout-ms=N idle connection reaping (default 60000)
+//   --seed=N            generation seed for --gen (default 42)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/engine.h"
+#include "server/server.h"
+
+namespace {
+
+sqopt::server::Server* g_server = nullptr;
+
+void HandleTermination(int) {
+  // RequestDrain is async-signal-safe: an atomic store + pipe write.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "sqopt_server: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqopt;  // NOLINT(build/namespaces) — tool binary
+
+  std::string dir;
+  std::string port_file;
+  int64_t gen_rows = 0;
+  uint64_t seed = 42;
+  server::ServerOptions options;
+  options.port = 7411;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--dir=")) {
+      dir = v;
+    } else if (const char* v = value("--gen=")) {
+      gen_rows = std::atoll(v);
+    } else if (const char* v = value("--port=")) {
+      options.port = std::atoi(v);
+    } else if (const char* v = value("--port-file=")) {
+      port_file = v;
+    } else if (const char* v = value("--threads=")) {
+      options.threads = std::atoi(v);
+    } else if (const char* v = value("--queue=")) {
+      options.max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--watermark=")) {
+      options.backpressure_watermark = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--deadline-ms=")) {
+      options.default_deadline_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (const char* v = value("--idle-timeout-ms=")) {
+      options.idle_timeout_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (const char* v = value("--seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      Die(std::string("unknown flag ") + arg);
+    }
+  }
+  if (dir.empty() == (gen_rows == 0)) {
+    Die("exactly one of --dir=DIR or --gen=ROWS is required");
+  }
+
+  Result<Engine> opened =
+      dir.empty()
+          ? Engine::Open(SchemaSource::Experiment(),
+                         ConstraintSource::Experiment())
+          : Engine::Open(dir);
+  if (!opened.ok()) Die("open: " + opened.status().ToString());
+  Engine engine = std::move(opened).value();
+  if (!dir.empty()) {
+    std::printf("sqopt_server: opened %s at data version %llu\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(engine.data_version()));
+  } else {
+    const DbSpec spec{"served", gen_rows, gen_rows * 3 / 2};
+    Status loaded = engine.Load(DataSource::Generated(spec, seed));
+    if (!loaded.ok()) Die("load: " + loaded.ToString());
+    std::printf("sqopt_server: generated %lld rows/class (seed %llu)\n",
+                static_cast<long long>(gen_rows),
+                static_cast<unsigned long long>(seed));
+  }
+
+  auto started = server::Server::Start(&engine, options);
+  if (!started.ok()) Die("start: " + started.status().ToString());
+  g_server = started->get();
+
+  struct sigaction sa {};
+  sa.sa_handler = HandleTermination;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const int port = (*started)->port();
+  if (!port_file.empty()) {
+    if (FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%d\n", port);
+      std::fclose(f);
+    } else {
+      Die("cannot write port file " + port_file);
+    }
+  }
+  std::printf("sqopt_server: listening on 127.0.0.1:%d\n", port);
+  std::fflush(stdout);
+
+  (*started)->Await();  // returns once a signal triggered a clean drain
+  g_server = nullptr;
+
+  const server::ServerStats stats = (*started)->stats();
+  std::printf(
+      "sqopt_server: drained cleanly — %llu conns, %llu requests, "
+      "%llu ok, %llu overloaded, %llu timed out, %llu protocol errors\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.requests_received),
+      static_cast<unsigned long long>(stats.queries_ok),
+      static_cast<unsigned long long>(stats.rejected_overloaded),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
