@@ -1,7 +1,8 @@
 // Durability bench: what persistence costs on the write path and what
 // it buys on startup. Measures (1) commit latency through Engine::Apply
-// with the WAL fsync on vs off, (2) Checkpoint time (fold the log into
-// a fresh snapshot), and (3) cold-open time — Engine::Open(dir) on a
+// with the WAL fsync on vs off, split into clone/WAL/fsync phases from
+// the per-commit ApplyOutcome timers, (2) Checkpoint time (fold the log
+// into a fresh snapshot), and (3) cold-open time — Engine::Open(dir) on a
 // checkpointed 40k-row database, which deserializes the precompiled
 // catalog, extents, indexes, and statistics — against the full re-Load
 // path (constraint closure precompilation + data generation + stats
@@ -35,14 +36,25 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
-// Mean microseconds per Apply of `n` small (4-update) batches.
-double MeanCommitMicros(sqopt::Engine* engine, int n, uint64_t seed) {
+// Mean per-commit cost of `n` small (4-update) batches, split into the
+// phases the engine reports per commit: snapshot clone, WAL encode +
+// write (fsync excluded), and the fsync itself. `total_us` is the
+// caller-observed wall clock per Apply.
+struct CommitTiming {
+  double total_us = 0;
+  double clone_us = 0;
+  double wal_us = 0;    // Append minus fsync
+  double fsync_us = 0;  // fsync() alone; 0 with the flush off
+};
+
+CommitTiming MeasureCommits(sqopt::Engine* engine, int n, uint64_t seed) {
   using namespace sqopt;
   const Schema& schema = engine->schema();
   const ClassId supplier = schema.FindClass("supplier");
   const AttrRef rating = schema.ResolveQualified("supplier.rating").value();
   const int64_t rows = engine->store()->NumLiveObjects(supplier);
   Rng rng(seed);
+  uint64_t clone = 0, wal = 0, fsync = 0;
   const auto start = Clock::now();
   for (int i = 0; i < n; ++i) {
     MutationBatch batch;
@@ -53,9 +65,17 @@ double MeanCommitMicros(sqopt::Engine* engine, int n, uint64_t seed) {
                    Value::Int(seg == 0 ? rng.UniformInt(8, 10)
                                        : rng.UniformInt(1, 7)));
     }
-    bench::Unwrap(engine->Apply(batch));
+    ApplyOutcome out = bench::Unwrap(engine->Apply(batch));
+    clone += out.clone_micros;
+    wal += out.wal_micros - out.fsync_micros;
+    fsync += out.fsync_micros;
   }
-  return MsSince(start) * 1000.0 / n;
+  CommitTiming t;
+  t.total_us = MsSince(start) * 1000.0 / n;
+  t.clone_us = static_cast<double>(clone) / n;
+  t.wal_us = static_cast<double>(wal) / n;
+  t.fsync_us = static_cast<double>(fsync) / n;
+  return t;
 }
 
 }  // namespace
@@ -108,7 +128,7 @@ int main(int argc, char** argv) {
   const double save_ms = MsSince(save_start);
 
   // Commit latency, fsync on (the default DurabilityOptions).
-  const double commit_fsync_us = MeanCommitMicros(&engine, commits, kSeed);
+  const CommitTiming fsync_on = MeasureCommits(&engine, commits, kSeed);
 
   // Same stream with the WAL flush off.
   {
@@ -116,8 +136,8 @@ int main(int argc, char** argv) {
     serve.durability.fsync = false;
     engine.SetServeOptions(serve);
   }
-  const double commit_nofsync_us =
-      MeanCommitMicros(&engine, commits, kSeed ^ 0xF);
+  const CommitTiming fsync_off =
+      MeasureCommits(&engine, commits, kSeed ^ 0xF);
 
   // Checkpoint: fold the log (2 * commits records) into a new snapshot.
   const auto ckpt_start = Clock::now();
@@ -146,9 +166,11 @@ int main(int argc, char** argv) {
   std::printf(
       "load %.0f ms, save %.0f ms, cold open %.0f ms (%.1fx faster than "
       "re-Load), checkpoint %.0f ms\n"
-      "commit %.0f us (fsync) / %.0f us (no fsync), identical=%d\n",
+      "commit %.0f us total (fsync on: clone %.0f + wal %.0f + fsync %.0f) "
+      "/ %.0f us (no fsync), identical=%d\n",
       load_ms, save_ms, cold_open_ms, open_speedup, checkpoint_ms,
-      commit_fsync_us, commit_nofsync_us, identical);
+      fsync_on.total_us, fsync_on.clone_us, fsync_on.wal_us,
+      fsync_on.fsync_us, fsync_off.total_us, identical);
   fs::remove_all(dir);
 
   BenchJson json("durability");
@@ -160,8 +182,14 @@ int main(int argc, char** argv) {
   json.Set("cold_open_ms", cold_open_ms);
   json.Set("open_speedup", open_speedup);
   json.Set("checkpoint_ms", checkpoint_ms);
-  json.Set("commit_fsync_us", commit_fsync_us);
-  json.Set("commit_nofsync_us", commit_nofsync_us);
+  // Phase split of the fsync-on commit (totals stay for the gate):
+  // clone = delta COW snapshot, wal = record encode + write, fsync =
+  // the flush itself.
+  json.Set("commit_fsync_us", fsync_on.total_us);
+  json.Set("commit_clone_us", fsync_on.clone_us);
+  json.Set("commit_wal_us", fsync_on.wal_us);
+  json.Set("commit_sync_us", fsync_on.fsync_us);
+  json.Set("commit_nofsync_us", fsync_off.total_us);
   json.Set("identical", identical);
   json.Set("final_version", engine.data_version());
   json.Write(out_path);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -20,8 +21,13 @@ namespace sqopt::bench {
 class BenchJson {
  public:
   // `name` is the file stem: BenchJson("serve") -> BENCH_serve.json.
+  // Every summary records the machine's core count so the regression
+  // gate can skip parallelism-dependent metrics on boxes that cannot
+  // express them (a 1-core CI runner can't show a scan speedup).
   explicit BenchJson(std::string name) : name_(std::move(name)) {
     Set("bench", name_);
+    unsigned cores = std::thread::hardware_concurrency();
+    Set("cores", cores == 0 ? 1u : cores);
   }
 
   void Set(const std::string& key, const std::string& value) {

@@ -1,10 +1,13 @@
 // Mixed read/write workload through the Engine facade: rounds of
-// ExecuteBatch query traffic interleaved with transactional Apply
-// commits (segment-consistent updates, world inserts, occasional
+// ExecuteBatch query traffic interleaved with transactional commits
+// submitted through ApplyGroup — four batches per commit group
+// (segment-consistent updates, world inserts, occasional in-group
 // rejected writes), measuring read throughput while the store churns,
-// commit throughput, and how well the plan cache survives
-// threshold-gated epoching. Emits BENCH_mixed.json for the bench-smoke
-// CI regression gate.
+// group-commit throughput, and how well the plan cache survives
+// threshold-gated epoching. commits_per_sec counts SUCCESSFUL batches
+// over the write-phase wall clock, so it prices the whole group
+// protocol (one WAL append + one fsync + one snapshot per group).
+// Emits BENCH_mixed.json for the bench-smoke CI regression gate.
 //
 // Flags:
 //   --quick        smaller DB + fewer rounds (CI smoke mode)
@@ -14,6 +17,7 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -85,59 +89,75 @@ int main(int argc, char** argv) {
               threads);
   const auto bench_start = std::chrono::steady_clock::now();
   for (int round = 0; round < rounds; ++round) {
-    // Writes: a small segment-consistent batch (stays below the replan
-    // threshold most rounds), plus a world insert every 8th round and a
-    // doomed write every 16th to exercise the rejection path.
-    MutationBatch batch;
-    for (int i = 0; i < 4; ++i) {
-      int64_t row = rng.UniformInt(0, spec.class_cardinality - 1);
-      int seg = SegmentOfRow(row);
-      if (i % 2 == 0) {
-        batch.Update(supplier, row, rating.attr_id,
-                     Value::Int(seg == 0 ? rng.UniformInt(8, 10)
-                                         : rng.UniformInt(1, 7)));
-      } else {
-        batch.Update(cargo, row, weight.attr_id,
-                     Value::Int(seg == 0 ? rng.UniformInt(10, 40)
-                                         : rng.UniformInt(41, 100)));
+    // Writes: four small segment-consistent batches submitted as ONE
+    // commit group (a deterministic stand-in for four concurrent
+    // writers — one WAL append, one fsync, one published snapshot for
+    // the whole group). A world insert rides in the first batch every
+    // 8th round, and every 16th round a doomed batch joins the group
+    // to prove a violation is rejected in-group without poisoning the
+    // other members.
+    std::vector<MutationBatch> group(4);
+    for (size_t b = 0; b < 4; ++b) {
+      for (int i = 0; i < 4; ++i) {
+        int64_t row = rng.UniformInt(0, spec.class_cardinality - 1);
+        int seg = SegmentOfRow(row);
+        if (i % 2 == 0) {
+          group[b].Update(supplier, row, rating.attr_id,
+                          Value::Int(seg == 0 ? rng.UniformInt(8, 10)
+                                              : rng.UniformInt(1, 7)));
+        } else {
+          group[b].Update(cargo, row, weight.attr_id,
+                          Value::Int(seg == 0 ? rng.UniformInt(10, 40)
+                                              : rng.UniformInt(41, 100)));
+        }
       }
     }
     if (round % 8 == 0) {
       int seg = static_cast<int>(rng.Index(kNumSegments));
       std::vector<int64_t> handle(schema.num_classes(), -1);
       for (const ObjectClass& oc : schema.classes()) {
-        handle[oc.id] = batch.Insert(
+        handle[oc.id] = group[0].Insert(
             oc.id, Unwrap(MakeSegmentObject(schema, oc.id, seg,
                                             next_ordinal)));
       }
       ++next_ordinal;
       for (const Relationship& rel : schema.relationships()) {
-        batch.Link(rel.id, handle[rel.a], handle[rel.b]);
+        group[0].Link(rel.id, handle[rel.a], handle[rel.b]);
       }
     }
+    size_t doomed_index = group.size();
+    if (round % 16 == 0) {
+      // Segment-1 supplier rating 9 violates i1; must be rejected
+      // in-group while its groupmates commit.
+      MutationBatch doomed;
+      int64_t row = 1 + 4 * rng.UniformInt(0, spec.class_cardinality / 8);
+      doomed.Update(supplier, row, rating.attr_id, Value::Int(9));
+      doomed_index = group.size();
+      group.push_back(std::move(doomed));
+    }
     auto write_start = std::chrono::steady_clock::now();
-    ApplyOutcome applied = Unwrap(engine.Apply(batch));
+    std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
     write_micros += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - write_start)
             .count());
-    ++commits;
-    if (applied.plan_cache_invalidated) ++invalidations;
-
-    if (round % 16 == 0) {
-      // Segment-1 supplier rating 9 violates i1; must be rejected.
-      MutationBatch doomed;
-      int64_t row = 1 + 4 * rng.UniformInt(0, spec.class_cardinality / 8);
-      doomed.Update(supplier, row, rating.attr_id, Value::Int(9));
-      auto result = engine.Apply(doomed);
-      if (result.ok() ||
-          result.status().code() != StatusCode::kConstraintViolation) {
-        std::fprintf(stderr,
-                     "mixed bench: violating write was not rejected\n");
-        return 1;
+    bool invalidated = false;
+    for (size_t b = 0; b < results.size(); ++b) {
+      if (b == doomed_index) {
+        if (results[b].ok() || results[b].status().code() !=
+                                   StatusCode::kConstraintViolation) {
+          std::fprintf(stderr,
+                       "mixed bench: violating write was not rejected\n");
+          return 1;
+        }
+        ++rejects;
+        continue;
       }
-      ++rejects;
+      ApplyOutcome applied = Unwrap(std::move(results[b]));
+      ++commits;
+      if (applied.plan_cache_invalidated) invalidated = true;
     }
+    if (invalidated) ++invalidations;
 
     // Reads: one batch over the shared pool + plan cache.
     auto read_start = std::chrono::steady_clock::now();

@@ -32,12 +32,20 @@ The suite config maps bench file names to their gated metrics:
     "BENCH_serve.json": {
       "metrics": {
         "qps": {"max_regression": 0.30},
-        "p95_us": {"max_regression": 0.50, "direction": "lower"}
+        "p95_us": {"max_regression": 0.50, "direction": "lower"},
+        "speedup_p8": {"max_regression": 0.40, "min_cores": 2}
       }
     }
   }
 A missing current or baseline file fails the suite: every gated bench
 must actually run.
+
+A metric with "min_cores": N is judged only on runners with at least N
+hardware threads (the emission's "cores" field, recorded by every
+bench): a 1-core box cannot express a parallel speedup, and gating it
+there would turn runner shape into a failure. The emission MUST carry
+"cores" for such a metric — a missing count fails the gate rather than
+silently skipping.
 """
 
 import argparse
@@ -89,6 +97,21 @@ def check_metric(name, metric, spec, baseline, current, failures):
     if metric in skipped_metrics(current):
         print(f"{name}: {metric}: [skipped: not measured on this runner]")
         return
+    min_cores = spec.get("min_cores", 1)
+    if min_cores > 1:
+        cores = current.get("cores")
+        if not isinstance(cores, int) or isinstance(cores, bool) or cores < 1:
+            failures.append(
+                f"{name}: metric '{metric}' requires min_cores={min_cores} "
+                f"but the emission has no valid 'cores' field"
+            )
+            return
+        if cores < min_cores:
+            print(
+                f"{name}: {metric}: [skipped: needs >= {min_cores} cores, "
+                f"runner has {cores}]"
+            )
+            return
     if metric not in baseline or metric not in current:
         failures.append(f"{name}: metric '{metric}' absent from baseline/current")
         return

@@ -420,20 +420,43 @@ Result<Engine> Engine::Open(const std::string& dir, EngineOptions options) {
                          persist::ReadWal(wal_path));
   Engine engine(std::move(state));
   for (const persist::WalRecord& record : log.records) {
+    if (record.batches.empty()) continue;
     const uint64_t current = engine.data_version();
-    if (record.version <= current) continue;
-    if (record.version != current + 1) {
+    const uint64_t last = record.first_version + record.batches.size() - 1;
+    // Snapshots only capture group boundaries (a group publishes
+    // atomically), so a record can be wholly behind the snapshot or
+    // wholly ahead — a straddle means the log is not this snapshot's.
+    if (last <= current) continue;
+    if (record.first_version != current + 1) {
       return Status::Corruption(
           "WAL version gap: snapshot at " + std::to_string(current) +
-          ", next record is " + std::to_string(record.version));
+          ", next record covers [" +
+          std::to_string(record.first_version) + ", " +
+          std::to_string(last) + "]");
     }
-    auto replayed =
-        engine.ApplyLocked(record.batch, /*log_to_wal=*/false);
-    if (!replayed.ok()) {
-      return Status(replayed.status().code(),
-                    "WAL replay of version " +
-                        std::to_string(record.version) +
-                        " failed: " + replayed.status().message());
+    // Replay the whole group through the ordinary commit body
+    // (constraint validation included) — every batch was validated
+    // when it was logged, so each must commit again.
+    std::vector<detail::CommitRequest> requests(record.batches.size());
+    std::vector<detail::CommitRequest*> group;
+    group.reserve(requests.size());
+    for (size_t i = 0; i < record.batches.size(); ++i) {
+      requests[i].batch = &record.batches[i];
+      group.push_back(&requests[i]);
+    }
+    {
+      std::lock_guard<std::mutex> commit_lock(
+          engine.state_->commit_mutex);
+      engine.CommitGroupLocked(group, /*log_to_wal=*/false);
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Result<ApplyOutcome>& replayed = *requests[i].result;
+      if (!replayed.ok()) {
+        return Status(replayed.status().code(),
+                      "WAL replay of version " +
+                          std::to_string(record.first_version + i) +
+                          " failed: " + replayed.status().message());
+      }
     }
     engine.state_->wal_records_replayed.fetch_add(
         1, std::memory_order_relaxed);
@@ -525,11 +548,22 @@ struct StagedInsert {
   int64_t row = -1;
 };
 
+// One attribute-value change a committed op caused, captured for
+// incremental statistics maintenance: `removed` is the pre-image (for
+// updates and deletes), `added` the post-image (updates and inserts).
+struct AttrDelta {
+  AttrRef ref;
+  std::optional<Value> removed;
+  std::optional<Value> added;
+};
+
 // Applies one staged op to the writable clone, resolving pending-insert
-// handles and recording the footprint the validator will check.
+// handles and recording the footprint the validator will check plus
+// the attribute deltas incremental stats maintenance consumes.
 Status ApplyOp(const Schema& schema, ObjectStore& store, const Mutation& op,
                std::vector<StagedInsert>* inserted,
-               MutationFootprint* footprint, ApplyOutcome* out) {
+               MutationFootprint* footprint, std::vector<AttrDelta>* deltas,
+               ApplyOutcome* out) {
   auto resolve = [&](int64_t row,
                      ClassId expected_class) -> Result<int64_t> {
     if (row >= 0) return row;
@@ -554,20 +588,46 @@ Status ApplyOp(const Schema& schema, ObjectStore& store, const Mutation& op,
                              store.Insert(op.class_id, op.object));
       inserted->push_back({op.class_id, row});
       footprint->touched_rows[op.class_id].push_back(row);
+      const Extent& extent = store.extent(op.class_id);
+      for (AttrId attr_id : schema.LayoutOf(op.class_id)) {
+        AttrDelta d;
+        d.ref = {op.class_id, attr_id};
+        d.added = extent.ValueAt(row, attr_id);
+        deltas->push_back(std::move(d));
+      }
       ++out->inserts;
       return Status::OK();
     }
     case Mutation::Kind::kUpdate: {
       SQOPT_ASSIGN_OR_RETURN(int64_t row, resolve(op.row, op.class_id));
+      AttrDelta d;
+      d.ref = {op.class_id, op.attr_id};
+      const Extent& extent = store.extent(op.class_id);
+      if (extent.IsLive(row) && extent.SlotOf(op.attr_id) >= 0) {
+        d.removed = extent.ValueAt(row, op.attr_id);
+      }
       SQOPT_RETURN_IF_ERROR(
           store.UpdateAttribute(op.class_id, row, op.attr_id, op.value));
+      d.added = op.value;
+      deltas->push_back(std::move(d));
       footprint->touched_rows[op.class_id].push_back(row);
       ++out->updates;
       return Status::OK();
     }
     case Mutation::Kind::kDelete: {
       SQOPT_ASSIGN_OR_RETURN(int64_t row, resolve(op.row, op.class_id));
+      const Extent& extent = store.extent(op.class_id);
+      std::vector<AttrDelta> removed;
+      if (extent.IsLive(row)) {
+        for (AttrId attr_id : schema.LayoutOf(op.class_id)) {
+          AttrDelta d;
+          d.ref = {op.class_id, attr_id};
+          d.removed = extent.ValueAt(row, attr_id);
+          removed.push_back(std::move(d));
+        }
+      }
       SQOPT_RETURN_IF_ERROR(store.Delete(op.class_id, row));
+      for (AttrDelta& d : removed) deltas->push_back(std::move(d));
       ++out->deletes;
       return Status::OK();
     }
@@ -595,158 +655,369 @@ Status ApplyOp(const Schema& schema, ObjectStore& store, const Mutation& op,
 }  // namespace
 
 Result<ApplyOutcome> Engine::Apply(const MutationBatch& batch) {
-  std::lock_guard<std::mutex> commit_lock(state_->commit_mutex);
-  return ApplyLocked(batch, /*log_to_wal=*/true);
+  std::vector<Result<ApplyOutcome>> results =
+      CommitThroughGroup(std::span<const MutationBatch>(&batch, 1));
+  return std::move(results[0]);
 }
 
-Result<ApplyOutcome> Engine::ApplyLocked(const MutationBatch& batch,
-                                         bool log_to_wal) {
+std::vector<Result<ApplyOutcome>> Engine::ApplyGroup(
+    std::span<const MutationBatch> batches) {
+  return CommitThroughGroup(batches);
+}
+
+std::vector<Result<ApplyOutcome>> Engine::CommitThroughGroup(
+    std::span<const MutationBatch> batches) {
+  if (batches.empty()) return {};
+  detail::EngineState& state = *state_;
+
+  // Stack-owned requests: this thread blocks below until every one is
+  // done, so queued pointers never dangle.
+  std::vector<detail::CommitRequest> requests(batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    requests[i].batch = &batches[i];
+  }
+  auto all_done = [&] {
+    for (const detail::CommitRequest& r : requests) {
+      if (!r.done) return false;
+    }
+    return true;
+  };
+
+  std::unique_lock<std::mutex> lock(state.group_mutex);
+  // One contiguous push under one lock hold: a leader's whole-queue
+  // sweep therefore takes this caller's requests all-or-nothing, and
+  // `all_done` flips atomically from its perspective.
+  for (detail::CommitRequest& r : requests) {
+    state.commit_queue.push_back(&r);
+  }
+  for (;;) {
+    state.group_cv.wait(lock, [&] {
+      return all_done() ||
+             (!state.group_leader_active && !state.commit_queue.empty() &&
+              state.commit_queue.front() == &requests[0]);
+    });
+    if (all_done()) break;
+
+    // Leadership: sweep everything queued so far into one group and
+    // commit it. The queue is released (and re-fillable by newcomers)
+    // while the commit runs; group_leader_active keeps a second leader
+    // from starting until this group publishes.
+    state.group_leader_active = true;
+    std::vector<detail::CommitRequest*> group(state.commit_queue.begin(),
+                                              state.commit_queue.end());
+    state.commit_queue.clear();
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> commit_lock(state.commit_mutex);
+      CommitGroupLocked(group, /*log_to_wal=*/true);
+    }
+    lock.lock();
+    state.group_leader_active = false;
+    for (detail::CommitRequest* r : group) {
+      r->done = true;
+    }
+    state.group_cv.notify_all();
+  }
+  lock.unlock();
+
+  std::vector<Result<ApplyOutcome>> results;
+  results.reserve(requests.size());
+  for (detail::CommitRequest& r : requests) {
+    results.push_back(std::move(*r.result));
+  }
+  return results;
+}
+
+void Engine::CommitGroupLocked(
+    const std::vector<detail::CommitRequest*>& group, bool log_to_wal) {
   detail::EngineState& state = *state_;
   std::shared_ptr<const detail::LoadedData> base = state.data_snapshot();
   if (base == nullptr) {
-    // Not counted as a rejection: mutation_batches_rejected means
+    // Not counted as rejections: mutation_batches_rejected means
     // "failed CONSTRAINT validation", and nothing was validated here.
-    return Status::FailedPrecondition(
-        "no data loaded: call Engine::Load before Apply");
-  }
-  ApplyOutcome out;
-  if (batch.empty()) {  // no-op commit: nothing published
-    out.snapshot_version = base->version;
-    return out;
+    for (detail::CommitRequest* req : group) {
+      req->result = Status::FailedPrecondition(
+          "no data loaded: call Engine::Load before Apply");
+    }
+    return;
   }
 
-  // The batch's write set, computed up front so the copy-on-write clone
-  // copies exactly what the ops below will mutate (this loop is also
-  // the single class/relationship id validation site — ApplyOp relies
-  // on it). A delete touches every relationship of its class
-  // (cascading unlink).
-  std::set<ClassId> touched_classes;
-  std::set<RelId> touched_rels;
+  // Per-request write sets, computed up front so the copy-on-write
+  // clone copies exactly what the ops below will mutate (this loop is
+  // also the single class/relationship id validation site — ApplyOp
+  // relies on it). A delete touches every relationship of its class
+  // (cascading unlink). `index_classes` is the subset whose INDEX trees
+  // the request can change: inserts/deletes always, updates only when
+  // the attribute is indexed — untouched index trees stay shared with
+  // the base snapshot (they have no segment-level CoW of their own).
+  struct PendingCommit {
+    detail::CommitRequest* req = nullptr;
+    std::set<ClassId> classes;
+    std::set<RelId> rels;
+    std::set<ClassId> index_classes;
+    std::unordered_map<ClassId, int64_t> class_ops;
+    std::unordered_map<RelId, int64_t> rel_ops;
+    // A request leaves the group (excluded) the moment its result is
+    // decided without a commit: malformed ids, per-op failure, or a
+    // constraint violation. Survivors commit together.
+    bool excluded = false;
+    ApplyOutcome out;
+    std::vector<StagedInsert> staged;
+    std::vector<AttrDelta> deltas;
+  };
   auto valid_class = [&](ClassId id) {
     return id >= 0 && id < static_cast<ClassId>(state.schema.num_classes());
   };
-  for (const Mutation& op : batch.ops()) {
-    switch (op.kind) {
-      case Mutation::Kind::kInsert:
-      case Mutation::Kind::kUpdate:
-      case Mutation::Kind::kDelete:
-        if (!valid_class(op.class_id)) {
-          return Status::InvalidArgument("mutation names an unknown class");
-        }
-        touched_classes.insert(op.class_id);
-        if (op.kind == Mutation::Kind::kDelete) {
-          for (RelId rel : state.schema.RelationshipsOf(op.class_id)) {
-            touched_rels.insert(rel);
+  std::vector<PendingCommit> pending(group.size());
+  for (size_t g = 0; g < group.size(); ++g) {
+    PendingCommit& pc = pending[g];
+    pc.req = group[g];
+    const MutationBatch& batch = *pc.req->batch;
+    if (batch.empty()) {  // no-op commit: nothing published, no version
+      ApplyOutcome out;
+      out.snapshot_version = base->version;
+      out.group_size = 0;
+      pc.req->result = std::move(out);
+      pc.excluded = true;
+      continue;
+    }
+    for (const Mutation& op : batch.ops()) {
+      if (pc.excluded) break;
+      switch (op.kind) {
+        case Mutation::Kind::kInsert:
+        case Mutation::Kind::kUpdate:
+        case Mutation::Kind::kDelete:
+          if (!valid_class(op.class_id)) {
+            pc.req->result =
+                Status::InvalidArgument("mutation names an unknown class");
+            pc.excluded = true;
+            break;
           }
+          pc.classes.insert(op.class_id);
+          ++pc.class_ops[op.class_id];
+          if (op.kind == Mutation::Kind::kDelete) {
+            for (RelId rel : state.schema.RelationshipsOf(op.class_id)) {
+              pc.rels.insert(rel);
+            }
+          }
+          if (op.kind == Mutation::Kind::kUpdate) {
+            // SlotOf confirms the attr id resolves on the class before
+            // schema.attribute() (unchecked) may be consulted.
+            if (base->store->extent(op.class_id).SlotOf(op.attr_id) >= 0 &&
+                state.schema.attribute({op.class_id, op.attr_id}).indexed) {
+              pc.index_classes.insert(op.class_id);
+            }
+          } else {
+            pc.index_classes.insert(op.class_id);
+          }
+          break;
+        case Mutation::Kind::kLink:
+        case Mutation::Kind::kUnlink:
+          if (op.rel_id < 0 ||
+              op.rel_id >=
+                  static_cast<RelId>(state.schema.num_relationships())) {
+            pc.req->result = Status::InvalidArgument(
+                "mutation names an unknown relationship");
+            pc.excluded = true;
+            break;
+          }
+          pc.rels.insert(op.rel_id);
+          ++pc.rel_ops[op.rel_id];
+          break;
+      }
+    }
+  }
+
+  // Apply + validate every surviving batch, IN SUBMISSION ORDER,
+  // against one shared clone. A failure anywhere decides that one
+  // request's result, excludes it, and restarts the loop on a fresh
+  // clone — the earlier batches re-apply identically (the store is
+  // deterministic and an excluded batch came after them), so the final
+  // state is exactly the sequential-Apply state in which the failed
+  // batch left the store untouched. The loop terminates: every restart
+  // excludes at least one request.
+  const auto clone_start = std::chrono::steady_clock::now();
+  std::unique_ptr<ObjectStore> next;
+  std::vector<PendingCommit*> survivors;
+  for (;;) {
+    std::set<ClassId> classes;
+    std::set<RelId> rels;
+    std::set<ClassId> index_classes;
+    survivors.clear();
+    for (PendingCommit& pc : pending) {
+      if (pc.excluded) continue;
+      survivors.push_back(&pc);
+      classes.insert(pc.classes.begin(), pc.classes.end());
+      rels.insert(pc.rels.begin(), pc.rels.end());
+      index_classes.insert(pc.index_classes.begin(),
+                           pc.index_classes.end());
+    }
+    if (survivors.empty()) return;  // every batch decided without commit
+
+    next = base->store->CloneForWrite(classes, rels, index_classes);
+    bool restart = false;
+    for (PendingCommit* pc : survivors) {
+      pc->out = ApplyOutcome();
+      pc->staged.clear();
+      pc->deltas.clear();
+      MutationFootprint footprint;
+      const MutationBatch& batch = *pc->req->batch;
+      for (size_t i = 0; i < batch.ops().size(); ++i) {
+        Status s = ApplyOp(state.schema, *next, batch.ops()[i],
+                           &pc->staged, &footprint, &pc->deltas, &pc->out);
+        if (!s.ok()) {
+          pc->req->result = Status(
+              s.code(),
+              "mutation #" + std::to_string(i) + ": " + s.message());
+          pc->excluded = true;
+          restart = true;
+          break;
         }
+      }
+      if (restart) break;
+
+      // Validate this batch's own footprint now, against the state its
+      // predecessors left — the same state a sequential Apply would
+      // have validated against. A violation rejects THIS batch alone.
+      ValidationStats vstats;
+      Status valid = ValidateMutations(*next, state.catalog, footprint,
+                                       &vstats);
+      pc->out.constraint_checks = vstats.clauses_checked;
+      if (!valid.ok()) {
+        state.mutation_batches_rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        pc->req->result = std::move(valid);
+        pc->excluded = true;
+        restart = true;
         break;
-      case Mutation::Kind::kLink:
-      case Mutation::Kind::kUnlink:
-        if (op.rel_id < 0 ||
-            op.rel_id >=
-                static_cast<RelId>(state.schema.num_relationships())) {
-          return Status::InvalidArgument(
-              "mutation names an unknown relationship");
-        }
-        touched_rels.insert(op.rel_id);
-        break;
+      }
     }
+    if (!restart) break;
   }
+  const uint64_t clone_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - clone_start)
+          .count());
 
-  // Pre-commit cardinalities and per-target op counts for the drift
-  // computation below.
-  std::unordered_map<ClassId, int64_t> old_rows;
-  for (ClassId cid : touched_classes) {
-    old_rows[cid] = base->store->NumLiveObjects(cid);
-  }
-  std::unordered_map<RelId, int64_t> old_pairs;
-  for (RelId rid : touched_rels) {
-    old_pairs[rid] = base->store->NumPairs(rid);
-  }
-  std::unordered_map<ClassId, int64_t> class_ops;
-  std::unordered_map<RelId, int64_t> rel_ops;
-  for (const Mutation& op : batch.ops()) {
-    switch (op.kind) {
-      case Mutation::Kind::kInsert:
-      case Mutation::Kind::kUpdate:
-      case Mutation::Kind::kDelete:
-        ++class_ops[op.class_id];
-        break;
-      case Mutation::Kind::kLink:
-      case Mutation::Kind::kUnlink:
-        ++rel_ops[op.rel_id];
-        break;
-    }
-  }
-
-  // 1. Apply every op to a private copy-on-write clone. Any failure
-  // discards the clone — the published snapshot is untouched, which is
-  // the whole of the atomicity story.
-  std::unique_ptr<ObjectStore> next =
-      base->store->CloneForWrite(touched_classes, touched_rels);
-  MutationFootprint footprint;
-  std::vector<StagedInsert> staged;
-  for (size_t i = 0; i < batch.ops().size(); ++i) {
-    Status s = ApplyOp(state.schema, *next, batch.ops()[i], &staged,
-                       &footprint, &out);
-    if (!s.ok()) {
-      return Status(s.code(),
-                    "mutation #" + std::to_string(i) + ": " + s.message());
-    }
-  }
-  out.inserted_rows.reserve(staged.size());
-  for (const StagedInsert& ins : staged) {
-    out.inserted_rows.push_back(ins.row);
-  }
-
-  // 2. Validate the post-apply state before anything becomes visible.
-  ValidationStats vstats;
-  Status valid =
-      ValidateMutations(*next, state.catalog, footprint, &vstats);
-  out.constraint_checks = vstats.clauses_checked;
-  if (!valid.ok()) {
-    state.mutation_batches_rejected.fetch_add(1, std::memory_order_relaxed);
-    return valid;
-  }
-
-  // 2b. Write-ahead: on a durable engine the validated batch reaches
-  // the log (and, per DurabilityOptions, the disk) BEFORE anything is
-  // published. A failed append aborts the commit with the store
-  // untouched; a crash after the append but before the publish is
-  // recovered by replay — the record carries the version this commit
-  // will publish as, so recovery lands on the identical state.
+  // Write-ahead: the surviving batches reach the log as ONE group
+  // record (and, per DurabilityOptions, the disk — one fsync) BEFORE
+  // anything is published. A failed append aborts the whole group with
+  // the store untouched; a crash after the append but before the
+  // publish is recovered by replay — the record carries the version
+  // range this group will publish as, so recovery lands on the
+  // identical state, whole group or none (one CRC frame).
+  uint64_t wal_micros = 0;
+  uint64_t fsync_micros = 0;
   if (log_to_wal && state.wal != nullptr) {
-    SQOPT_RETURN_IF_ERROR(state.wal->Append(
-        base->version + 1, batch, state.options.serve.durability.fsync));
+    std::vector<MutationBatch> logged;
+    logged.reserve(survivors.size());
+    for (PendingCommit* pc : survivors) logged.push_back(*pc->req->batch);
+    const auto wal_start = std::chrono::steady_clock::now();
+    Status appended =
+        state.wal->Append(base->version + 1, logged,
+                          state.options.serve.durability.fsync,
+                          &fsync_micros);
+    wal_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wal_start)
+            .count());
+    if (!appended.ok()) {
+      for (PendingCommit* pc : survivors) pc->req->result = appended;
+      return;
+    }
   }
+  persist::MaybeCrash("group_post_wal");
 
-  // 3. Incremental statistics: start from the previous snapshot's stats
-  // and recollect only the touched classes/relationships.
+  // Statistics: start from the previous snapshot's and fold in the
+  // group's effects. Cardinalities are exact (recounted from the
+  // clone). Attribute stats are patched incrementally from the ops'
+  // value deltas — histogram buckets updated in place, min/max
+  // extended on adds — and only fall back to a full per-attribute
+  // recollection where a patch cannot absorb the change (value outside
+  // the histogram range, no stats yet). Distinct counts and min/max
+  // shrinkage on removals are left stale by design: they feed cost
+  // estimates, not answers, and the threshold-crossing full recollect
+  // below resyncs them whenever the data drifts enough to matter.
   auto data = std::make_shared<detail::LoadedData>();
   data->db_stats = base->db_stats;
-  for (ClassId cid : touched_classes) {
-    CollectClassStats(*next, cid, &data->db_stats);
-  }
-  for (RelId rid : touched_rels) {
-    CollectRelationshipStats(*next, rid, &data->db_stats);
+
+  std::set<ClassId> touched_classes;
+  std::set<RelId> touched_rels;
+  std::unordered_map<ClassId, int64_t> class_ops;
+  std::unordered_map<RelId, int64_t> rel_ops;
+  for (PendingCommit* pc : survivors) {
+    touched_classes.insert(pc->classes.begin(), pc->classes.end());
+    touched_rels.insert(pc->rels.begin(), pc->rels.end());
+    for (const auto& [cid, n] : pc->class_ops) class_ops[cid] += n;
+    for (const auto& [rid, n] : pc->rel_ops) rel_ops[rid] += n;
   }
 
   // Drift: the largest fraction of any touched class's rows (or
-  // relationship's pairs) this commit changed — one op changes one row,
+  // relationship's pairs) this group changed — one op changes one row,
   // and a delete's cascaded unlinks show up in the pair delta.
+  double stats_drift = 0.0;
   auto drift = [](int64_t changed, int64_t before) {
     return static_cast<double>(changed) /
            static_cast<double>(std::max<int64_t>(1, before));
   };
   for (ClassId cid : touched_classes) {
-    out.stats_drift =
-        std::max(out.stats_drift, drift(class_ops[cid], old_rows[cid]));
+    stats_drift = std::max(
+        stats_drift,
+        drift(class_ops[cid], base->store->NumLiveObjects(cid)));
   }
   for (RelId rid : touched_rels) {
-    int64_t delta = next->NumPairs(rid) - old_pairs[rid];
+    int64_t before = base->store->NumPairs(rid);
+    int64_t delta = next->NumPairs(rid) - before;
     int64_t changed = std::max(rel_ops[rid], delta < 0 ? -delta : delta);
-    out.stats_drift =
-        std::max(out.stats_drift, drift(changed, old_pairs[rid]));
+    stats_drift = std::max(stats_drift, drift(changed, before));
+  }
+
+  const bool resync = stats_drift >= state.options.serve.replan_threshold;
+  if (resync) {
+    // The same commits that will drop the plan cache also earn a full
+    // recollection: cheap commits keep the incremental path, drifting
+    // ones pay to resync the approximations above.
+    for (ClassId cid : touched_classes) {
+      CollectClassStats(*next, cid, &data->db_stats);
+    }
+  } else {
+    for (ClassId cid : touched_classes) {
+      data->db_stats.SetClassCardinality(cid, next->NumLiveObjects(cid));
+    }
+    std::set<AttrRef> dirty;
+    for (PendingCommit* pc : survivors) {
+      for (const AttrDelta& d : pc->deltas) {
+        if (dirty.count(d.ref) > 0) continue;
+        AttrStatsData* stats = data->db_stats.MutableAttrStats(d.ref);
+        if (stats == nullptr) {
+          dirty.insert(d.ref);
+          continue;
+        }
+        if (d.removed.has_value() && d.removed->is_numeric() &&
+            !stats->histogram.empty() &&
+            !stats->histogram.Remove(d.removed->AsDouble())) {
+          dirty.insert(d.ref);
+          continue;
+        }
+        if (d.added.has_value() && d.added->is_numeric()) {
+          if (stats->min.has_value() && d.added.value() < *stats->min) {
+            stats->min = d.added;
+          }
+          if (stats->max.has_value() && *stats->max < d.added.value()) {
+            stats->max = d.added;
+          }
+          if (!stats->histogram.Add(d.added->AsDouble())) {
+            dirty.insert(d.ref);
+          }
+        }
+      }
+    }
+    for (const AttrRef& ref : dirty) {
+      CollectAttrStats(*next, ref, &data->db_stats);
+    }
+  }
+  for (RelId rid : touched_rels) {
+    CollectRelationshipStats(*next, rid, &data->db_stats);
   }
 
   data->store = std::shared_ptr<const ObjectStore>(std::move(next));
@@ -754,24 +1025,43 @@ Result<ApplyOutcome> Engine::ApplyLocked(const MutationBatch& batch,
     data->cost_model = std::make_unique<CostModel>(
         &state.schema, &data->db_stats, state.options.cost_params);
   }
-  data->version = base->version + 1;
+  data->version = base->version + survivors.size();
   data->lineage = base->lineage;
-  out.snapshot_version = data->version;
 
-  // 4. Publish, then (maybe) invalidate — same order as Load, for the
+  const bool invalidated = resync;
+  size_t group_ops = 0;
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    PendingCommit* pc = survivors[i];
+    pc->out.snapshot_version = base->version + i + 1;
+    pc->out.inserted_rows.reserve(pc->staged.size());
+    for (const StagedInsert& ins : pc->staged) {
+      pc->out.inserted_rows.push_back(ins.row);
+    }
+    pc->out.stats_drift = stats_drift;
+    pc->out.plan_cache_invalidated = invalidated;
+    pc->out.group_size = survivors.size();
+    pc->out.clone_micros = clone_micros;
+    pc->out.wal_micros = wal_micros;
+    pc->out.fsync_micros = fsync_micros;
+    group_ops += pc->req->batch->size();
+  }
+
+  // Publish, then (maybe) invalidate — same order as Load, for the
   // same epoch-race reason.
   {
     std::lock_guard<std::mutex> lock(state.data_mutex);
     state.data = std::move(data);
   }
-  if (out.stats_drift >= state.options.serve.replan_threshold) {
+  if (invalidated) {
     state.plan_cache.Invalidate();
-    out.plan_cache_invalidated = true;
   }
-  state.mutation_batches_applied.fetch_add(1, std::memory_order_relaxed);
-  state.mutation_ops_applied.fetch_add(batch.size(),
+  state.mutation_batches_applied.fetch_add(survivors.size(),
+                                           std::memory_order_relaxed);
+  state.mutation_ops_applied.fetch_add(group_ops,
                                        std::memory_order_relaxed);
-  return out;
+  for (PendingCommit* pc : survivors) {
+    pc->req->result = std::move(pc->out);
+  }
 }
 
 Status Engine::AddConstraint(std::string_view constraint_text) {

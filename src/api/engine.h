@@ -54,6 +54,7 @@
 namespace sqopt {
 
 namespace detail {
+struct CommitRequest;
 struct EngineState;
 }  // namespace detail
 
@@ -180,7 +181,9 @@ struct EngineStats {
   // Completed Checkpoint() calls.
   uint64_t checkpoints = 0;
   // WAL records replayed by Open(dir) — the committed suffix the last
-  // checkpoint had not folded in yet.
+  // checkpoint had not folded in yet. One record per commit GROUP (a
+  // group of concurrent Apply calls shares a record; a lone Apply is a
+  // group of one).
   uint64_t wal_records_replayed = 0;
 };
 
@@ -277,7 +280,25 @@ class Engine {
   //    drift crosses options().serve.replan_threshold — below it,
   //    cached plans survive and execute against the new snapshot.
   // Requires Load() first. An empty batch is a no-op commit.
+  //
+  // Concurrent Apply calls GROUP-COMMIT: callers queue up, one becomes
+  // the leader and commits every queued batch with a single WAL append
+  // + fsync and a single published snapshot, the rest block on the
+  // leader's outcome. Each batch keeps its own typed status — a
+  // follower's kConstraintViolation (or malformed batch) rejects that
+  // batch alone and never poisons its group-mates.
   Result<ApplyOutcome> Apply(const MutationBatch& batch);
+
+  // Commits `batches` as ONE explicit commit group (the same protocol
+  // concurrent Apply callers converge on, minus the queueing): batches
+  // apply and validate in order against the current snapshot, the
+  // survivors share one WAL append + fsync and one published snapshot,
+  // and each slot of the returned vector (input order) carries that
+  // batch's own outcome or typed failure. Batch i's committed version
+  // is base + (number of surviving batches before it) + 1; a rejected
+  // batch consumes no version. An empty span returns an empty vector.
+  std::vector<Result<ApplyOutcome>> ApplyGroup(
+      std::span<const MutationBatch> batches);
 
   // Adds one constraint and re-precompiles the catalog (closure +
   // grouping re-run; semantic constraints change rarely — the paper's
@@ -388,12 +409,21 @@ class Engine {
   Result<QueryOutcome> ExecuteParsed(const Query& query,
                                      std::optional<std::string> text) const;
 
-  // The commit body of Apply(), runnable with or without WAL logging:
-  // public Apply logs (when attached), WAL replay at Open(dir) does
-  // not (the record being replayed IS the log). Caller holds
-  // commit_mutex.
-  Result<ApplyOutcome> ApplyLocked(const MutationBatch& batch,
-                                   bool log_to_wal);
+  // Queues `batches` as one contiguous run of commit requests, rides
+  // the leader/follower group-commit protocol (becoming leader if the
+  // queue head is ours), and returns per-batch results in input order.
+  // Shared tail of Apply (a group of one) and ApplyGroup.
+  std::vector<Result<ApplyOutcome>> CommitThroughGroup(
+      std::span<const MutationBatch> batches);
+
+  // The commit body: applies + validates every batch of `group` in
+  // order against the current snapshot, appends the survivors as one
+  // WAL group record (when `log_to_wal` and attached), publishes one
+  // combined snapshot, and engages every request's `result`. WAL
+  // replay at Open(dir) runs it with log_to_wal=false (the record
+  // being replayed IS the log). Caller holds commit_mutex.
+  void CommitGroupLocked(const std::vector<detail::CommitRequest*>& group,
+                         bool log_to_wal);
 
   std::shared_ptr<detail::EngineState> state_;
 };

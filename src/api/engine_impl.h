@@ -14,12 +14,15 @@
 #define SQOPT_API_ENGINE_IMPL_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "api/engine_options.h"
+#include "api/mutation.h"
 #include "api/plan_cache.h"
 #include "api/serve.h"
 #include "catalog/access_stats.h"
@@ -54,6 +57,17 @@ struct LoadedData {
   // stick to their pinned snapshot across a reload — the documented
   // PreparedQuery contract.
   uint64_t lineage = 0;
+};
+
+// One caller's pending commit in the group-commit queue. Stack-owned
+// by the submitting thread (Engine::Apply / ApplyGroup), which blocks
+// until `done` — so a queued pointer is always valid. `result` is
+// engaged by the group leader for every member of its group (success,
+// per-batch typed failure, or the group-wide WAL error).
+struct CommitRequest {
+  const MutationBatch* batch = nullptr;
+  std::optional<Result<ApplyOutcome>> result;
+  bool done = false;  // guarded by EngineState::group_mutex
 };
 
 struct EngineState {
@@ -104,6 +118,17 @@ struct EngineState {
   // mutates, validates, and publishes under this lock, so writers never
   // race each other. Readers never take it — they pin `data`.
   mutable std::mutex commit_mutex;
+
+  // Group-commit coordination (engine.cc, CommitThroughGroup): callers
+  // queue CommitRequests under group_mutex; the caller whose first
+  // request heads the queue becomes leader, sweeps the WHOLE queue
+  // into one group, commits it under commit_mutex (one WAL append, one
+  // fsync, one published snapshot), then marks every member done and
+  // notifies. group_mutex is never held while commit_mutex is taken.
+  std::mutex group_mutex;
+  std::condition_variable group_cv;
+  std::deque<CommitRequest*> commit_queue;  // guarded by group_mutex
+  bool group_leader_active = false;         // guarded by group_mutex
   // Monotonic Load() counter feeding LoadedData::lineage. Guarded by
   // commit_mutex.
   uint64_t lineages = 0;

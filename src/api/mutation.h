@@ -101,6 +101,19 @@ struct ApplyOutcome {
   // True when the drift crossed the threshold and the plan cache was
   // dropped (the next Execute of any query re-plans).
   bool plan_cache_invalidated = false;
+
+  // Number of batches the commit group that carried this batch
+  // published together (1 when the batch committed alone). The group
+  // shares one WAL append, one fsync, and one snapshot publish.
+  size_t group_size = 1;
+
+  // Wall-clock microseconds of the group's commit phases, shared by
+  // every member of the group: the copy-on-write clone, the WAL append
+  // (fsync included), and the fsync alone (0 with durability.fsync
+  // off, or when no WAL is attached). Bench-attribution hooks.
+  uint64_t clone_micros = 0;
+  uint64_t wal_micros = 0;
+  uint64_t fsync_micros = 0;
 };
 
 }  // namespace sqopt

@@ -45,6 +45,27 @@ Histogram Histogram::FromParts(double lo, double hi, int64_t total,
   return h;
 }
 
+bool Histogram::Add(double x) {
+  if (empty() || x < lo_ || x > hi_) return false;
+  int b = static_cast<int>((x - lo_) / width_);
+  if (b >= num_buckets()) b = num_buckets() - 1;
+  if (b < 0) b = 0;
+  counts_[b] += 1;
+  total_ += 1;
+  return true;
+}
+
+bool Histogram::Remove(double x) {
+  if (empty() || x < lo_ || x > hi_) return false;
+  int b = static_cast<int>((x - lo_) / width_);
+  if (b >= num_buckets()) b = num_buckets() - 1;
+  if (b < 0) b = 0;
+  if (counts_[b] <= 0) return false;
+  counts_[b] -= 1;
+  total_ -= 1;
+  return true;
+}
+
 double Histogram::Selectivity(CompareOp op, const Value& constant,
                               double fallback) const {
   if (empty() || !constant.is_numeric()) return fallback;

@@ -43,6 +43,15 @@ class Histogram {
   double Selectivity(CompareOp op, const Value& constant,
                      double fallback) const;
 
+  // Incremental maintenance for the commit path: adds/removes one
+  // observation in place (touched bucket + total only). Returns false
+  // when the update cannot be absorbed without a rebuild — the
+  // histogram is empty, `x` falls outside [lo, hi] (the bucket range
+  // would have to grow), or a removal would drive a count negative.
+  // The caller falls back to a full recollection in that case.
+  bool Add(double x);
+  bool Remove(double x);
+
  private:
   double lo_ = 0.0;
   double hi_ = 0.0;

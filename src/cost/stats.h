@@ -44,6 +44,13 @@ class DatabaseStats {
     attr_stats_[ref] = std::move(data);
   }
   const AttrStatsData* AttrStatsFor(const AttrRef& ref) const;
+  // In-place handle for incremental maintenance on the commit path;
+  // null when no stats were ever collected for `ref` (the caller must
+  // then collect from scratch instead of patching).
+  AttrStatsData* MutableAttrStats(const AttrRef& ref) {
+    auto it = attr_stats_.find(ref);
+    return it == attr_stats_.end() ? nullptr : &it->second;
+  }
 
   static constexpr int64_t kDefaultCardinality = 100;
 

@@ -7,24 +7,28 @@
 
 namespace sqopt {
 
+void CollectAttrStats(const ObjectStore& store, const AttrRef& ref,
+                      DatabaseStats* stats) {
+  AttrStatsData data;
+  data.distinct_values = store.DistinctValues(ref);
+  if (store.NumLiveObjects(ref.class_id) > 0) {
+    auto [min, max] = store.MinMax(ref);
+    if (!min.is_null() && min.is_numeric()) {
+      data.min = min;
+      data.max = max;
+      // Numeric attribute: collect an equi-width histogram too.
+      data.histogram = Histogram::Build(store.LiveValues(ref));
+    }
+  }
+  stats->SetAttrStats(ref, std::move(data));
+}
+
 void CollectClassStats(const ObjectStore& store, ClassId class_id,
                        DatabaseStats* stats) {
   const Schema& schema = store.schema();
   stats->SetClassCardinality(class_id, store.NumLiveObjects(class_id));
   for (AttrId attr_id : schema.LayoutOf(class_id)) {
-    AttrRef ref{class_id, attr_id};
-    AttrStatsData data;
-    data.distinct_values = store.DistinctValues(ref);
-    if (store.NumLiveObjects(class_id) > 0) {
-      auto [min, max] = store.MinMax(ref);
-      if (!min.is_null() && min.is_numeric()) {
-        data.min = min;
-        data.max = max;
-        // Numeric attribute: collect an equi-width histogram too.
-        data.histogram = Histogram::Build(store.LiveValues(ref));
-      }
-    }
-    stats->SetAttrStats(ref, std::move(data));
+    CollectAttrStats(store, AttrRef{class_id, attr_id}, stats);
   }
 }
 

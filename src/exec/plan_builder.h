@@ -53,6 +53,13 @@ void CollectClassStats(const ObjectStore& store, ClassId class_id,
 void CollectRelationshipStats(const ObjectStore& store, RelId rel_id,
                               DatabaseStats* stats);
 
+// Recollects ONE attribute's statistics (distinct count / min-max /
+// histogram), leaving the rest of `stats` untouched — the fallback when
+// the commit path's incremental histogram patch cannot absorb a change
+// (value outside the bucket range, or no stats collected yet).
+void CollectAttrStats(const ObjectStore& store, const AttrRef& ref,
+                      DatabaseStats* stats);
+
 }  // namespace sqopt
 
 #endif  // SQOPT_EXEC_PLAN_BUILDER_H_

@@ -12,8 +12,9 @@
 namespace sqopt::persist {
 
 // Known points: wal_pre_write, wal_pre_sync, wal_post_sync,
-// snapshot_pre_tmp_sync, snapshot_pre_rename, checkpoint_post_rename,
-// checkpoint_post_truncate.
+// group_post_wal (between a commit group's WAL append and its
+// in-memory publish), snapshot_pre_tmp_sync, snapshot_pre_rename,
+// checkpoint_post_rename, checkpoint_post_truncate.
 void ArmCrashPoint(const char* point);
 void DisarmCrashPoint();
 void MaybeCrash(const char* point);

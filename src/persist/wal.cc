@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <utility>
 
@@ -98,22 +99,31 @@ Status ReadMutationInto(ByteReader* r, MutationBatch* batch) {
                             std::to_string(static_cast<int>(kind)));
 }
 
-std::string EncodeRecordPayload(uint64_t version,
-                                const MutationBatch& batch) {
+std::string EncodeRecordPayload(uint64_t first_version,
+                                const std::vector<MutationBatch>& batches) {
   ByteWriter w;
-  w.PutU64(version);
-  w.PutU32(static_cast<uint32_t>(batch.ops().size()));
-  for (const Mutation& op : batch.ops()) PutMutation(&w, op);
+  w.PutU64(first_version);
+  w.PutU32(static_cast<uint32_t>(batches.size()));
+  for (const MutationBatch& batch : batches) {
+    w.PutU32(static_cast<uint32_t>(batch.ops().size()));
+    for (const Mutation& op : batch.ops()) PutMutation(&w, op);
+  }
   return w.Take();
 }
 
 Result<WalRecord> DecodeRecordPayload(std::string_view payload) {
   ByteReader r(payload);
   WalRecord record;
-  SQOPT_ASSIGN_OR_RETURN(record.version, r.U64());
-  SQOPT_ASSIGN_OR_RETURN(uint32_t ops, r.U32());
-  for (uint32_t i = 0; i < ops; ++i) {
-    SQOPT_RETURN_IF_ERROR(ReadMutationInto(&r, &record.batch));
+  SQOPT_ASSIGN_OR_RETURN(record.first_version, r.U64());
+  SQOPT_ASSIGN_OR_RETURN(uint32_t num_batches, r.U32());
+  record.batches.reserve(r.CappedCount(num_batches));
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    MutationBatch batch;
+    SQOPT_ASSIGN_OR_RETURN(uint32_t ops, r.U32());
+    for (uint32_t i = 0; i < ops; ++i) {
+      SQOPT_RETURN_IF_ERROR(ReadMutationInto(&r, &batch));
+    }
+    record.batches.push_back(std::move(batch));
   }
   if (!r.AtEnd()) {
     return Status::Corruption("WAL record has trailing bytes");
@@ -245,9 +255,11 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
       new WalWriter(fd, path, size));
 }
 
-Status WalWriter::Append(uint64_t version, const MutationBatch& batch,
-                         bool fsync) {
-  const std::string payload = EncodeRecordPayload(version, batch);
+Status WalWriter::Append(uint64_t first_version,
+                         const std::vector<MutationBatch>& batches,
+                         bool fsync, uint64_t* fsync_micros) {
+  if (fsync_micros != nullptr) *fsync_micros = 0;
+  const std::string payload = EncodeRecordPayload(first_version, batches);
   ByteWriter w;
   w.PutU32(kRecordSentinel);
   w.PutU32(static_cast<uint32_t>(payload.size()));
@@ -270,10 +282,19 @@ Status WalWriter::Append(uint64_t version, const MutationBatch& batch,
     written += static_cast<size_t>(n);
   }
   MaybeCrash("wal_pre_sync");
-  if (fsync && ::fsync(fd_) != 0) {
-    (void)::ftruncate(fd_, size_bytes_);
-    (void)::lseek(fd_, size_bytes_, SEEK_SET);
-    return Status::Internal("WAL fsync failed on '" + path_ + "'");
+  if (fsync) {
+    const auto sync_start = std::chrono::steady_clock::now();
+    if (::fsync(fd_) != 0) {
+      (void)::ftruncate(fd_, size_bytes_);
+      (void)::lseek(fd_, size_bytes_, SEEK_SET);
+      return Status::Internal("WAL fsync failed on '" + path_ + "'");
+    }
+    if (fsync_micros != nullptr) {
+      *fsync_micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - sync_start)
+              .count());
+    }
   }
   MaybeCrash("wal_post_sync");
   size_bytes_ += static_cast<int64_t>(frame.size());

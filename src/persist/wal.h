@@ -3,17 +3,25 @@
 //
 //   header   magic "SQOPWAL1", u32 format version
 //   record   u32 sentinel | u32 payload length | u32 CRC-32 | payload
-//   payload  u64 version | u32 op count | ops (see wal.cc)
+//   payload  u64 first_version | u32 batch count
+//            | per batch: u32 op count | ops (see wal.cc)
 //
-// `version` is the LoadedData version the batch committed as, which
-// makes replay idempotent: recovery skips records at or below the
-// snapshot's version (a checkpoint killed between its rename and its
-// truncate leaves exactly that state behind) and requires the rest to
-// be gap-free. A torn tail — a record cut short by a crash, or whose
-// checksum fails — ends the valid prefix: ReadWal returns the records
-// before it plus the byte offset where the prefix ends, and WalWriter
-// truncates there before appending, so one crash never poisons the
-// next.
+// Format v2: one record carries a whole COMMIT GROUP — the batches a
+// group-commit leader made durable with a single append + fsync. Batch
+// i of a record committed as snapshot version `first_version + i`, so
+// a record spans the version range [first_version,
+// first_version + batches.size() - 1]. The single CRC frame makes the
+// group all-or-nothing on recovery: either every batch of the group
+// replays or none does (whole-group atomicity).
+//
+// Versioning keeps replay idempotent: recovery skips records whose
+// whole range is at or below the snapshot's version (a checkpoint
+// killed between its rename and its truncate leaves exactly that state
+// behind) and requires the rest to continue gap-free. A torn tail — a
+// record cut short by a crash, or whose checksum fails — ends the
+// valid prefix: ReadWal returns the records before it plus the byte
+// offset where the prefix ends, and WalWriter truncates there before
+// appending, so one crash never poisons the next.
 #ifndef SQOPT_PERSIST_WAL_H_
 #define SQOPT_PERSIST_WAL_H_
 
@@ -27,7 +35,11 @@
 
 namespace sqopt::persist {
 
-inline constexpr uint32_t kWalFormatVersion = 1;
+// v2 = group records (one record per commit group). v1 logs (single
+// batch per record) are rejected as unsupported: WAL files never
+// outlive a checkpoint in normal operation, and the snapshot format is
+// the compatibility surface, not the log.
+inline constexpr uint32_t kWalFormatVersion = 2;
 
 // Bytes before the first record frame (magic + u32 format version).
 // Exposed so tests and the crash harness can sweep "every offset in
@@ -35,8 +47,10 @@ inline constexpr uint32_t kWalFormatVersion = 1;
 inline constexpr size_t kWalHeaderBytes = 12;
 
 struct WalRecord {
-  uint64_t version = 0;  // snapshot version this batch committed as
-  MutationBatch batch;
+  // Snapshot version batches[0] committed as; batches[i] committed as
+  // first_version + i.
+  uint64_t first_version = 0;
+  std::vector<MutationBatch> batches;
 };
 
 struct WalReadResult {
@@ -69,11 +83,17 @@ class WalWriter {
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
                                                  int64_t truncate_to = -1);
 
-  // Appends one CRC-framed record; flushes to the OS always, fsyncs
-  // when `fsync` (DurabilityOptions::fsync). On any error the file is
-  // truncated back to its pre-append length, so a failed append never
-  // leaves a half-record for recovery to trip on.
-  Status Append(uint64_t version, const MutationBatch& batch, bool fsync);
+  // Appends one CRC-framed group record covering `batches` (batch i
+  // commits as version `first_version + i`); flushes to the OS always,
+  // fsyncs when `fsync` (DurabilityOptions::fsync). On any error the
+  // file is truncated back to its pre-append length, so a failed
+  // append never leaves a half-record for recovery to trip on. When
+  // `fsync_micros` is non-null it receives the wall-clock microseconds
+  // the fsync call took (0 with fsync off) — the bench's bottleneck
+  // attribution hook.
+  Status Append(uint64_t first_version,
+                const std::vector<MutationBatch>& batches, bool fsync,
+                uint64_t* fsync_micros = nullptr);
 
   // Cuts the log back to just its header — the checkpoint's final act,
   // after the new snapshot is durably in place.

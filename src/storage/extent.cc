@@ -1,5 +1,8 @@
 #include "storage/extent.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace sqopt {
 
 Extent::Extent(const Schema* schema, ClassId class_id)
@@ -10,6 +13,12 @@ Extent::Extent(const Schema* schema, ClassId class_id)
   }
 }
 
+Extent::Segment& Extent::MutableSegment(size_t seg_idx) {
+  std::shared_ptr<Segment>& sp = segments_[seg_idx];
+  if (sp.use_count() > 1) sp = std::make_shared<Segment>(*sp);
+  return *sp;
+}
+
 Result<int64_t> Extent::Insert(Object obj) {
   if (obj.values.size() != slot_of_.size()) {
     return Status::InvalidArgument(
@@ -17,23 +26,34 @@ Result<int64_t> Extent::Insert(Object obj) {
         "' has " + std::to_string(obj.values.size()) + " values, expected " +
         std::to_string(slot_of_.size()));
   }
-  objects_.push_back(std::move(obj));
-  live_.push_back(1);
+  Segment* seg;
+  if ((size_ & kSegmentMask) == 0) {
+    segments_.push_back(std::make_shared<Segment>());
+    seg = segments_.back().get();
+    seg->objects.reserve(static_cast<size_t>(kSegmentRows));
+    seg->live.reserve(static_cast<size_t>(kSegmentRows));
+  } else {
+    seg = &MutableSegment(segments_.size() - 1);
+  }
+  seg->objects.push_back(std::move(obj));
+  seg->live.push_back(1);
   ++live_count_;
-  return static_cast<int64_t>(objects_.size() - 1);
+  return size_++;
 }
 
 Status Extent::Delete(int64_t row) {
-  if (row < 0 || row >= size()) {
+  if (row < 0 || row >= size_) {
     return Status::OutOfRange("row " + std::to_string(row) +
                               " out of range");
   }
-  if (live_[static_cast<size_t>(row)] == 0) {
+  Segment& seg = MutableSegment(static_cast<size_t>(row >> kSegmentShift));
+  uint8_t& live = seg.live[static_cast<size_t>(row & kSegmentMask)];
+  if (live == 0) {
     return Status::NotFound("row " + std::to_string(row) + " of class '" +
                             schema_->object_class(class_id_).name +
                             "' is already deleted");
   }
-  live_[static_cast<size_t>(row)] = 0;
+  live = 0;
   --live_count_;
   return Status::OK();
 }
@@ -56,8 +76,18 @@ Status Extent::RestoreSlots(std::vector<Object> objects,
     }
     if (live[row] != 0) ++live_count;
   }
-  objects_ = std::move(objects);
-  live_ = std::move(live);
+  segments_.clear();
+  for (size_t base = 0; base < objects.size();
+       base += static_cast<size_t>(kSegmentRows)) {
+    const size_t end =
+        std::min(base + static_cast<size_t>(kSegmentRows), objects.size());
+    auto seg = std::make_shared<Segment>();
+    seg->objects.assign(std::make_move_iterator(objects.begin() + base),
+                        std::make_move_iterator(objects.begin() + end));
+    seg->live.assign(live.begin() + base, live.begin() + end);
+    segments_.push_back(std::move(seg));
+  }
+  size_ = static_cast<int64_t>(objects.size());
   live_count_ = live_count;
   return Status::OK();
 }
@@ -66,11 +96,11 @@ const Value& Extent::ValueAt(int64_t row, AttrId attr_id) const {
   static const Value kNull = Value::Null();
   int slot = SlotOf(attr_id);
   if (slot < 0) return kNull;
-  return objects_[row].values[slot];
+  return object(row).values[slot];
 }
 
 Status Extent::SetValue(int64_t row, AttrId attr_id, Value value) {
-  if (row < 0 || row >= size()) {
+  if (row < 0 || row >= size_) {
     return Status::OutOfRange("row " + std::to_string(row) +
                               " out of range");
   }
@@ -79,7 +109,9 @@ Status Extent::SetValue(int64_t row, AttrId attr_id, Value value) {
     return Status::NotFound("attribute does not belong to class '" +
                             schema_->object_class(class_id_).name + "'");
   }
-  objects_[row].values[slot] = std::move(value);
+  Segment& seg = MutableSegment(static_cast<size_t>(row >> kSegmentShift));
+  seg.objects[static_cast<size_t>(row & kSegmentMask)].values[slot] =
+      std::move(value);
   return Status::OK();
 }
 

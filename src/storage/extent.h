@@ -1,10 +1,18 @@
 // The extent of an object class: all its stored instances, with a slot
 // layout covering inherited attributes (root ancestor's attributes
 // first, then each subclass's own, declaration order within each).
+//
+// Rows live in fixed-size SEGMENTS held by shared_ptr. Copying an
+// Extent shares every segment; a mutation clones only the one segment
+// it touches (see MutableSegment). That makes the commit path's
+// copy-on-write clone O(touched segments), not O(class rows), while
+// pinned old snapshots keep seeing their pre-image through the shared
+// segment pointers.
 #ifndef SQOPT_STORAGE_EXTENT_H_
 #define SQOPT_STORAGE_EXTENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -16,10 +24,16 @@ namespace sqopt {
 
 class Extent {
  public:
+  // Rows per segment. A power of two so row -> (segment, offset) is a
+  // shift and a mask on the hot read path.
+  static constexpr int64_t kSegmentRows = 1024;
+
   Extent(const Schema* schema, ClassId class_id);
 
-  // Extents are deep-copyable: the copy-on-write commit path clones
-  // the extents of mutated classes and leaves the rest shared.
+  // Extents are cheaply copyable: the copy shares all segments by
+  // pointer. The copy-on-write commit path clones the extents of
+  // mutated classes (sharing their segments) and leaves the rest
+  // shared wholesale; segments split off lazily on first write.
   Extent(const Extent&) = default;
   Extent& operator=(const Extent&) = default;
 
@@ -28,11 +42,13 @@ class Extent {
   // Total row SLOTS, live and deleted alike. Row ids are positional and
   // stable for the lifetime of the store (deletes tombstone, never
   // compact), so scans iterate [0, size()) and skip !IsLive rows.
-  int64_t size() const { return static_cast<int64_t>(objects_.size()); }
+  int64_t size() const { return size_; }
   // Live rows only — the class cardinality statistics see.
   int64_t live_count() const { return live_count_; }
   bool IsLive(int64_t row) const {
-    return row >= 0 && row < size() && live_[static_cast<size_t>(row)] != 0;
+    return row >= 0 && row < size_ &&
+           segments_[static_cast<size_t>(row >> kSegmentShift)]
+                   ->live[static_cast<size_t>(row & kSegmentMask)] != 0;
   }
   size_t num_slots() const { return slot_of_.size(); }
 
@@ -46,7 +62,10 @@ class Extent {
   // ObjectStore's job (Delete there cascades).
   Status Delete(int64_t row);
 
-  const Object& object(int64_t row) const { return objects_[row]; }
+  const Object& object(int64_t row) const {
+    return segments_[static_cast<size_t>(row >> kSegmentShift)]
+        ->objects[static_cast<size_t>(row & kSegmentMask)];
+  }
 
   // Value of attribute `ref.attr_id` in row `row`. `ref` must resolve on
   // this class (possibly via inheritance).
@@ -70,12 +89,38 @@ class Extent {
   Status RestoreSlots(std::vector<Object> objects,
                       std::vector<uint8_t> live);
 
+  // Test hooks for the delta-clone contract: how many segments back
+  // this extent, and the identity of the segment holding `row` (two
+  // extents sharing a segment return the same pointer).
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  const void* SegmentIdentity(int64_t row) const {
+    return segments_[static_cast<size_t>(row >> kSegmentShift)].get();
+  }
+
  private:
+  static constexpr int kSegmentShift = 10;  // log2(kSegmentRows)
+  static constexpr int64_t kSegmentMask = kSegmentRows - 1;
+  static_assert((int64_t{1} << kSegmentShift) == kSegmentRows);
+
+  struct Segment {
+    std::vector<Object> objects;
+    // Parallel to objects: 1 = live, 0 = tombstoned.
+    std::vector<uint8_t> live;
+  };
+
+  // Splits the segment off this extent if any other extent still
+  // shares it; returns it writable either way. Safe without atomics:
+  // mutation only happens on the single private clone the commit path
+  // holds under the commit lock, and every other owner is an immutable
+  // published snapshot.
+  Segment& MutableSegment(size_t seg_idx);
+
   const Schema* schema_;
   ClassId class_id_;
-  std::vector<Object> objects_;
-  // Parallel to objects_: 1 = live, 0 = tombstoned.
-  std::vector<uint8_t> live_;
+  std::vector<std::shared_ptr<Segment>> segments_;
+  int64_t size_ = 0;
   int64_t live_count_ = 0;
   std::unordered_map<AttrId, int> slot_of_;
 };

@@ -32,6 +32,12 @@ ObjectStore::ObjectStore(const Schema* schema) : schema_(schema) {
 
 std::unique_ptr<ObjectStore> ObjectStore::CloneForWrite(
     const std::set<ClassId>& classes, const std::set<RelId>& rels) const {
+  return CloneForWrite(classes, rels, classes);
+}
+
+std::unique_ptr<ObjectStore> ObjectStore::CloneForWrite(
+    const std::set<ClassId>& classes, const std::set<RelId>& rels,
+    const std::set<ClassId>& index_classes) const {
   // Start from a structural twin sharing every substructure, then
   // replace the to-be-mutated parts with private deep copies.
   std::unique_ptr<ObjectStore> clone(new ObjectStore());
@@ -46,7 +52,7 @@ std::unique_ptr<ObjectStore> ObjectStore::CloneForWrite(
     clone->rels_[rid] = std::make_shared<RelData>(*rels_[rid]);
   }
   for (auto& [key, index] : clone->indexes_) {
-    if (classes.count(key.first) > 0) {
+    if (index_classes.count(key.first) > 0) {
       index = std::shared_ptr<AttributeIndex>(index->Clone());
     }
   }

@@ -46,8 +46,19 @@ class ObjectStore {
   // everything else with this store. The caller must only mutate the
   // named classes/relationships on the clone — mutating anything else
   // would write through shared state visible to this store's readers.
+  // (Extent "deep copies" are themselves segment-sharing shells; only
+  // the segments a commit actually writes split off — see extent.h.)
   std::unique_ptr<ObjectStore> CloneForWrite(
       const std::set<ClassId>& classes, const std::set<RelId>& rels) const;
+
+  // As above, but clones indexes only for `index_classes` (a subset of
+  // `classes`). Index trees have no segment-level CoW, so cloning one
+  // is O(entries); the commit path passes only the classes whose
+  // INDEXED attributes a batch actually touches (inserts/deletes, or
+  // an update to an indexed attribute) and shares the rest.
+  std::unique_ptr<ObjectStore> CloneForWrite(
+      const std::set<ClassId>& classes, const std::set<RelId>& rels,
+      const std::set<ClassId>& index_classes) const;
 
   // Inserts an object into `class_id`'s extent, maintaining indexes.
   Result<int64_t> Insert(ClassId class_id, Object obj);

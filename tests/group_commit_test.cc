@@ -1,0 +1,233 @@
+// Group commit: concurrent Apply callers batching into one
+// leader/follower commit (one WAL append, one fsync, one published
+// snapshot per group), per-batch typed statuses inside a group (a
+// follower's constraint violation must not poison its groupmates), and
+// whole-group WAL records surviving a durability roundtrip. The CI
+// TSan leg runs this binary to hold the queue/leader protocol
+// race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/mutation.h"
+#include "tests/test_util.h"
+
+namespace sqopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSeed = 20260729;
+const DbSpec kSpec{"group_commit_test", 40, 60};
+
+const char* kRatingQuery =
+    "{supplier.name} {} {supplier.rating >= 8} {} {supplier}";
+
+Engine OpenLoadedEngine(EngineOptions options = {}) {
+  auto opened = Engine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment(),
+                             std::move(options));
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine engine = std::move(opened).value();
+  Status s = engine.Load(DataSource::Generated(kSpec, kSeed));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return engine;
+}
+
+// A constraint-respecting rating update: segment 0 suppliers carry
+// ratings 8..10, every other segment 1..7 (constraint i1).
+MutationBatch ValidRatingUpdate(const Engine& engine, int64_t row,
+                                int salt) {
+  const Schema& schema = engine.schema();
+  const ClassId supplier = schema.FindClass("supplier");
+  const AttrRef rating = schema.ResolveQualified("supplier.rating").value();
+  MutationBatch batch;
+  const int seg = SegmentOfRow(row);
+  batch.Update(supplier, row, rating.attr_id,
+               Value::Int(seg == 0 ? 8 + (salt % 3) : 1 + (salt % 7)));
+  return batch;
+}
+
+TEST(ApplyGroupTest, EmptySpanReturnsEmptyVector) {
+  Engine engine = OpenLoadedEngine();
+  std::vector<MutationBatch> none;
+  EXPECT_TRUE(engine.ApplyGroup(none).empty());
+  EXPECT_EQ(engine.data_version(), 1u);
+}
+
+TEST(ApplyGroupTest, GroupCommitsEveryBatchWithConsecutiveVersions) {
+  Engine engine = OpenLoadedEngine();
+  std::vector<MutationBatch> group;
+  for (int i = 0; i < 3; ++i) {
+    group.push_back(ValidRatingUpdate(engine, i, i));
+  }
+  std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_EQ(results[i]->snapshot_version, 2u + i);
+    EXPECT_EQ(results[i]->group_size, 3u);
+    EXPECT_EQ(results[i]->updates, 1u);
+  }
+  EXPECT_EQ(engine.data_version(), 4u);
+  EXPECT_EQ(engine.stats().mutation_batches_applied, 3u);
+}
+
+TEST(ApplyGroupTest, ViolationIsRejectedInGroupWithoutPoisoningMates) {
+  Engine engine = OpenLoadedEngine();
+  const Schema& schema = engine.schema();
+  const ClassId supplier = schema.FindClass("supplier");
+  const AttrRef rating = schema.ResolveQualified("supplier.rating").value();
+
+  std::vector<MutationBatch> group;
+  group.push_back(ValidRatingUpdate(engine, 0, 1));
+  // Row 1 is segment 1: rating 9 violates i1.
+  MutationBatch doomed;
+  doomed.Update(supplier, 1, rating.attr_id, Value::Int(9));
+  group.push_back(std::move(doomed));
+  group.push_back(ValidRatingUpdate(engine, 2, 4));
+
+  std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[0]->snapshot_version, 2u);
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kConstraintViolation);
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  // The rejected batch consumed no version: its survivor successor
+  // takes the next one.
+  EXPECT_EQ(results[2]->snapshot_version, 3u);
+  EXPECT_EQ(engine.data_version(), 3u);
+  EXPECT_EQ(engine.stats().mutation_batches_applied, 2u);
+  EXPECT_EQ(engine.stats().mutation_batches_rejected, 1u);
+  // The doomed write is nowhere in the published snapshot.
+  EXPECT_NE(engine.store()->extent(supplier).ValueAt(1, rating.attr_id),
+            Value::Int(9));
+}
+
+TEST(ApplyGroupTest, MalformedBatchGetsTypedErrorAndMatesCommit) {
+  Engine engine = OpenLoadedEngine();
+  const ClassId supplier = engine.schema().FindClass("supplier");
+
+  std::vector<MutationBatch> group;
+  group.push_back(ValidRatingUpdate(engine, 0, 1));
+  MutationBatch malformed;
+  malformed.Delete(supplier, 1'000'000);  // no such row
+  group.push_back(std::move(malformed));
+
+  std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[0]->snapshot_version, 2u);
+  ASSERT_FALSE(results[1].ok());
+  // Same typed status a solo Apply of this batch would earn.
+  EXPECT_EQ(results[1].status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.data_version(), 2u);
+}
+
+TEST(ApplyGroupTest, EmptyBatchInGroupConsumesNoVersion) {
+  Engine engine = OpenLoadedEngine();
+  std::vector<MutationBatch> group;
+  group.push_back(ValidRatingUpdate(engine, 0, 1));
+  group.push_back(MutationBatch{});
+  group.push_back(ValidRatingUpdate(engine, 2, 4));
+
+  std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[0]->snapshot_version, 2u);
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  EXPECT_EQ(results[1]->snapshot_version, 1u);  // pre-group snapshot
+  EXPECT_EQ(results[1]->group_size, 0u);
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  EXPECT_EQ(results[2]->snapshot_version, 3u);
+  EXPECT_EQ(engine.data_version(), 3u);
+}
+
+TEST(ApplyGroupTest, GroupSurvivesDurabilityRoundtripAsOneWalRecord) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("sqopt_group_commit_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  size_t rows_before = 0, rows_after = 0;
+  {
+    Engine engine = OpenLoadedEngine();
+    ASSERT_OK(engine.Save(dir));
+    std::vector<MutationBatch> group;
+    for (int i = 0; i < 3; ++i) {
+      group.push_back(ValidRatingUpdate(engine, i, i));
+    }
+    std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(group);
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    EXPECT_EQ(engine.data_version(), 4u);
+    auto out = engine.Execute(kRatingQuery);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    rows_before = out->rows.rows.size();
+  }
+
+  ASSERT_OK_AND_ASSIGN(Engine reopened, Engine::Open(dir));
+  EXPECT_EQ(reopened.data_version(), 4u);
+  // The whole group replayed from ONE WAL record.
+  EXPECT_EQ(reopened.stats().wal_records_replayed, 1u);
+  auto out = reopened.Execute(kRatingQuery);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  rows_after = out->rows.rows.size();
+  EXPECT_EQ(rows_before, rows_after);
+  fs::remove_all(dir);
+}
+
+// The contention leg the TSan job leans on: many threads race their
+// Apply calls into the group-commit queue; every write must commit,
+// versions must be dense, and the engine must stay queryable
+// throughout.
+TEST(ApplyGroupTest, ConcurrentAppliesAllCommitWithDenseVersions) {
+  Engine engine = OpenLoadedEngine();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> grouped_commits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t row = (t * kPerThread + i) %
+                            static_cast<int64_t>(kSpec.class_cardinality);
+        auto result = engine.Apply(ValidRatingUpdate(engine, row, t + i));
+        if (!result.ok()) {
+          ++failures;
+        } else if (result->group_size > 1) {
+          ++grouped_commits;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.data_version(),
+            1u + static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(engine.stats().mutation_batches_applied,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Not asserted (scheduling-dependent), but reported: how many
+  // commits actually shared a group on this run.
+  RecordProperty("grouped_commits",
+                 static_cast<int>(grouped_commits.load()));
+  auto out = engine.Execute(kRatingQuery);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+}
+
+}  // namespace
+}  // namespace sqopt

@@ -119,5 +119,72 @@ TEST(HistogramTest, NonNumericConstantUsesFallback) {
       h.Selectivity(CompareOp::kLt, Value::String("x"), 0.42), 0.42);
 }
 
+TEST(HistogramTest, IncrementalAddMatchesFullRebuild) {
+  // The commit path patches histograms in place instead of
+  // recollecting; an in-range Add must land exactly where a rebuild
+  // over the extended value set would put it.
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int(i));
+  Histogram patched = Histogram::Build(values, 16);
+  ASSERT_TRUE(patched.Add(42.0));
+  ASSERT_TRUE(patched.Add(901.0));
+
+  values.push_back(Value::Int(42));
+  values.push_back(Value::Int(901));
+  // Same [lo, hi] (both new values are interior), so the rebuilt
+  // buckets are directly comparable.
+  Histogram rebuilt = Histogram::Build(values, 16);
+  ASSERT_EQ(patched.total(), rebuilt.total());
+  ASSERT_EQ(patched.num_buckets(), rebuilt.num_buckets());
+  for (int b = 0; b < patched.num_buckets(); ++b) {
+    EXPECT_EQ(patched.bucket_count(b), rebuilt.bucket_count(b)) << b;
+  }
+}
+
+TEST(HistogramTest, IncrementalRemoveMatchesFullRebuild) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int(i));
+  Histogram patched = Histogram::Build(values, 16);
+  ASSERT_TRUE(patched.Remove(500.0));
+
+  // Rebuild without one interior 500 (min/max survive, so the bucket
+  // geometry is unchanged).
+  std::vector<Value> without;
+  bool dropped = false;
+  for (const Value& v : values) {
+    if (!dropped && v == Value::Int(500)) {
+      dropped = true;
+      continue;
+    }
+    without.push_back(v);
+  }
+  Histogram rebuilt = Histogram::Build(without, 16);
+  ASSERT_EQ(patched.total(), rebuilt.total());
+  for (int b = 0; b < patched.num_buckets(); ++b) {
+    EXPECT_EQ(patched.bucket_count(b), rebuilt.bucket_count(b)) << b;
+  }
+}
+
+TEST(HistogramTest, AddRemoveRefuseWhatNeedsARebuild) {
+  Histogram empty;
+  EXPECT_FALSE(empty.Add(1.0));
+  EXPECT_FALSE(empty.Remove(1.0));
+
+  std::vector<Value> values = Ints({0, 10, 20, 30, 40});
+  Histogram h = Histogram::Build(values, 4);
+  // Out of [lo, hi]: the bucket range would have to grow.
+  EXPECT_FALSE(h.Add(-1.0));
+  EXPECT_FALSE(h.Add(41.0));
+  // Removing from a bucket that holds nothing would go negative.
+  Histogram drained = Histogram::Build(Ints({0, 0, 0, 40}), 4);
+  ASSERT_TRUE(drained.Remove(40.0));
+  EXPECT_FALSE(drained.Remove(40.0));
+  // In-range add/remove round-trips the total.
+  const int64_t total = h.total();
+  ASSERT_TRUE(h.Add(20.0));
+  ASSERT_TRUE(h.Remove(20.0));
+  EXPECT_EQ(h.total(), total);
+}
+
 }  // namespace
 }  // namespace sqopt

@@ -168,6 +168,55 @@ TEST_F(StorageTest, PartitionExtentEdgeCases) {
   EXPECT_EQ(fallback[0].size(), 1);
 }
 
+TEST_F(StorageTest, ExtentSplitsIntoFixedSizeSegments) {
+  // 2050 rows = two full 1024-row segments + one 2-row tail.
+  for (int64_t i = 0; i < 2050; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        int64_t row,
+        store_->Insert(cargo_, Cargo("c" + std::to_string(i), "fuel",
+                                     i, i % 100)));
+    ASSERT_EQ(row, i);
+  }
+  const Extent& extent = store_->extent(cargo_);
+  EXPECT_EQ(extent.size(), 2050);
+  EXPECT_EQ(extent.num_segments(), 3);
+  AttrRef qty = schema_.ResolveQualified("cargo.quantity").value();
+  // Rows on both sides of every segment boundary read back correctly.
+  for (int64_t row : {int64_t{0}, int64_t{1023}, int64_t{1024},
+                      int64_t{2047}, int64_t{2048}, int64_t{2049}}) {
+    EXPECT_EQ(extent.ValueAt(row, qty.attr_id), Value::Int(row));
+  }
+}
+
+TEST_F(StorageTest, CloneForWriteSplitsOnlyTheDirtySegment) {
+  for (int64_t i = 0; i < 2050; ++i) {
+    ASSERT_OK(store_->Insert(cargo_, Cargo("c" + std::to_string(i),
+                                           "fuel", i, i % 100))
+                  .status());
+  }
+  AttrRef weight = schema_.ResolveQualified("cargo.weight").value();
+  std::unique_ptr<ObjectStore> clone =
+      store_->CloneForWrite({cargo_}, {});
+  const Extent& base = store_->extent(cargo_);
+  const Extent& copy = clone->extent(cargo_);
+  // The clone is a shell: all three segments shared with the base.
+  for (int64_t row : {int64_t{0}, int64_t{1500}, int64_t{2049}}) {
+    EXPECT_EQ(base.SegmentIdentity(row), copy.SegmentIdentity(row));
+  }
+
+  // One single-row update on the clone splits off EXACTLY the segment
+  // holding that row.
+  ASSERT_OK(clone->UpdateAttribute(cargo_, 1500, weight.attr_id,
+                                   Value::Int(999)));
+  EXPECT_NE(base.SegmentIdentity(1500), copy.SegmentIdentity(1500));
+  EXPECT_EQ(base.SegmentIdentity(0), copy.SegmentIdentity(0));
+  EXPECT_EQ(base.SegmentIdentity(2049), copy.SegmentIdentity(2049));
+
+  // The pinned base snapshot still reads the pre-image.
+  EXPECT_EQ(base.ValueAt(1500, weight.attr_id), Value::Int(1500 % 100));
+  EXPECT_EQ(copy.ValueAt(1500, weight.attr_id), Value::Int(999));
+}
+
 TEST(ExtentInheritanceTest, SubclassLayoutIncludesInheritedSlots) {
   auto schema = BuildFigure21Schema();
   ASSERT_TRUE(schema.ok());

@@ -11,7 +11,8 @@
 // Modes (one binary, parent re-execs itself for writer children):
 //   fixture  --dir D --seed S                create fixture dir (Save)
 //   writer   --dir D --seed S --batches B --checkpoint-every C
-//            [--kill-at K --crash-point P]   run the script; die at K
+//            [--kill-at K --crash-point P --group G]
+//            run the script in commit groups of G; die at K
 //   verify   --dir D --seed S --batches B    reopen + diff vs oracle
 //   sweep    --dir D --seed S --kills N --batches B --checkpoint-every C
 //            [--artifact-dir A]              randomized kill-point sweep
@@ -26,6 +27,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -50,15 +52,19 @@ namespace {
 
 const DbSpec kSpec{"crash_harness", 40, 60};
 
-// Crash points the sweep draws from. "exit" dies cleanly BEFORE staging
-// batch K (committed prefix must be exactly K); the wal_* points die
-// inside batch K's Apply; the snapshot/checkpoint points die inside the
-// first checkpoint at or after batch K.
+// Crash points the sweep draws from. "exit" dies cleanly BEFORE the
+// commit group containing batch K (committed prefix must be exactly
+// the groups before it); the wal_* points die inside that group's
+// single WAL append; group_post_wal dies between the group's append
+// and its in-memory publish (recovery must replay the WHOLE group —
+// the atomicity claim of the group record); the snapshot/checkpoint
+// points die inside the first checkpoint at or after the group.
 const std::vector<std::string> kCrashPoints = {
     "exit",
     "wal_pre_write",
     "wal_pre_sync",
     "wal_post_sync",
+    "group_post_wal",
     "snapshot_pre_tmp_sync",
     "snapshot_pre_rename",
     "checkpoint_post_rename",
@@ -74,6 +80,10 @@ struct Args {
   int checkpoint_every = 7;
   int kills = 16;
   int kill_at = -1;
+  // Batches per explicit commit group the writer submits (ApplyGroup).
+  // 1 = the historical one-Apply-per-batch script. The sweep overrides
+  // this per kill to exercise the leader/follower protocol.
+  int group = 1;
   std::string crash_point;
 };
 
@@ -101,6 +111,8 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
       args.kills = std::atoi(v);
     } else if (flag == "--kill-at" && (v = next())) {
       args.kill_at = std::atoi(v);
+    } else if (flag == "--group" && (v = next())) {
+      args.group = std::atoi(v);
     } else if (flag == "--crash-point" && (v = next())) {
       args.crash_point = v;
     } else {
@@ -190,20 +202,39 @@ int RunWriter(const Args& args) {
         std::to_string(engine.data_version()));
   }
   MutationScript script(&engine.schema(), BaseRows(engine), args.seed);
-  for (int i = 0; i < args.batches; ++i) {
-    if (i == args.kill_at && !args.crash_point.empty()) {
+  const int group = std::max(1, args.group);
+  for (int g = 0; g < args.batches; g += group) {
+    const int size = std::min(group, args.batches - g);
+    // Arm (or die) before the GROUP containing the kill batch: the
+    // group commits through one WAL append, so the wal_*/group_*
+    // points fire inside that group's commit.
+    if (args.kill_at >= g && args.kill_at < g + size &&
+        !args.crash_point.empty()) {
       if (args.crash_point == "exit") _exit(137);
       persist::ArmCrashPoint(args.crash_point.c_str());
     }
-    auto batch = script.Next();
-    if (!batch.ok()) Die("script: " + batch.status().ToString());
-    auto out = engine.Apply(*batch);
-    if (!out.ok()) {
-      Die("apply of batch " + std::to_string(i) + ": " +
-          out.status().ToString());
+    std::vector<MutationBatch> batches;
+    batches.reserve(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      auto batch = script.Next();
+      if (!batch.ok()) Die("script: " + batch.status().ToString());
+      batches.push_back(std::move(*batch));
     }
-    if (args.checkpoint_every > 0 &&
-        i % args.checkpoint_every == args.checkpoint_every - 1) {
+    std::vector<Result<ApplyOutcome>> results = engine.ApplyGroup(batches);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        Die("apply of batch " + std::to_string(g + static_cast<int>(i)) +
+            ": " + results[i].status().ToString());
+      }
+    }
+    bool checkpoint = false;
+    for (int i = g; i < g + size; ++i) {
+      if (args.checkpoint_every > 0 &&
+          i % args.checkpoint_every == args.checkpoint_every - 1) {
+        checkpoint = true;
+      }
+    }
+    if (checkpoint) {
       Status ck = engine.Checkpoint();
       if (!ck.ok()) Die("checkpoint: " + ck.ToString());
     }
@@ -265,7 +296,7 @@ std::string VerifyDir(const std::string& dir, uint64_t seed,
 // the child's exit status (137 = simulated crash), or -1 on spawn
 // failure.
 int SpawnWriter(const Args& args, const std::string& dir, int kill_at,
-                const std::string& crash_point) {
+                const std::string& crash_point, int group) {
   char self[4096];
   ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
   if (n <= 0) Die("cannot resolve /proc/self/exe");
@@ -276,7 +307,8 @@ int SpawnWriter(const Args& args, const std::string& dir, int kill_at,
       "--dir",      dir,         "--seed",
       std::to_string(args.seed), "--batches",
       std::to_string(args.batches), "--checkpoint-every",
-      std::to_string(args.checkpoint_every)};
+      std::to_string(args.checkpoint_every), "--group",
+      std::to_string(group)};
   if (kill_at >= 0) {
     argv_s.push_back("--kill-at");
     argv_s.push_back(std::to_string(kill_at));
@@ -321,10 +353,14 @@ int RunSweep(const Args& args) {
     const int kill_at = static_cast<int>(
         rng.Index(static_cast<size_t>(args.batches)));
     const std::string& point = kCrashPoints[rng.Index(kCrashPoints.size())];
+    // Vary the commit-group size so the sweep exercises the group WAL
+    // record: a kill between a group's single append and its publish
+    // must recover the whole group or none of it.
+    const int group = 1 << rng.Index(3);  // 1, 2, or 4
     const fs::path run = root / "run";
     CopyDir(fixture, run);
 
-    const int status = SpawnWriter(args, run.string(), kill_at, point);
+    const int status = SpawnWriter(args, run.string(), kill_at, point, group);
     std::string error;
     if (status != 0 && status != 137) {
       error = "writer exited with unexpected status " +
@@ -334,19 +370,28 @@ int RunSweep(const Args& args) {
     }
     // Exact committed-prefix expectations where the kill point pins
     // them (fsync'd appends survive a process kill deterministically).
+    // With grouping, the writer dies around the COMMIT GROUP covering
+    // kill_at: before its append (exit / wal_pre_write) the prefix is
+    // the groups before it; once the group record hits the WAL
+    // (wal_pre_sync onward — the page cache survives a process kill)
+    // recovery replays the whole group, never part of it.
     if (error.empty() && (point == "exit" || point == "wal_pre_write" ||
                           point == "wal_pre_sync" ||
-                          point == "wal_post_sync") &&
+                          point == "wal_post_sync" ||
+                          point == "group_post_wal") &&
         status == 137) {
       auto reopened = Engine::Open(run.string());
       const uint64_t version = reopened.ok() ? reopened->data_version() : 0;
+      const int gstart = kill_at - (kill_at % group);
+      const int gsize = std::min(group, args.batches - gstart);
       const uint64_t expected =
           (point == "exit" || point == "wal_pre_write")
-              ? 1 + static_cast<uint64_t>(kill_at)
-              : 2 + static_cast<uint64_t>(kill_at);
+              ? 1 + static_cast<uint64_t>(gstart)
+              : 1 + static_cast<uint64_t>(gstart + gsize);
       if (version != expected) {
         error = "committed prefix mismatch: kill '" + point +
-                "' at batch " + std::to_string(kill_at) + " => version " +
+                "' at batch " + std::to_string(kill_at) + " (group " +
+                std::to_string(group) + ") => version " +
                 std::to_string(version) + ", expected " +
                 std::to_string(expected);
       }
@@ -355,7 +400,8 @@ int RunSweep(const Args& args) {
       WriteArtifact(
           args, "sweep_kill" + std::to_string(k),
           "kill_at: " + std::to_string(kill_at) + "\ncrash_point: " +
-              point + "\nwriter_status: " + std::to_string(status) +
+              point + "\ngroup: " + std::to_string(group) +
+              "\nwriter_status: " + std::to_string(status) +
               "\nerror: " + error +
               "\nrepro: crash_harness --mode sweep --dir <tmp> --seed " +
               std::to_string(args.seed) + " --kills " +
@@ -364,8 +410,9 @@ int RunSweep(const Args& args) {
               std::to_string(args.checkpoint_every));
       ++failures;
     } else {
-      std::printf("kill %3d/%d: batch %3d point %-24s status %3d  ok\n",
-                  k + 1, args.kills, kill_at, point.c_str(), status);
+      std::printf(
+          "kill %3d/%d: batch %3d group %d point %-24s status %3d  ok\n",
+          k + 1, args.kills, kill_at, group, point.c_str(), status);
     }
   }
   std::printf("sweep: %d/%d kill points recovered correctly\n",
@@ -384,7 +431,8 @@ int RunTorn(const Args& args) {
   CopyDir(fixture, full);
   // A clean run whose WAL keeps a tail: pick a checkpoint interval
   // that does not divide the batch count.
-  if (SpawnWriter(args, full.string(), -1, "") != 0) {
+  if (SpawnWriter(args, full.string(), -1, "", std::max(1, args.group)) !=
+      0) {
     Die("torn-sweep writer failed");
   }
 
