@@ -82,6 +82,34 @@ int main(int argc, char** argv) {
       "{cargo.code, vehicle.vehicleNo} {} {cargo.weight <= 40} "
       "{collects} {cargo, vehicle}";
 
+  // Single-thread filtered-scan leg: the same non-indexed interval
+  // predicate with no join, so the measured rate is the batch filter's
+  // raw rows/sec through one core (the vectorized-kernel gate metric,
+  // independent of runner core count).
+  double scan_rows_per_sec = 0.0;
+  {
+    const std::string scan_only =
+        "{cargo.code} {} {cargo.weight <= 40} {} {cargo}";
+    QueryOutcome warm = Unwrap(engine.Execute(scan_only));
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      QueryOutcome out = Unwrap(engine.Execute(scan_only));
+      (void)out;
+    }
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const double rows_per_sec =
+        wall_ms > 0 ? 1000.0 * reps * spec.class_cardinality / wall_ms : 0.0;
+    std::printf(
+        "filtered scan (no join, 1 thread): %6.2f ms/query  %.3g rows/sec  "
+        "%llu rows out\n",
+        wall_ms / reps, rows_per_sec,
+        static_cast<unsigned long long>(warm.meter.rows_out));
+    scan_rows_per_sec = rows_per_sec;
+  }
+
   std::printf("=== Parallel scan (%lld rows, %d reps, %d pool threads) ===\n",
               static_cast<long long>(spec.class_cardinality), reps,
               threads);
@@ -101,9 +129,14 @@ int main(int argc, char** argv) {
       std::max(1u, std::thread::hardware_concurrency());
 
   for (int parallelism : {1, 2, 4, 8}) {
-    if (!force_all && parallelism > static_cast<int>(hw_threads)) {
-      // More workers than cores cannot overlap: a timed run would just
-      // report noise around 1.00x. Mark the leg skipped instead.
+    // On runners with >= 4 cores every leg is timed, even degrees above
+    // hardware_concurrency: 8 software threads on 4 real cores still
+    // overlap to a genuine ~4x, and the CI gate holds speedup_p8 there
+    // (gate.json marks it min_cores: 4). Only 1-2 core machines skip
+    // over-subscribed legs — a timed run there would just report noise
+    // around 1.00x.
+    if (!force_all && hw_threads < 4 &&
+        parallelism > static_cast<int>(hw_threads)) {
       std::printf("parallelism %d: skipped (hardware_concurrency=%u)\n",
                   parallelism, hw_threads);
       DegreeResult result;
@@ -189,6 +222,7 @@ int main(int argc, char** argv) {
   json.Set("hw_threads", hw_threads);
   json.Set("morsel_size", morsel_size);
   json.Set("rows_out", degrees[0].rows);
+  json.Set("scan_rows_per_sec", scan_rows_per_sec);
   for (const DegreeResult& d : degrees) {
     const std::string suffix = "_p" + std::to_string(d.parallelism);
     json.Set("wall_ms" + suffix, d.wall_ms);

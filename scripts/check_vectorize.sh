@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Proves the batch-filter kernels still auto-vectorize: compiles the
+# one TU that holds them (src/exec/batch_filter.cc) at Release
+# optimization with the compiler's vectorization report on, and fails
+# unless the report names vectorized loops inside that file. Catches
+# the silent perf cliff where a refactor re-introduces a branch, an
+# aliasing hazard, or a non-contiguous access and the "SIMD" scan
+# quietly becomes scalar — the bench gate would catch it eventually,
+# but this points at the exact TU in seconds.
+#
+# Usage: scripts/check_vectorize.sh [compiler]
+#   compiler defaults to $CXX, then c++. Both gcc (-fopt-info-vec) and
+#   clang (-Rpass=loop-vectorize) report formats are understood.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${1:-${CXX:-c++}}"
+TU=src/exec/batch_filter.cc
+# At least this many distinct vectorized loops: the dense mask kernels
+# (int64 / double / int-as-double), the mask AND/sum passes, and the
+# selection compress all live in this TU. A drop below the floor means
+# a whole kernel family went scalar, not report noise.
+MIN_LOOPS=3
+
+FLAGS=(-std=c++20 -O3 -DNDEBUG -Isrc -c -o /dev/null)
+
+if "$CXX" --version | grep -qi clang; then
+  report=$("$CXX" "${FLAGS[@]}" -Rpass=loop-vectorize "$TU" 2>&1 || true)
+  hits=$(printf '%s\n' "$report" | grep -c 'vectorized loop' || true)
+else
+  report=$("$CXX" "${FLAGS[@]}" -fopt-info-vec-optimized "$TU" 2>&1 || true)
+  hits=$(printf '%s\n' "$report" | grep -c 'loop vectorized' || true)
+fi
+
+echo "$CXX reports $hits vectorized loop(s) in $TU (floor: $MIN_LOOPS)"
+if [ "$hits" -lt "$MIN_LOOPS" ]; then
+  printf '%s\n' "$report" | head -40
+  echo "FAIL: batch-filter kernels no longer auto-vectorize" >&2
+  exit 1
+fi

@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "api/engine_impl.h"
+#include "common/worker_pool.h"
 #include "constraints/constraint_parser.h"
 #include "constraints/constraint_validator.h"
 #include "exec/plan_builder.h"
@@ -160,7 +161,7 @@ PlanningOptions MakePlanningOptions(const detail::EngineState& state) {
   PlanningOptions opts;
   opts.max_parallelism =
       serve.parallelism == 0
-          ? detail::WorkerPool::ResolveThreads(serve.threads)
+          ? WorkerPool::ResolveThreads(serve.threads)
           : serve.parallelism;
   opts.morsel_size = serve.morsel_size;
   opts.cost_params = state.options.cost_params;
@@ -225,7 +226,7 @@ Result<QueryOutcome> ExecutePreparedState(
     return Status::FailedPrecondition(
         "no data loaded: call Engine::Load before Execute");
   }
-  std::shared_ptr<detail::WorkerPool> pool_holder;
+  std::shared_ptr<WorkerPool> pool_holder;
   SQOPT_ASSIGN_OR_RETURN(
       out.rows,
       ExecutePlan(*exec_data->store, *prepared.plan, &out.meter,
@@ -267,7 +268,7 @@ Result<QueryOutcome> RunQuery(const detail::EngineState& state,
     SQOPT_ASSIGN_OR_RETURN(
         Plan plan, BuildPlan(state.schema, data->db_stats, out.transformed,
                              MakePlanningOptions(state)));
-    std::shared_ptr<detail::WorkerPool> pool_holder;
+    std::shared_ptr<WorkerPool> pool_holder;
     SQOPT_ASSIGN_OR_RETURN(
         out.rows, ExecutePlan(*data->store, plan, &out.meter,
                               MakeExecContext(state, plan, &pool_holder)));
@@ -1281,7 +1282,7 @@ Result<BatchOutcome> Engine::ExecuteBatch(
 
   BatchOutcome out;
   out.stats.queries = queries.size();
-  out.stats.threads = detail::WorkerPool::ResolveThreads(serve.threads);
+  out.stats.threads = WorkerPool::ResolveThreads(serve.threads);
   if (queries.empty()) {
     state.batches_served.fetch_add(1, std::memory_order_relaxed);
     return out;
@@ -1298,12 +1299,12 @@ Result<BatchOutcome> Engine::ExecuteBatch(
   // deliberately not throttled by the override: parallel plans inside
   // this batch still borrow the shared engine-sized pool via
   // GetMorselPool — see the ExecuteBatch contract in engine.h.)
-  std::shared_ptr<detail::WorkerPool> pool;
+  std::shared_ptr<WorkerPool> pool;
   if (out.stats.threads ==
-      detail::WorkerPool::ResolveThreads(state.options.serve.threads)) {
+      WorkerPool::ResolveThreads(state.options.serve.threads)) {
     pool = state.GetMorselPool();
   } else {
-    pool = std::make_shared<detail::WorkerPool>(out.stats.threads);
+    pool = std::make_shared<WorkerPool>(out.stats.threads);
   }
 
   out.results.assign(queries.size(), Status::Internal("not run"));

@@ -27,6 +27,7 @@
 #include "api/serve.h"
 #include "catalog/access_stats.h"
 #include "catalog/schema.h"
+#include "common/worker_pool.h"
 #include "constraints/constraint_catalog.h"
 #include "cost/cost_model.h"
 #include "cost/stats.h"

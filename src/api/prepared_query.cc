@@ -2,6 +2,7 @@
 
 #include "api/engine.h"
 #include "api/engine_impl.h"
+#include "common/worker_pool.h"
 #include "exec/executor.h"
 
 namespace sqopt {
@@ -55,7 +56,7 @@ Result<QueryOutcome> PreparedQuery::Execute() const {
     // the engine state, so the pool outlives this call even if the
     // Engine object is gone.
     ExecContext context;
-    std::shared_ptr<detail::WorkerPool> pool_holder;
+    std::shared_ptr<WorkerPool> pool_holder;
     if (engine_ != nullptr) {
       context = detail::MakeExecContext(*engine_, *prepared.plan,
                                         &pool_holder);

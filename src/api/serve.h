@@ -1,9 +1,9 @@
 // The concurrent serving layer behind Engine::ExecuteBatch and the
 // morsel-parallel executor: the knobs (ServeOptions) and the aggregate
 // throughput meter (BatchStats). The shared WorkerPool itself lives in
-// common/worker_pool.{h,cc} (re-exported here as detail::WorkerPool)
-// so the exec/ layer can fan intra-query morsels across the same pool
-// batches use, without a layering cycle. The pool is created lazily on
+// common/worker_pool.{h,cc} so the exec/ layer can fan intra-query
+// morsels across the same pool batches use, without a layering cycle.
+// The pool is created lazily on
 // first use and lives with the engine state; batches enqueue tasks and
 // block until their own tasks drain, so any number of ExecuteBatch
 // calls — and any number of parallel scans inside them — can share one
@@ -14,7 +14,6 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "common/worker_pool.h"
 #include "storage/morsel.h"
 
 namespace sqopt {
@@ -88,14 +87,6 @@ struct BatchStats {
   double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when empty
 };
 
-namespace detail {
-
-// Backward-compatible alias: the pool moved to common/worker_pool.h so
-// the executor can use it; existing detail::WorkerPool users keep
-// working.
-using WorkerPool = ::sqopt::WorkerPool;
-
-}  // namespace detail
 }  // namespace sqopt
 
 #endif  // SQOPT_API_SERVE_H_

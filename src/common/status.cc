@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnsupportedVersion:
+      return "UnsupportedVersion";
   }
   return "Unknown";
 }

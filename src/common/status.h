@@ -36,6 +36,11 @@ enum class StatusCode {
   // The request's deadline expired before execution started; the
   // request was never executed (see src/server/).
   kTimeout,
+  // A durable file was written by a format version this build does not
+  // read (e.g. a pre-columnar snapshot opened by a columnar build).
+  // Distinct from kCorruption: the file is intact, just older/newer
+  // than this reader (see src/persist/snapshot.h).
+  kUnsupportedVersion,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -85,6 +90,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status UnsupportedVersion(std::string msg) {
+    return Status(StatusCode::kUnsupportedVersion, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

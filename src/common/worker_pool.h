@@ -6,8 +6,7 @@
 // pool degrades to sequential execution instead of deadlocking).
 //
 // Lives in common/ so both the api/ serving layer and the exec/
-// morsel-parallel executor can share one pool without a layering cycle;
-// api/serve.h re-exports it as detail::WorkerPool.
+// morsel-parallel executor can share one pool without a layering cycle.
 #ifndef SQOPT_COMMON_WORKER_POOL_H_
 #define SQOPT_COMMON_WORKER_POOL_H_
 

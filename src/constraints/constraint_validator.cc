@@ -14,15 +14,16 @@ namespace {
 bool EvalOn(const ObjectStore& store,
             const std::unordered_map<ClassId, int64_t>& binding,
             const Predicate& p) {
-  const Value& lhs = store.extent(p.lhs().class_id)
-                         .ValueAt(binding.at(p.lhs().class_id),
-                                  p.lhs().attr_id);
+  // By value: ValueAt materializes from the columnar segments.
+  const Value lhs = store.extent(p.lhs().class_id)
+                        .ValueAt(binding.at(p.lhs().class_id),
+                                 p.lhs().attr_id);
   if (p.is_attr_const()) {
     return EvalCompare(lhs, p.op(), p.rhs_value());
   }
-  const Value& rhs = store.extent(p.rhs_attr().class_id)
-                         .ValueAt(binding.at(p.rhs_attr().class_id),
-                                  p.rhs_attr().attr_id);
+  const Value rhs = store.extent(p.rhs_attr().class_id)
+                        .ValueAt(binding.at(p.rhs_attr().class_id),
+                                 p.rhs_attr().attr_id);
   return EvalCompare(lhs, p.op(), rhs);
 }
 

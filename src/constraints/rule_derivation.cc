@@ -60,7 +60,7 @@ Result<std::vector<HornClause>> DeriveStateRules(
       bool all_numeric = extent.live_count() > 0;
       for (int64_t row = 0; row < extent.size(); ++row) {
         if (!extent.IsLive(row)) continue;
-        const Value& v = extent.ValueAt(row, attr);
+        const Value v = extent.ValueAt(row, attr);
         seen.insert(v);
         if (!v.is_numeric()) all_numeric = false;
       }
@@ -166,7 +166,7 @@ bool RuleHoldsOnStore(const ObjectStore& store, const HornClause& clause) {
 
   auto eval = [&](const Predicate& p, int64_t row) {
     if (!p.is_attr_const()) return true;  // conservative
-    const Value& lhs = extent.ValueAt(row, p.lhs().attr_id);
+    const Value lhs = extent.ValueAt(row, p.lhs().attr_id);
     return EvalCompare(lhs, p.op(), p.rhs_value());
   };
   for (int64_t row = 0; row < extent.size(); ++row) {

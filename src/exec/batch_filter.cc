@@ -1,0 +1,473 @@
+// The scan kernels live alone in this TU so the build can verify they
+// vectorize (scripts/check_vectorize.sh greps the compiler's
+// vectorization report for this file). Keep the Dense*/Sum/And loops
+// free of calls and branches.
+#include "exec/batch_filter.h"
+
+#include <algorithm>
+
+namespace sqopt {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Comparison functors. Doubles use IEEE compares, whose NaN behavior
+// (every compare false) matches Value::Compare's "incomparable =>
+// predicate false" — EXCEPT !=, where IEEE says true for NaN operands
+// but EvalCompare says false; OpNeF encodes != as (a<b)|(a>b) so NaN
+// still yields false. Int-vs-double comparisons convert the int side
+// exactly as Value::AsDouble does.
+// ---------------------------------------------------------------------------
+struct OpEq {
+  template <typename T>
+  bool operator()(T a, T b) const {
+    return a == b;
+  }
+};
+struct OpNeI {
+  bool operator()(int64_t a, int64_t b) const { return a != b; }
+};
+struct OpNeF {
+  bool operator()(double a, double b) const { return a < b || a > b; }
+};
+struct OpLt {
+  template <typename T>
+  bool operator()(T a, T b) const {
+    return a < b;
+  }
+};
+struct OpLe {
+  template <typename T>
+  bool operator()(T a, T b) const {
+    return a <= b;
+  }
+};
+struct OpGt {
+  template <typename T>
+  bool operator()(T a, T b) const {
+    return a > b;
+  }
+};
+struct OpGe {
+  template <typename T>
+  bool operator()(T a, T b) const {
+    return a >= b;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Dense kernels: byte mask over a contiguous typed run. These are the
+// loops that must auto-vectorize.
+// ---------------------------------------------------------------------------
+template <typename T, typename Op>
+void DenseMask(const T* __restrict v, int64_t n, T c, uint8_t* __restrict m) {
+  for (int64_t i = 0; i < n; ++i) {
+    m[i] = static_cast<uint8_t>(Op{}(v[i], c));
+  }
+}
+
+// Int column compared against a double constant: element-wise convert,
+// exactly Value::AsDouble.
+template <typename Op>
+void DenseMaskIntAsDouble(const int64_t* __restrict v, int64_t n, double c,
+                          uint8_t* __restrict m) {
+  for (int64_t i = 0; i < n; ++i) {
+    m[i] = static_cast<uint8_t>(Op{}(static_cast<double>(v[i]), c));
+  }
+}
+
+void AndMask(uint8_t* __restrict m, const uint8_t* __restrict m2,
+             int64_t n) {
+  for (int64_t i = 0; i < n; ++i) m[i] &= m2[i];
+}
+
+uint64_t SumMask(const uint8_t* __restrict m, int64_t n) {
+  uint64_t sum = 0;
+  for (int64_t i = 0; i < n; ++i) sum += m[i];
+  return sum;
+}
+
+// Branch-free mask -> selection-vector compaction. `base` is added to
+// every emitted offset (mask index 0 == segment offset `base`).
+int64_t CompressMask(const uint8_t* __restrict m, int64_t n, int32_t base,
+                     int32_t* __restrict sel) {
+  int64_t out = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sel[out] = base + static_cast<int32_t>(i);
+    out += (m[i] != 0);
+  }
+  return out;
+}
+
+// Branch-free selective (gather) kernels for later conjuncts, where
+// the selection is already sparse.
+template <typename T, typename Op>
+int64_t GatherFilter(const T* __restrict v, T c,
+                     const int32_t* __restrict sel_in, int64_t n,
+                     int32_t* __restrict sel_out) {
+  int64_t out = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    const int32_t r = sel_in[k];
+    sel_out[out] = r;
+    out += Op{}(v[r], c) ? 1 : 0;
+  }
+  return out;
+}
+
+template <typename Op>
+int64_t GatherFilterIntAsDouble(const int64_t* __restrict v, double c,
+                                const int32_t* __restrict sel_in, int64_t n,
+                                int32_t* __restrict sel_out) {
+  int64_t out = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    const int32_t r = sel_in[k];
+    sel_out[out] = r;
+    out += Op{}(static_cast<double>(v[r]), c) ? 1 : 0;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Op dispatch
+// ---------------------------------------------------------------------------
+void MaskI64(const int64_t* v, int64_t n, int64_t c, CompareOp op,
+             uint8_t* m) {
+  switch (op) {
+    case CompareOp::kEq:
+      return DenseMask<int64_t, OpEq>(v, n, c, m);
+    case CompareOp::kNe:
+      return DenseMask<int64_t, OpNeI>(v, n, c, m);
+    case CompareOp::kLt:
+      return DenseMask<int64_t, OpLt>(v, n, c, m);
+    case CompareOp::kLe:
+      return DenseMask<int64_t, OpLe>(v, n, c, m);
+    case CompareOp::kGt:
+      return DenseMask<int64_t, OpGt>(v, n, c, m);
+    case CompareOp::kGe:
+      return DenseMask<int64_t, OpGe>(v, n, c, m);
+  }
+}
+
+void MaskF64(const double* v, int64_t n, double c, CompareOp op,
+             uint8_t* m) {
+  switch (op) {
+    case CompareOp::kEq:
+      return DenseMask<double, OpEq>(v, n, c, m);
+    case CompareOp::kNe:
+      return DenseMask<double, OpNeF>(v, n, c, m);
+    case CompareOp::kLt:
+      return DenseMask<double, OpLt>(v, n, c, m);
+    case CompareOp::kLe:
+      return DenseMask<double, OpLe>(v, n, c, m);
+    case CompareOp::kGt:
+      return DenseMask<double, OpGt>(v, n, c, m);
+    case CompareOp::kGe:
+      return DenseMask<double, OpGe>(v, n, c, m);
+  }
+}
+
+void MaskI64AsF64(const int64_t* v, int64_t n, double c, CompareOp op,
+                  uint8_t* m) {
+  switch (op) {
+    case CompareOp::kEq:
+      return DenseMaskIntAsDouble<OpEq>(v, n, c, m);
+    case CompareOp::kNe:
+      return DenseMaskIntAsDouble<OpNeF>(v, n, c, m);
+    case CompareOp::kLt:
+      return DenseMaskIntAsDouble<OpLt>(v, n, c, m);
+    case CompareOp::kLe:
+      return DenseMaskIntAsDouble<OpLe>(v, n, c, m);
+    case CompareOp::kGt:
+      return DenseMaskIntAsDouble<OpGt>(v, n, c, m);
+    case CompareOp::kGe:
+      return DenseMaskIntAsDouble<OpGe>(v, n, c, m);
+  }
+}
+
+int64_t GatherI64(const int64_t* v, int64_t c, CompareOp op,
+                  const int32_t* sel_in, int64_t n, int32_t* sel_out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return GatherFilter<int64_t, OpEq>(v, c, sel_in, n, sel_out);
+    case CompareOp::kNe:
+      return GatherFilter<int64_t, OpNeI>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLt:
+      return GatherFilter<int64_t, OpLt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLe:
+      return GatherFilter<int64_t, OpLe>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGt:
+      return GatherFilter<int64_t, OpGt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGe:
+      return GatherFilter<int64_t, OpGe>(v, c, sel_in, n, sel_out);
+  }
+  return 0;
+}
+
+int64_t GatherF64(const double* v, double c, CompareOp op,
+                  const int32_t* sel_in, int64_t n, int32_t* sel_out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return GatherFilter<double, OpEq>(v, c, sel_in, n, sel_out);
+    case CompareOp::kNe:
+      return GatherFilter<double, OpNeF>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLt:
+      return GatherFilter<double, OpLt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLe:
+      return GatherFilter<double, OpLe>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGt:
+      return GatherFilter<double, OpGt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGe:
+      return GatherFilter<double, OpGe>(v, c, sel_in, n, sel_out);
+  }
+  return 0;
+}
+
+int64_t GatherI64AsF64(const int64_t* v, double c, CompareOp op,
+                       const int32_t* sel_in, int64_t n, int32_t* sel_out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return GatherFilterIntAsDouble<OpEq>(v, c, sel_in, n, sel_out);
+    case CompareOp::kNe:
+      return GatherFilterIntAsDouble<OpNeF>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLt:
+      return GatherFilterIntAsDouble<OpLt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kLe:
+      return GatherFilterIntAsDouble<OpLe>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGt:
+      return GatherFilterIntAsDouble<OpGt>(v, c, sel_in, n, sel_out);
+    case CompareOp::kGe:
+      return GatherFilterIntAsDouble<OpGe>(v, c, sel_in, n, sel_out);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Per-conjunct dispatch glue
+// ---------------------------------------------------------------------------
+
+// A conjunct gets a typed kernel iff it was classified kNumericConst
+// AND the chunk at hand is typed (a demoted chunk silently falls back
+// to the generic path — correctness never depends on encodings).
+bool KernelEligible(PredicateClass cls, const ColumnView& col) {
+  return cls == PredicateClass::kNumericConst &&
+         col.encoding != ColumnEncoding::kGeneric;
+}
+
+// Dense mask for conjunct `p` over col[lo, lo+n). Pre: KernelEligible.
+void DenseMaskFor(const ColumnView& col, const Predicate& p, int64_t lo,
+                  int64_t n, uint8_t* m) {
+  const Value& c = p.rhs_value();
+  if (col.encoding == ColumnEncoding::kInt64) {
+    if (c.type() == ValueType::kInt) {
+      MaskI64(col.i64 + lo, n, c.int_value(), p.op(), m);
+    } else {
+      MaskI64AsF64(col.i64 + lo, n, c.double_value(), p.op(), m);
+    }
+  } else {
+    MaskF64(col.f64 + lo, n, c.AsDouble(), p.op(), m);
+  }
+}
+
+// Gather filter for conjunct `p` over the selection. Pre: KernelEligible.
+int64_t GatherFor(const ColumnView& col, const Predicate& p,
+                  const int32_t* sel_in, int64_t n, int32_t* sel_out) {
+  const Value& c = p.rhs_value();
+  if (col.encoding == ColumnEncoding::kInt64) {
+    if (c.type() == ValueType::kInt) {
+      return GatherI64(col.i64, c.int_value(), p.op(), sel_in, n, sel_out);
+    }
+    return GatherI64AsF64(col.i64, c.double_value(), p.op(), sel_in, n,
+                          sel_out);
+  }
+  return GatherF64(col.f64, c.AsDouble(), p.op(), sel_in, n, sel_out);
+}
+
+// Row-at-a-time fallback over the selection: exact EvalCompare
+// semantics for whatever the chunk holds.
+int64_t GenericFilter(const ColumnView& col, const Predicate& p,
+                      const int32_t* sel_in, int64_t n, int32_t* sel_out) {
+  int64_t out = 0;
+  if (col.encoding == ColumnEncoding::kGeneric) {
+    for (int64_t k = 0; k < n; ++k) {
+      const int32_t r = sel_in[k];
+      if (EvalCompare(col.generic[r], p.op(), p.rhs_value())) {
+        sel_out[out++] = r;
+      }
+    }
+    return out;
+  }
+  for (int64_t k = 0; k < n; ++k) {
+    const int32_t r = sel_in[k];
+    if (EvalCompare(col.Get(r), p.op(), p.rhs_value())) {
+      sel_out[out++] = r;
+    }
+  }
+  return out;
+}
+
+// The null column a conjunct on an unresolvable attribute reads:
+// every comparison is false, but the evals still count.
+ColumnView NullColumn() { return ColumnView{}; }
+
+// Filters segment offsets [lo, hi) of `batch`, appending surviving
+// GLOBAL row ids to *out. `slots` parallels conjuncts (-1 =
+// unresolvable attribute).
+void FilterSegmentRange(const SegmentBatch& batch,
+                        const std::vector<Predicate>& conjuncts,
+                        const std::vector<PredicateClass>& classes,
+                        const std::vector<int>& slots, int64_t lo,
+                        int64_t hi, FilterScratch* scratch,
+                        std::vector<int64_t>* out,
+                        uint64_t* predicate_evals) {
+  const int64_t n = hi - lo;
+  if (n <= 0) return;
+  scratch->mask.resize(static_cast<size_t>(n));
+  scratch->mask2.resize(static_cast<size_t>(n));
+  scratch->sel.resize(static_cast<size_t>(n));
+  scratch->sel2.resize(static_cast<size_t>(n));
+  uint8_t* mask = scratch->mask.data();
+  uint8_t* mask2 = scratch->mask2.data();
+  int32_t* sel = scratch->sel.data();
+  int32_t* sel2 = scratch->sel2.data();
+
+  auto column_of = [&](size_t k) {
+    return slots[k] < 0 ? NullColumn()
+                        : batch.column(static_cast<size_t>(slots[k]));
+  };
+
+  // Tombstoned rows never reach a conjunct. A fully-live run stays
+  // "dense" (no selection vector) so the first conjunct can run as a
+  // contiguous SIMD mask; otherwise start from the live offsets.
+  const uint64_t live_in_range = SumMask(batch.live + lo, n);
+  bool dense = live_in_range == static_cast<uint64_t>(n);
+  int64_t count;
+  size_t k = 0;
+  if (dense) {
+    count = n;
+    // Dense phase: first conjunct (or fused adjacent pair) as
+    // contiguous mask kernels, then compress once.
+    if (k < conjuncts.size()) {
+      const ColumnView col = column_of(k);
+      if (KernelEligible(classes[k], col)) {
+        DenseMaskFor(col, conjuncts[k], lo, n, mask);
+        *predicate_evals += static_cast<uint64_t>(n);
+        bool fused = false;
+        if (k + 1 < conjuncts.size()) {
+          const ColumnView col2 = column_of(k + 1);
+          if (KernelEligible(classes[k + 1], col2)) {
+            // Fused pair: both masks in one pass over the segment —
+            // the optimizer's interval predicates (lo <= a AND
+            // a <= hi) become a branch-free min/max check. The second
+            // conjunct "ran" only on the first's survivors, so it
+            // counts SumMask(mask) evals, same as short-circuiting.
+            DenseMaskFor(col2, conjuncts[k + 1], lo, n, mask2);
+            *predicate_evals += SumMask(mask, n);
+            AndMask(mask, mask2, n);
+            fused = true;
+          }
+        }
+        count = CompressMask(mask, n, static_cast<int32_t>(lo), sel);
+        k += fused ? 2 : 1;
+        dense = false;
+      } else {
+        // No dense kernel for the first conjunct: materialize the
+        // trivial selection and let the gather phase handle it.
+        for (int64_t i = 0; i < n; ++i) {
+          sel[i] = static_cast<int32_t>(lo + i);
+        }
+        dense = false;
+      }
+    }
+  } else {
+    count = CompressMask(batch.live + lo, n, static_cast<int32_t>(lo), sel);
+  }
+
+  if (dense) {
+    // No conjuncts at all: every row in the fully-live range survives.
+    out->reserve(out->size() + static_cast<size_t>(n));
+    for (int64_t i = lo; i < hi; ++i) out->push_back(batch.base_row + i);
+    return;
+  }
+
+  for (; k < conjuncts.size() && count > 0; ++k) {
+    *predicate_evals += static_cast<uint64_t>(count);
+    if (slots[k] < 0) {
+      // Unresolvable attribute: the lhs is null for every row, so every
+      // comparison is false — the evals above still count.
+      count = 0;
+      continue;
+    }
+    const ColumnView col = column_of(k);
+    if (KernelEligible(classes[k], col)) {
+      count = GatherFor(col, conjuncts[k], sel, count, sel2);
+    } else {
+      count = GenericFilter(col, conjuncts[k], sel, count, sel2);
+    }
+    std::swap(sel, sel2);
+  }
+
+  out->reserve(out->size() + static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    out->push_back(batch.base_row + sel[i]);
+  }
+}
+
+}  // namespace
+
+void FilterRows(const Extent& extent,
+                const std::vector<Predicate>& conjuncts,
+                const std::vector<PredicateClass>& classes, int64_t begin,
+                int64_t end, FilterScratch* scratch,
+                std::vector<int64_t>* out, uint64_t* predicate_evals) {
+  if (begin < 0) begin = 0;
+  if (end > extent.size()) end = extent.size();
+  if (begin >= end) return;
+
+  std::vector<PredicateClass> local_classes;
+  const std::vector<PredicateClass>* effective = &classes;
+  if (classes.size() != conjuncts.size()) {
+    local_classes.reserve(conjuncts.size());
+    for (const Predicate& p : conjuncts) {
+      local_classes.push_back(ClassifyPredicate(p));
+    }
+    effective = &local_classes;
+  }
+  std::vector<int> slots;
+  slots.reserve(conjuncts.size());
+  for (const Predicate& p : conjuncts) {
+    slots.push_back(extent.SlotOf(p.lhs().attr_id));
+  }
+
+  const int64_t first_seg = begin / Extent::kSegmentRows;
+  const int64_t last_seg = (end - 1) / Extent::kSegmentRows;
+  for (int64_t s = first_seg; s <= last_seg; ++s) {
+    const SegmentBatch batch = extent.Batch(s);
+    const int64_t lo = std::max<int64_t>(0, begin - batch.base_row);
+    const int64_t hi = std::min<int64_t>(batch.rows, end - batch.base_row);
+    FilterSegmentRange(batch, conjuncts, *effective, slots, lo, hi, scratch,
+                       out, predicate_evals);
+  }
+}
+
+void FilterCandidates(const Extent& extent,
+                      const std::vector<Predicate>& conjuncts,
+                      const std::vector<int64_t>& candidates, int64_t begin,
+                      int64_t end, std::vector<int64_t>* out,
+                      uint64_t* predicate_evals) {
+  Value scratch;
+  for (int64_t i = begin; i < end; ++i) {
+    const int64_t row = candidates[static_cast<size_t>(i)];
+    bool keep = true;
+    for (const Predicate& p : conjuncts) {
+      ++*predicate_evals;
+      const Value& lhs = extent.ValueRef(row, p.lhs().attr_id, &scratch);
+      if (!EvalCompare(lhs, p.op(), p.rhs_value())) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out->push_back(row);
+  }
+}
+
+}  // namespace sqopt

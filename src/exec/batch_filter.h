@@ -1,0 +1,66 @@
+// Batch-at-a-time driving-step filter: evaluates a step's residual
+// conjuncts (attr-const predicates) over whole segment ranges instead
+// of row-at-a-time, producing the surviving row ids in row order.
+//
+// Dense ranges (every row of a contiguous run live) run each numeric
+// conjunct as a branch-free compare loop over the segment's contiguous
+// typed column — the auto-vectorizable kernels this TU exists to
+// isolate (CI greps the compiler's vectorization report for it) — then
+// compress the byte mask into a selection vector. Adjacent numeric
+// conjuncts fuse into a single two-mask pass, so the optimizer's
+// interval predicates (lo <= attr AND attr <= hi) become one
+// branch-free min/max check per row. Sparse selections, generic-
+// encoded chunks, and non-numeric constants fall back to per-row
+// EvalCompare over the selection vector.
+//
+// Counting contract: predicate_evals advances exactly as the
+// short-circuiting row-at-a-time loop would — conjunct k counts one
+// eval per row that survived conjuncts 0..k-1, dead rows count
+// nothing — so per-morsel meters still sum to the sequential meter and
+// differential tests against reference_executor stay exact.
+#ifndef SQOPT_EXEC_BATCH_FILTER_H_
+#define SQOPT_EXEC_BATCH_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/plan.h"
+#include "expr/predicate.h"
+#include "storage/extent.h"
+
+namespace sqopt {
+
+// Reusable per-worker scratch buffers so the per-segment masks and
+// selection vectors never reallocate inside the scan loop.
+struct FilterScratch {
+  std::vector<uint8_t> mask;
+  std::vector<uint8_t> mask2;
+  std::vector<int32_t> sel;
+  std::vector<int32_t> sel2;
+};
+
+// Filters extent rows [begin, end) through `conjuncts`, appending the
+// surviving row ids to *out in ascending row order. Tombstoned rows
+// are skipped before any conjunct runs. `classes` parallels
+// `conjuncts` (see ClassifyPredicate); pass an empty vector to have
+// the filter classify on the fly. Adds the evaluations performed to
+// *predicate_evals under the counting contract above.
+void FilterRows(const Extent& extent,
+                const std::vector<Predicate>& conjuncts,
+                const std::vector<PredicateClass>& classes, int64_t begin,
+                int64_t end, FilterScratch* scratch,
+                std::vector<int64_t>* out, uint64_t* predicate_evals);
+
+// Same contract over an explicit candidate row list (index range
+// scans): rows `candidates[begin..end)` are already live and already
+// counted as scanned by the caller; conjuncts run per row in candidate
+// order with short-circuit counting.
+void FilterCandidates(const Extent& extent,
+                      const std::vector<Predicate>& conjuncts,
+                      const std::vector<int64_t>& candidates, int64_t begin,
+                      int64_t end, std::vector<int64_t>* out,
+                      uint64_t* predicate_evals);
+
+}  // namespace sqopt
+
+#endif  // SQOPT_EXEC_BATCH_FILTER_H_

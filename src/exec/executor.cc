@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "exec/batch_filter.h"
 #include "exec/plan_builder.h"
 #include "storage/morsel.h"
 
@@ -63,20 +64,21 @@ namespace {
 
 using Binding = std::vector<int64_t>;  // class id -> row (-1 unbound)
 
-const Value& AttrValue(const ObjectStore& store, const Binding& binding,
-                       const AttrRef& ref) {
-  return store.extent(ref.class_id)
-      .ValueAt(binding[ref.class_id], ref.attr_id);
-}
-
 bool EvalPredicate(const ObjectStore& store, const Binding& binding,
                    const Predicate& p, ExecutionMeter* meter) {
   ++meter->predicate_evals;
-  const Value& lhs = AttrValue(store, binding, p.lhs());
+  Value lhs_scratch, rhs_scratch;
+  const Value& lhs =
+      store.extent(p.lhs().class_id)
+          .ValueRef(binding[p.lhs().class_id], p.lhs().attr_id,
+                    &lhs_scratch);
   if (p.is_attr_const()) {
     return EvalCompare(lhs, p.op(), p.rhs_value());
   }
-  const Value& rhs = AttrValue(store, binding, p.rhs_attr());
+  const Value& rhs =
+      store.extent(p.rhs_attr().class_id)
+          .ValueRef(binding[p.rhs_attr().class_id], p.rhs_attr().attr_id,
+                    &rhs_scratch);
   return EvalCompare(lhs, p.op(), rhs);
 }
 
@@ -160,33 +162,98 @@ void RunPipeline(const ObjectStore& store, const Plan& plan,
            partners.end();
   };
 
-  // Driving step: filter this slice of the candidates. An identity
-  // scan walks row SLOTS, so tombstoned rows are skipped here; index
-  // candidates never contain dead rows (Delete drops their entries).
+  // Driving step, batch-at-a-time: residual conjuncts run over whole
+  // segment column ranges (selection vectors + vectorized kernels, see
+  // exec/batch_filter.h) instead of row-at-a-time. An identity scan
+  // walks row SLOTS, so tombstoned rows are skipped inside the filter;
+  // index candidates never contain dead rows (Delete drops their
+  // entries). The eval-counting contract keeps per-morsel meters
+  // summing exactly to a sequential run's.
   const AccessStep& drive = plan.steps[0];
   const Extent& drive_extent = store.extent(drive.class_id);
-  std::vector<Binding> bindings;
-  for (int64_t c = begin; c < end; ++c) {
-    if (candidates == nullptr && !drive_extent.IsLive(c)) continue;
-    Binding binding(num_classes, -1);
-    binding[drive.class_id] =
-        candidates == nullptr ? c : (*candidates)[static_cast<size_t>(c)];
-    bool keep = true;
-    for (const Predicate& p : drive.residual_predicates) {
-      if (!EvalPredicate(store, binding, p, meter)) {
-        keep = false;
-        break;
+  std::vector<int64_t> survivors;
+  if (candidates == nullptr) {
+    FilterScratch scratch;
+    FilterRows(drive_extent, drive.residual_predicates,
+               drive.residual_classes, begin, end, &scratch, &survivors,
+               &meter->predicate_evals);
+  } else {
+    FilterCandidates(drive_extent, drive.residual_predicates, *candidates,
+                     begin, end, &survivors, &meter->predicate_evals);
+  }
+
+  // Join predicates and cycle filters placed at step 0 reference only
+  // the driving class; apply them per surviving row, in the same order
+  // (and with the same short-circuit counting) as the expansion steps
+  // apply theirs.
+  if (!sched.joins_at[0].empty() || !sched.rels_at[0].empty()) {
+    auto eval_at_drive_row = [&](const Predicate& p, int64_t row) {
+      ++meter->predicate_evals;
+      Value lhs_scratch, rhs_scratch;
+      const Value& lhs =
+          drive_extent.ValueRef(row, p.lhs().attr_id, &lhs_scratch);
+      if (p.is_attr_const()) return EvalCompare(lhs, p.op(), p.rhs_value());
+      const Value& rhs =
+          drive_extent.ValueRef(row, p.rhs_attr().attr_id, &rhs_scratch);
+      return EvalCompare(lhs, p.op(), rhs);
+    };
+    size_t w = 0;
+    for (int64_t row : survivors) {
+      bool keep = true;
+      for (const Predicate& p : sched.joins_at[0]) {
+        if (!eval_at_drive_row(p, row)) {
+          keep = false;
+          break;
+        }
       }
+      for (RelId rel_id : sched.rels_at[0]) {
+        if (!keep) break;
+        const Relationship& rel = schema.relationship(rel_id);
+        const std::vector<int64_t>& partners =
+            store.Partners(rel_id, rel.a, row);
+        ++meter->pointer_traversals;
+        if (std::find(partners.begin(), partners.end(), row) ==
+            partners.end()) {
+          keep = false;
+        }
+      }
+      if (keep) survivors[w++] = row;
     }
-    for (const Predicate& p : sched.joins_at[0]) {
-      if (!keep) break;
-      if (!EvalPredicate(store, binding, p, meter)) keep = false;
+    survivors.resize(w);
+  }
+
+  // Single-step plan: fuse filter→project per morsel — project the
+  // surviving rows straight out of the columns, no Binding vectors.
+  if (plan.steps.size() == 1) {
+    std::vector<int> proj_slots;
+    proj_slots.reserve(plan.projection.size());
+    for (const AttrRef& ref : plan.projection) {
+      proj_slots.push_back(drive_extent.SlotOf(ref.attr_id));
     }
-    for (RelId rel_id : sched.rels_at[0]) {
-      if (!keep) break;
-      if (!linked(rel_id, binding)) keep = false;
+    out->rows.reserve(out->rows.size() + survivors.size());
+    for (int64_t row : survivors) {
+      const SegmentBatch batch =
+          drive_extent.Batch(row / Extent::kSegmentRows);
+      const size_t offset = static_cast<size_t>(row - batch.base_row);
+      std::vector<Value> result_row;
+      result_row.reserve(proj_slots.size());
+      for (int slot : proj_slots) {
+        result_row.push_back(slot < 0
+                                 ? Value::Null()
+                                 : batch.cols[static_cast<size_t>(slot)]
+                                       .Get(offset));
+      }
+      out->rows.push_back(std::move(result_row));
     }
-    if (keep) bindings.push_back(std::move(binding));
+    return;
+  }
+
+  std::vector<Binding> bindings;
+  bindings.reserve(survivors.size());
+  for (int64_t row : survivors) {
+    Binding binding(num_classes, -1);
+    binding[drive.class_id] = row;
+    bindings.push_back(std::move(binding));
   }
 
   // Expansion steps.
@@ -229,7 +296,8 @@ void RunPipeline(const ObjectStore& store, const Plan& plan,
     std::vector<Value> row;
     row.reserve(plan.projection.size());
     for (const AttrRef& ref : plan.projection) {
-      row.push_back(AttrValue(store, binding, ref));
+      row.push_back(store.extent(ref.class_id)
+                        .ValueAt(binding[ref.class_id], ref.attr_id));
     }
     out->rows.push_back(std::move(row));
   }

@@ -4,6 +4,21 @@
 
 namespace sqopt {
 
+PredicateClass ClassifyPredicate(const Predicate& p) {
+  if (p.is_attr_const() && p.rhs_value().is_numeric()) {
+    return PredicateClass::kNumericConst;
+  }
+  return PredicateClass::kGeneric;
+}
+
+void ClassifyResiduals(AccessStep* step) {
+  step->residual_classes.clear();
+  step->residual_classes.reserve(step->residual_predicates.size());
+  for (const Predicate& p : step->residual_predicates) {
+    step->residual_classes.push_back(ClassifyPredicate(p));
+  }
+}
+
 std::string Plan::ToString(const Schema& schema) const {
   std::ostringstream os;
   if (empty_result) {

@@ -16,6 +16,22 @@
 
 namespace sqopt {
 
+// How the batch filter may evaluate one residual conjunct over a
+// morsel (see exec/batch_filter.h). Carried on the plan so the
+// executor never re-derives it per morsel.
+enum class PredicateClass : uint8_t {
+  // Row-at-a-time EvalCompare on materialized values: attr-attr
+  // conjuncts, non-numeric constants, null constants.
+  kGeneric = 0,
+  // attr <op> numeric constant: eligible for the dense typed kernels
+  // (branch-free compare loops over a contiguous int64/double column).
+  kNumericConst = 1,
+};
+
+// Classification rule, shared by the planner and by executors handed a
+// hand-built plan without classifications.
+PredicateClass ClassifyPredicate(const Predicate& p);
+
 struct AccessStep {
   ClassId class_id = kInvalidClass;
 
@@ -31,7 +47,15 @@ struct AccessStep {
   // attr-const predicates on this class evaluated on each candidate
   // (the index predicate, when present, is not repeated here).
   std::vector<Predicate> residual_predicates;
+  // Parallel to residual_predicates: the batch filter's evaluation
+  // strategy per conjunct. The planner fills it (ClassifyResiduals);
+  // an empty vector (hand-built plan) makes the executor classify on
+  // the fly.
+  std::vector<PredicateClass> residual_classes;
 };
+
+// Fills step->residual_classes from step->residual_predicates.
+void ClassifyResiduals(AccessStep* step);
 
 struct Plan {
   std::vector<AccessStep> steps;

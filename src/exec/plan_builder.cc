@@ -122,6 +122,7 @@ Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
     if (start_index.has_value() && p == *start_index) continue;
     drive.residual_predicates.push_back(p);
   }
+  ClassifyResiduals(&drive);
   plan.steps.push_back(std::move(drive));
 
   // Morsel-parallel scan decision: the driving candidate count (the
@@ -176,6 +177,7 @@ Result<Plan> BuildPlan(const Schema& schema, const DatabaseStats& stats,
     step.via_rel = best_rel;
     step.from_class = best_from;
     step.residual_predicates = preds_on(best_to);
+    ClassifyResiduals(&step);
     plan.steps.push_back(std::move(step));
     bound.insert(best_to);
     used.insert(best_rel);

@@ -25,7 +25,9 @@ Result<ResultSet> ExecuteReference(const ObjectStore& store,
   std::vector<int64_t> binding(schema.num_classes(), -1);
   std::vector<Predicate> preds = query.AllPredicates();
 
-  auto attr_value = [&](const AttrRef& ref) -> const Value& {
+  // By value: Extent::ValueAt materializes from columnar segments, so
+  // there is no stored row to lend a reference into.
+  auto attr_value = [&](const AttrRef& ref) -> Value {
     return store.extent(ref.class_id)
         .ValueAt(binding[ref.class_id], ref.attr_id);
   };
@@ -39,7 +41,7 @@ Result<ResultSet> ExecuteReference(const ObjectStore& store,
         if (!Linked(store, rel, binding[rel.a], binding[rel.b])) return;
       }
       for (const Predicate& p : preds) {
-        const Value& lhs = attr_value(p.lhs());
+        const Value lhs = attr_value(p.lhs());
         bool ok = p.is_attr_const()
                       ? EvalCompare(lhs, p.op(), p.rhs_value())
                       : EvalCompare(lhs, p.op(), attr_value(p.rhs_attr()));

@@ -223,17 +223,53 @@ Status DecodeCatalog(std::string_view payload, ConstraintCatalog* catalog) {
                                      std::move(assignment));
 }
 
+// Extents section, column-major (format v3): per class, the live
+// bitmap as one raw run, then each attribute slot as one contiguous
+// column — a u8 encoding tag followed by `rows` raw i64/f64 payloads
+// (typed columns) or tagged Values (generic). A slot is written typed
+// only when every segment's chunk holds that typed encoding, so decode
+// can bulk-build the whole-extent ColumnData without per-row dispatch.
 std::string EncodeExtents(const Schema& schema, const ObjectStore& store) {
   ByteWriter w;
   w.PutU32(static_cast<uint32_t>(schema.num_classes()));
   for (const ObjectClass& oc : schema.classes()) {
     const Extent& extent = store.extent(oc.id);
-    w.PutU32(static_cast<uint32_t>(extent.num_slots()));
+    const size_t num_slots = extent.num_slots();
+    const int64_t num_segments = extent.num_segments();
+    w.PutU32(static_cast<uint32_t>(num_slots));
     w.PutU64(static_cast<uint64_t>(extent.size()));
-    for (int64_t row = 0; row < extent.size(); ++row) {
-      w.PutU8(extent.IsLive(row) ? 1 : 0);
-      for (const Value& v : extent.object(row).values) {
-        w.PutValue(v);
+    std::string live_bytes;
+    live_bytes.reserve(static_cast<size_t>(extent.size()));
+    for (int64_t s = 0; s < num_segments; ++s) {
+      const SegmentBatch batch = extent.Batch(s);
+      live_bytes.append(reinterpret_cast<const char*>(batch.live),
+                        static_cast<size_t>(batch.rows));
+    }
+    w.PutRaw(live_bytes);
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      ColumnEncoding enc =
+          num_segments > 0 ? extent.Batch(0).column(slot).encoding
+                           : ColumnEncoding::kGeneric;
+      for (int64_t s = 1; s < num_segments; ++s) {
+        if (extent.Batch(s).column(slot).encoding != enc) {
+          enc = ColumnEncoding::kGeneric;
+          break;
+        }
+      }
+      w.PutU8(static_cast<uint8_t>(enc));
+      for (int64_t s = 0; s < num_segments; ++s) {
+        const ColumnView col = extent.Batch(s).column(slot);
+        switch (enc) {
+          case ColumnEncoding::kInt64:
+            for (int64_t i = 0; i < col.size; ++i) w.PutI64(col.i64[i]);
+            break;
+          case ColumnEncoding::kFloat64:
+            for (int64_t i = 0; i < col.size; ++i) w.PutF64(col.f64[i]);
+            break;
+          case ColumnEncoding::kGeneric:
+            for (int64_t i = 0; i < col.size; ++i) w.PutValue(col.Get(i));
+            break;
+        }
       }
     }
   }
@@ -253,25 +289,46 @@ Status DecodeExtents(std::string_view payload, ObjectStore* store) {
   for (const ObjectClass& oc : schema.classes()) {
     SQOPT_ASSIGN_OR_RETURN(uint32_t num_slots, r.U32());
     SQOPT_ASSIGN_OR_RETURN(uint64_t rows, r.U64());
-    std::vector<Object> objects;
-    std::vector<uint8_t> live;
-    // Each row costs at least its live flag plus one byte per value.
-    const size_t row_cap = r.CappedCount(rows, 1 + num_slots);
-    objects.reserve(row_cap);
-    live.reserve(row_cap);
-    for (uint64_t row = 0; row < rows; ++row) {
-      SQOPT_ASSIGN_OR_RETURN(uint8_t is_live, r.U8());
-      live.push_back(is_live);
-      Object obj;
-      obj.values.reserve(r.CappedCount(num_slots));
-      for (uint32_t s = 0; s < num_slots; ++s) {
-        SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
-        obj.values.push_back(std::move(v));
+    SQOPT_ASSIGN_OR_RETURN(std::string_view live_raw,
+                           r.Raw(static_cast<size_t>(rows)));
+    std::vector<uint8_t> live(live_raw.begin(), live_raw.end());
+    std::vector<ColumnData> cols;
+    cols.reserve(r.CappedCount(num_slots));
+    for (uint32_t slot = 0; slot < num_slots; ++slot) {
+      SQOPT_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+      if (tag > static_cast<uint8_t>(ColumnEncoding::kFloat64)) {
+        return Status::Corruption("unknown column encoding tag " +
+                                  std::to_string(tag));
       }
-      objects.push_back(std::move(obj));
+      ColumnData col;
+      col.encoding = static_cast<ColumnEncoding>(tag);
+      switch (col.encoding) {
+        case ColumnEncoding::kInt64:
+          col.i64.reserve(r.CappedCount(rows, 8));
+          for (uint64_t i = 0; i < rows; ++i) {
+            SQOPT_ASSIGN_OR_RETURN(int64_t v, r.I64());
+            col.i64.push_back(v);
+          }
+          break;
+        case ColumnEncoding::kFloat64:
+          col.f64.reserve(r.CappedCount(rows, 8));
+          for (uint64_t i = 0; i < rows; ++i) {
+            SQOPT_ASSIGN_OR_RETURN(double v, r.F64());
+            col.f64.push_back(v);
+          }
+          break;
+        case ColumnEncoding::kGeneric:
+          col.generic.reserve(r.CappedCount(rows));
+          for (uint64_t i = 0; i < rows; ++i) {
+            SQOPT_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+            col.generic.push_back(std::move(v));
+          }
+          break;
+      }
+      cols.push_back(std::move(col));
     }
     SQOPT_RETURN_IF_ERROR(
-        store->RestoreClassSlots(oc.id, std::move(objects), std::move(live)));
+        store->RestoreClassColumns(oc.id, std::move(cols), std::move(live)));
   }
   return Status::OK();
 }
@@ -553,10 +610,14 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   }
   SQOPT_ASSIGN_OR_RETURN(uint32_t format, r.U32());
   if (format != kSnapshotFormatVersion) {
-    return Status::Corruption("snapshot format version " +
-                              std::to_string(format) + " unsupported (" +
-                              "this build reads version " +
-                              std::to_string(kSnapshotFormatVersion) + ")");
+    // The file is structurally fine, just written by another format
+    // generation (e.g. a pre-columnar v1 snapshot): surface the typed
+    // version error, not kCorruption, so callers can distinguish
+    // "re-ingest from sources" from "your disk is bad".
+    return Status::UnsupportedVersion(
+        "snapshot format version " + std::to_string(format) +
+        " unsupported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
   }
   SnapshotReader reader;
   SQOPT_ASSIGN_OR_RETURN(reader.data_version_, r.U64());

@@ -8,7 +8,8 @@
 //
 // with one section each for the schema, the precompiled constraint
 // catalog (base + derived clauses, classifications, grouping), the
-// per-class extents (values + live bitmaps), the relationship pair
+// per-class extents (column-major: a live bitmap plus one contiguous
+// typed-or-generic array per attribute slot), the relationship pair
 // lists, the B-tree attribute indexes (entries in key order), and the
 // database statistics (cardinalities, attr stats, histograms). Every
 // field is little-endian and byte-addressed (see serde.h), so a
@@ -35,7 +36,10 @@
 
 namespace sqopt::persist {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// v3: extents went column-major (one contiguous array per attribute
+// slot — see storage/column.h); older row-major snapshots are rejected
+// with a typed kUnsupportedVersion status, never misread.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 // File names inside a persistence directory.
 inline constexpr const char* kSnapshotFileName = "snapshot.sqopt";

@@ -1,0 +1,176 @@
+#include "storage/column.h"
+
+namespace sqopt {
+
+namespace {
+
+bool Fits(const Value& v, ColumnEncoding enc) {
+  switch (enc) {
+    case ColumnEncoding::kInt64:
+      return v.type() == ValueType::kInt;
+    case ColumnEncoding::kFloat64:
+      return v.type() == ValueType::kDouble;
+    case ColumnEncoding::kGeneric:
+      return true;
+  }
+  return false;
+}
+
+ColumnEncoding FastEncodingFor(ValueType declared) {
+  switch (declared) {
+    case ValueType::kInt:
+      return ColumnEncoding::kInt64;
+    case ValueType::kDouble:
+      return ColumnEncoding::kFloat64;
+    default:
+      return ColumnEncoding::kGeneric;
+  }
+}
+
+}  // namespace
+
+ColumnChunk ColumnChunk::ForType(ValueType declared) {
+  ColumnChunk chunk;
+  chunk.enc_ = FastEncodingFor(declared);
+  return chunk;
+}
+
+ColumnChunk ColumnChunk::FromSlice(const ColumnData& src, size_t begin,
+                                   size_t end, ValueType declared) {
+  ColumnChunk chunk;
+  switch (src.encoding) {
+    case ColumnEncoding::kInt64:
+      chunk.enc_ = ColumnEncoding::kInt64;
+      chunk.i64_.assign(src.i64.begin() + begin, src.i64.begin() + end);
+      return chunk;
+    case ColumnEncoding::kFloat64:
+      chunk.enc_ = ColumnEncoding::kFloat64;
+      chunk.f64_.assign(src.f64.begin() + begin, src.f64.begin() + end);
+      return chunk;
+    case ColumnEncoding::kGeneric:
+      break;
+  }
+  // Re-promote a generic slice whose values all match the declared
+  // type: a mixed extent serializes generically, but segments that are
+  // actually homogeneous should scan fast after restore.
+  const ColumnEncoding fast = FastEncodingFor(declared);
+  if (fast != ColumnEncoding::kGeneric) {
+    bool homogeneous = true;
+    for (size_t i = begin; i < end; ++i) {
+      if (!Fits(src.generic[i], fast)) {
+        homogeneous = false;
+        break;
+      }
+    }
+    if (homogeneous) {
+      chunk.enc_ = fast;
+      if (fast == ColumnEncoding::kInt64) {
+        chunk.i64_.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          chunk.i64_.push_back(src.generic[i].int_value());
+        }
+      } else {
+        chunk.f64_.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          chunk.f64_.push_back(src.generic[i].double_value());
+        }
+      }
+      return chunk;
+    }
+  }
+  chunk.enc_ = ColumnEncoding::kGeneric;
+  chunk.generic_.assign(src.generic.begin() + begin,
+                        src.generic.begin() + end);
+  return chunk;
+}
+
+size_t ColumnChunk::size() const {
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      return i64_.size();
+    case ColumnEncoding::kFloat64:
+      return f64_.size();
+    case ColumnEncoding::kGeneric:
+      return generic_.size();
+  }
+  return 0;
+}
+
+void ColumnChunk::Reserve(size_t n) {
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      i64_.reserve(n);
+      break;
+    case ColumnEncoding::kFloat64:
+      f64_.reserve(n);
+      break;
+    case ColumnEncoding::kGeneric:
+      generic_.reserve(n);
+      break;
+  }
+}
+
+void ColumnChunk::Demote() {
+  std::vector<Value> values;
+  values.reserve(size());
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      for (int64_t v : i64_) values.push_back(Value::Int(v));
+      i64_.clear();
+      i64_.shrink_to_fit();
+      break;
+    case ColumnEncoding::kFloat64:
+      for (double v : f64_) values.push_back(Value::Double(v));
+      f64_.clear();
+      f64_.shrink_to_fit();
+      break;
+    case ColumnEncoding::kGeneric:
+      return;
+  }
+  enc_ = ColumnEncoding::kGeneric;
+  generic_ = std::move(values);
+}
+
+void ColumnChunk::Append(Value v) {
+  if (!Fits(v, enc_)) Demote();
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      i64_.push_back(v.int_value());
+      break;
+    case ColumnEncoding::kFloat64:
+      f64_.push_back(v.double_value());
+      break;
+    case ColumnEncoding::kGeneric:
+      generic_.push_back(std::move(v));
+      break;
+  }
+}
+
+void ColumnChunk::Set(size_t i, Value v) {
+  if (!Fits(v, enc_)) Demote();
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      i64_[i] = v.int_value();
+      break;
+    case ColumnEncoding::kFloat64:
+      f64_[i] = v.double_value();
+      break;
+    case ColumnEncoding::kGeneric:
+      generic_[i] = std::move(v);
+      break;
+  }
+}
+
+Value ColumnChunk::Get(size_t i) const {
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      return Value::Int(i64_[i]);
+    case ColumnEncoding::kFloat64:
+      return Value::Double(f64_[i]);
+    case ColumnEncoding::kGeneric:
+      return generic_[i];
+  }
+  return Value::Null();
+}
+
+}  // namespace sqopt

@@ -1,0 +1,172 @@
+// Columnar segment storage: the value arrays behind Extent's segments.
+//
+// Each attribute slot of a segment is one ColumnChunk — a contiguous
+// array in one of three encodings. Chunks whose declared attribute type
+// is int or double store raw int64_t/double arrays (the batch filter's
+// auto-vectorizable input); everything else, and any chunk that ever
+// receives a value outside its declared type (including null), demotes
+// to a generic Value array. Demotion is per chunk, so one odd value in
+// one segment never slows scans over the rest of the extent.
+//
+// ColumnView / SegmentBatch are the read API the executor scans with:
+// borrowed pointers into one segment's arrays, valid only while the
+// owning snapshot (shared_ptr<Segment>) is alive — the same lifetime
+// contract reads already rely on.
+#ifndef SQOPT_STORAGE_COLUMN_H_
+#define SQOPT_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sqopt {
+
+enum class ColumnEncoding : uint8_t {
+  kGeneric = 0,  // std::vector<Value>: strings, refs, bools, mixed, nulls
+  kInt64 = 1,    // raw int64_t array
+  kFloat64 = 2,  // raw double array
+};
+
+// Whole-extent column in serialized/restore form: what snapshot decode
+// hands Extent::RestoreColumns. One encoding for the whole column; the
+// extent re-slices it into per-segment chunks (re-promoting generic
+// slices that happen to match the declared type, so a restored store
+// scans as fast as the one that was saved).
+struct ColumnData {
+  ColumnEncoding encoding = ColumnEncoding::kGeneric;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<Value> generic;
+
+  size_t size() const {
+    switch (encoding) {
+      case ColumnEncoding::kInt64:
+        return i64.size();
+      case ColumnEncoding::kFloat64:
+        return f64.size();
+      case ColumnEncoding::kGeneric:
+        return generic.size();
+    }
+    return 0;
+  }
+};
+
+// Borrowed, read-only view of one chunk's array. Exactly one of
+// i64/f64/generic is non-null, matching `encoding`.
+struct ColumnView {
+  ColumnEncoding encoding = ColumnEncoding::kGeneric;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const Value* generic = nullptr;
+  int64_t size = 0;
+
+  // Materializes element `i` whatever the encoding. Precondition:
+  // 0 <= i < size.
+  Value Get(int64_t i) const {
+    switch (encoding) {
+      case ColumnEncoding::kInt64:
+        return Value::Int(i64[i]);
+      case ColumnEncoding::kFloat64:
+        return Value::Double(f64[i]);
+      case ColumnEncoding::kGeneric:
+        return generic[i];
+    }
+    return Value::Null();
+  }
+};
+
+// One attribute slot of one segment: an append-only-ish typed array
+// with per-element overwrite (SetValue) and on-mismatch demotion.
+class ColumnChunk {
+ public:
+  ColumnChunk() = default;  // generic
+
+  // Chunk whose fast encoding matches the attribute's declared type.
+  static ColumnChunk ForType(ValueType declared);
+
+  // Chunk over rows [begin, end) of a whole-extent column. A generic
+  // source slice is re-promoted to `declared`'s fast encoding when
+  // every value in the slice matches it.
+  static ColumnChunk FromSlice(const ColumnData& src, size_t begin,
+                               size_t end, ValueType declared);
+
+  ColumnEncoding encoding() const { return enc_; }
+  size_t size() const;
+  void Reserve(size_t n);
+
+  // Appends `v`, demoting the chunk to generic if `v` does not fit the
+  // current typed encoding.
+  void Append(Value v);
+
+  // Overwrites element `i` (precondition: i < size()), demoting on
+  // type mismatch.
+  void Set(size_t i, Value v);
+
+  // Materializes element `i` by value. Precondition: i < size().
+  Value Get(size_t i) const;
+
+  // Hot-path accessor that avoids copying strings: generic chunks
+  // return a direct reference, typed chunks materialize into *scratch
+  // and return it. The reference is invalidated by the next call with
+  // the same scratch and by any mutation of the chunk.
+  const Value& GetRef(size_t i, Value* scratch) const {
+    switch (enc_) {
+      case ColumnEncoding::kInt64:
+        *scratch = Value::Int(i64_[i]);
+        return *scratch;
+      case ColumnEncoding::kFloat64:
+        *scratch = Value::Double(f64_[i]);
+        return *scratch;
+      case ColumnEncoding::kGeneric:
+        return generic_[i];
+    }
+    return *scratch;
+  }
+
+  ColumnView View() const {
+    ColumnView view;
+    view.encoding = enc_;
+    view.size = static_cast<int64_t>(size());
+    switch (enc_) {
+      case ColumnEncoding::kInt64:
+        view.i64 = i64_.data();
+        break;
+      case ColumnEncoding::kFloat64:
+        view.f64 = f64_.data();
+        break;
+      case ColumnEncoding::kGeneric:
+        view.generic = generic_.data();
+        break;
+    }
+    return view;
+  }
+
+ private:
+  // Rewrites the chunk as a generic Value array (int64/double are
+  // exactly representable as Values, so reads are unchanged).
+  void Demote();
+
+  ColumnEncoding enc_ = ColumnEncoding::kGeneric;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<Value> generic_;
+};
+
+// One segment's worth of columns, borrowed from an Extent. `base_row`
+// is the extent row id of element 0; `rows` is the number of row slots
+// the segment currently holds (== each column's size and the live
+// bitmap's length).
+struct SegmentBatch {
+  int64_t base_row = 0;
+  int64_t rows = 0;
+  const uint8_t* live = nullptr;       // 1 = live, 0 = tombstoned
+  const ColumnChunk* cols = nullptr;   // num_slots chunks
+  size_t num_slots = 0;
+
+  ColumnView column(size_t slot) const { return cols[slot].View(); }
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_STORAGE_COLUMN_H_

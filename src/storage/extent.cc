@@ -1,15 +1,18 @@
 #include "storage/extent.h"
 
-#include <algorithm>
-#include <iterator>
+#include <cstdio>
+#include <cstdlib>
 
 namespace sqopt {
 
 Extent::Extent(const Schema* schema, ClassId class_id)
     : schema_(schema), class_id_(class_id) {
   std::vector<AttrId> layout = schema_->LayoutOf(class_id);
+  slot_types_.reserve(layout.size());
   for (size_t i = 0; i < layout.size(); ++i) {
     slot_of_[layout[i]] = static_cast<int>(i);
+    slot_types_.push_back(
+        schema_->attribute(AttrRef{class_id, layout[i]}).type);
   }
 }
 
@@ -19,23 +22,38 @@ Extent::Segment& Extent::MutableSegment(size_t seg_idx) {
   return *sp;
 }
 
+void Extent::CheckRow(int64_t row) const {
+  if (row >= 0 && row < size_) return;
+  std::fprintf(stderr,
+               "extent of class '%s': row %lld out of range [0, %lld)\n",
+               schema_->object_class(class_id_).name.c_str(),
+               static_cast<long long>(row), static_cast<long long>(size_));
+  std::abort();
+}
+
 Result<int64_t> Extent::Insert(Object obj) {
-  if (obj.values.size() != slot_of_.size()) {
+  if (obj.values.size() != slot_types_.size()) {
     return Status::InvalidArgument(
         "object for class '" + schema_->object_class(class_id_).name +
         "' has " + std::to_string(obj.values.size()) + " values, expected " +
-        std::to_string(slot_of_.size()));
+        std::to_string(slot_types_.size()));
   }
   Segment* seg;
   if ((size_ & kSegmentMask) == 0) {
     segments_.push_back(std::make_shared<Segment>());
     seg = segments_.back().get();
-    seg->objects.reserve(static_cast<size_t>(kSegmentRows));
+    seg->cols.reserve(slot_types_.size());
+    for (ValueType type : slot_types_) {
+      seg->cols.push_back(ColumnChunk::ForType(type));
+      seg->cols.back().Reserve(static_cast<size_t>(kSegmentRows));
+    }
     seg->live.reserve(static_cast<size_t>(kSegmentRows));
   } else {
     seg = &MutableSegment(segments_.size() - 1);
   }
-  seg->objects.push_back(std::move(obj));
+  for (size_t slot = 0; slot < obj.values.size(); ++slot) {
+    seg->cols[slot].Append(std::move(obj.values[slot]));
+  }
   seg->live.push_back(1);
   ++live_count_;
   return size_++;
@@ -58,45 +76,79 @@ Status Extent::Delete(int64_t row) {
   return Status::OK();
 }
 
-Status Extent::RestoreSlots(std::vector<Object> objects,
-                            std::vector<uint8_t> live) {
-  if (objects.size() != live.size()) {
+Status Extent::RestoreColumns(std::vector<ColumnData> cols,
+                              std::vector<uint8_t> live) {
+  if (cols.size() != slot_types_.size()) {
     return Status::Corruption(
         "extent of class '" + schema_->object_class(class_id_).name +
-        "': live bitmap size does not match slot count");
+        "': serialized form has " + std::to_string(cols.size()) +
+        " columns, layout has " + std::to_string(slot_types_.size()));
   }
-  int64_t live_count = 0;
-  for (size_t row = 0; row < objects.size(); ++row) {
-    if (objects[row].values.size() != slot_of_.size()) {
+  for (size_t slot = 0; slot < cols.size(); ++slot) {
+    if (cols[slot].size() != live.size()) {
       return Status::Corruption(
           "extent of class '" + schema_->object_class(class_id_).name +
-          "': serialized row " + std::to_string(row) + " has " +
-          std::to_string(objects[row].values.size()) +
-          " values, layout has " + std::to_string(slot_of_.size()));
+          "': column " + std::to_string(slot) + " has " +
+          std::to_string(cols[slot].size()) + " rows, live bitmap has " +
+          std::to_string(live.size()));
     }
-    if (live[row] != 0) ++live_count;
+  }
+  int64_t live_count = 0;
+  for (uint8_t l : live) {
+    if (l != 0) ++live_count;
   }
   segments_.clear();
-  for (size_t base = 0; base < objects.size();
+  const size_t rows = live.size();
+  for (size_t base = 0; base < rows;
        base += static_cast<size_t>(kSegmentRows)) {
     const size_t end =
-        std::min(base + static_cast<size_t>(kSegmentRows), objects.size());
+        std::min(base + static_cast<size_t>(kSegmentRows), rows);
     auto seg = std::make_shared<Segment>();
-    seg->objects.assign(std::make_move_iterator(objects.begin() + base),
-                        std::make_move_iterator(objects.begin() + end));
+    seg->cols.reserve(cols.size());
+    for (size_t slot = 0; slot < cols.size(); ++slot) {
+      seg->cols.push_back(
+          ColumnChunk::FromSlice(cols[slot], base, end, slot_types_[slot]));
+    }
     seg->live.assign(live.begin() + base, live.begin() + end);
     segments_.push_back(std::move(seg));
   }
-  size_ = static_cast<int64_t>(objects.size());
+  size_ = static_cast<int64_t>(rows);
   live_count_ = live_count;
   return Status::OK();
 }
 
-const Value& Extent::ValueAt(int64_t row, AttrId attr_id) const {
-  static const Value kNull = Value::Null();
+Value Extent::ValueAt(int64_t row, AttrId attr_id) const {
+  CheckRow(row);
   int slot = SlotOf(attr_id);
-  if (slot < 0) return kNull;
-  return object(row).values[slot];
+  if (slot < 0) return Value::Null();
+  return segments_[static_cast<size_t>(row >> kSegmentShift)]
+      ->cols[static_cast<size_t>(slot)]
+      .Get(static_cast<size_t>(row & kSegmentMask));
+}
+
+const Value& Extent::ValueRef(int64_t row, AttrId attr_id,
+                              Value* scratch) const {
+  CheckRow(row);
+  int slot = SlotOf(attr_id);
+  if (slot < 0) {
+    *scratch = Value::Null();
+    return *scratch;
+  }
+  return segments_[static_cast<size_t>(row >> kSegmentShift)]
+      ->cols[static_cast<size_t>(slot)]
+      .GetRef(static_cast<size_t>(row & kSegmentMask), scratch);
+}
+
+Object Extent::MaterializeRow(int64_t row) const {
+  CheckRow(row);
+  const Segment& seg = *segments_[static_cast<size_t>(row >> kSegmentShift)];
+  const size_t offset = static_cast<size_t>(row & kSegmentMask);
+  Object obj;
+  obj.values.reserve(seg.cols.size());
+  for (const ColumnChunk& col : seg.cols) {
+    obj.values.push_back(col.Get(offset));
+  }
+  return obj;
 }
 
 Status Extent::SetValue(int64_t row, AttrId attr_id, Value value) {
@@ -110,8 +162,8 @@ Status Extent::SetValue(int64_t row, AttrId attr_id, Value value) {
                             schema_->object_class(class_id_).name + "'");
   }
   Segment& seg = MutableSegment(static_cast<size_t>(row >> kSegmentShift));
-  seg.objects[static_cast<size_t>(row & kSegmentMask)].values[slot] =
-      std::move(value);
+  seg.cols[static_cast<size_t>(slot)].Set(
+      static_cast<size_t>(row & kSegmentMask), std::move(value));
   return Status::OK();
 }
 

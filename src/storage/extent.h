@@ -2,12 +2,15 @@
 // layout covering inherited attributes (root ancestor's attributes
 // first, then each subclass's own, declaration order within each).
 //
-// Rows live in fixed-size SEGMENTS held by shared_ptr. Copying an
+// Rows live in fixed-size SEGMENTS held by shared_ptr, and each
+// segment stores its rows COLUMN-MAJOR: one ColumnChunk (contiguous
+// value array) per attribute slot, plus the live bitmap. Copying an
 // Extent shares every segment; a mutation clones only the one segment
 // it touches (see MutableSegment). That makes the commit path's
 // copy-on-write clone O(touched segments), not O(class rows), while
 // pinned old snapshots keep seeing their pre-image through the shared
-// segment pointers.
+// segment pointers — and scans read each attribute as a tight
+// contiguous array (SegmentBatch / ColumnView).
 #ifndef SQOPT_STORAGE_EXTENT_H_
 #define SQOPT_STORAGE_EXTENT_H_
 
@@ -18,6 +21,7 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "storage/column.h"
 #include "storage/object.h"
 
 namespace sqopt {
@@ -50,7 +54,7 @@ class Extent {
            segments_[static_cast<size_t>(row >> kSegmentShift)]
                    ->live[static_cast<size_t>(row & kSegmentMask)] != 0;
   }
-  size_t num_slots() const { return slot_of_.size(); }
+  size_t num_slots() const { return slot_types_.size(); }
 
   // Inserts an object; `obj.values` must have exactly num_slots()
   // entries in layout order. Returns the new row id.
@@ -62,14 +66,22 @@ class Extent {
   // ObjectStore's job (Delete there cascades).
   Status Delete(int64_t row);
 
-  const Object& object(int64_t row) const {
-    return segments_[static_cast<size_t>(row >> kSegmentShift)]
-        ->objects[static_cast<size_t>(row & kSegmentMask)];
-  }
+  // Value of attribute `ref.attr_id` in row `row`, by value (cold
+  // path). Unknown attributes read as null; a row outside [0, size())
+  // aborts the process — callers own the bounds, and silently reading
+  // a neighbor's memory is worse than dying loudly.
+  Value ValueAt(int64_t row, AttrId attr_id) const;
 
-  // Value of attribute `ref.attr_id` in row `row`. `ref` must resolve on
-  // this class (possibly via inheritance).
-  const Value& ValueAt(int64_t row, AttrId attr_id) const;
+  // Hot-path variant that avoids copying strings: generic-encoded
+  // columns return a direct reference into the segment, typed columns
+  // materialize into *scratch. Same bounds behavior as ValueAt. The
+  // reference is invalidated by the next call reusing `scratch` and by
+  // any mutation of this extent.
+  const Value& ValueRef(int64_t row, AttrId attr_id, Value* scratch) const;
+
+  // Materializes one full row in layout order (the Insert/result
+  // boundary; scans use Batch()). Same bounds behavior as ValueAt.
+  Object MaterializeRow(int64_t row) const;
 
   // Overwrites one attribute value. Returns kNotFound when the
   // attribute does not belong to this class, kOutOfRange for bad rows.
@@ -80,14 +92,30 @@ class Extent {
   // attribute does not belong to this class.
   int SlotOf(AttrId attr_id) const;
 
+  // Batch read API: borrowed views of segment `seg_idx`'s columns and
+  // live bitmap. Rows [base_row, base_row + rows) of the extent.
+  // Valid while this extent (or any copy sharing the segment) lives
+  // and is not mutated.
+  SegmentBatch Batch(int64_t seg_idx) const {
+    const Segment& seg = *segments_[static_cast<size_t>(seg_idx)];
+    SegmentBatch batch;
+    batch.base_row = seg_idx << kSegmentShift;
+    batch.rows = static_cast<int64_t>(seg.live.size());
+    batch.live = seg.live.data();
+    batch.cols = seg.cols.data();
+    batch.num_slots = seg.cols.size();
+    return batch;
+  }
+
   // Persistence hook (src/persist/snapshot.cc): replaces this extent's
-  // contents with deserialized slots. `live` runs parallel to `objects`
-  // (1 = live, 0 = tombstoned); tombstoned slots keep their values, so
-  // a restored extent is byte-for-byte the one that was saved. Rejects
-  // size mismatches with kCorruption. Index maintenance is the caller's
+  // contents with deserialized whole-extent columns, one per slot in
+  // layout order. `live` runs parallel to the columns (1 = live, 0 =
+  // tombstoned); tombstoned rows keep their values, so a restored
+  // extent is byte-for-byte the one that was saved. Rejects size
+  // mismatches with kCorruption. Index maintenance is the caller's
   // job, as everywhere on this class.
-  Status RestoreSlots(std::vector<Object> objects,
-                      std::vector<uint8_t> live);
+  Status RestoreColumns(std::vector<ColumnData> cols,
+                        std::vector<uint8_t> live);
 
   // Test hooks for the delta-clone contract: how many segments back
   // this extent, and the identity of the segment holding `row` (two
@@ -105,8 +133,8 @@ class Extent {
   static_assert((int64_t{1} << kSegmentShift) == kSegmentRows);
 
   struct Segment {
-    std::vector<Object> objects;
-    // Parallel to objects: 1 = live, 0 = tombstoned.
+    std::vector<ColumnChunk> cols;  // one per slot, layout order
+    // Parallel to the columns: 1 = live, 0 = tombstoned.
     std::vector<uint8_t> live;
   };
 
@@ -117,12 +145,17 @@ class Extent {
   // published snapshot.
   Segment& MutableSegment(size_t seg_idx);
 
+  // Aborts unless 0 <= row < size(): the documented precondition of
+  // the row accessors above.
+  void CheckRow(int64_t row) const;
+
   const Schema* schema_;
   ClassId class_id_;
   std::vector<std::shared_ptr<Segment>> segments_;
   int64_t size_ = 0;
   int64_t live_count_ = 0;
   std::unordered_map<AttrId, int> slot_of_;
+  std::vector<ValueType> slot_types_;  // declared type per slot
 };
 
 }  // namespace sqopt

@@ -199,50 +199,150 @@ const AttributeIndex* ObjectStore::GetIndex(const AttrRef& ref) const {
   return it == indexes_.end() ? nullptr : it->second.get();
 }
 
+namespace {
+
+// True when every segment of `extent` encodes `slot` as `enc` — the
+// precondition for the typed statistics fast paths below. A single
+// demoted (generic) chunk sends the whole attribute down the exact
+// Value-based path instead, so mixed data keeps legacy semantics.
+bool AllSegmentsEncoded(const Extent& extent, size_t slot,
+                        ColumnEncoding enc) {
+  for (int64_t s = 0; s < extent.num_segments(); ++s) {
+    if (extent.Batch(s).cols[slot].encoding() != enc) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int64_t ObjectStore::DistinctValues(const AttrRef& ref) const {
   const Extent& extent = *extents_[ref.class_id];
+  const int slot = extent.SlotOf(ref.attr_id);
+  if (slot < 0) {
+    // Unknown attributes read as null everywhere: one distinct value
+    // if anything is live at all.
+    return extent.live_count() > 0 ? 1 : 0;
+  }
+  const size_t uslot = static_cast<size_t>(slot);
+  if (AllSegmentsEncoded(extent, uslot, ColumnEncoding::kInt64)) {
+    std::set<int64_t> distinct;
+    for (int64_t s = 0; s < extent.num_segments(); ++s) {
+      const SegmentBatch batch = extent.Batch(s);
+      const ColumnView col = batch.column(uslot);
+      for (int64_t i = 0; i < batch.rows; ++i) {
+        if (batch.live[i]) distinct.insert(col.i64[i]);
+      }
+    }
+    return static_cast<int64_t>(distinct.size());
+  }
   std::set<Value> distinct;
-  for (int64_t row = 0; row < extent.size(); ++row) {
-    if (!extent.IsLive(row)) continue;
-    distinct.insert(extent.ValueAt(row, ref.attr_id));
+  for (int64_t s = 0; s < extent.num_segments(); ++s) {
+    const SegmentBatch batch = extent.Batch(s);
+    const ColumnView col = batch.column(uslot);
+    for (int64_t i = 0; i < batch.rows; ++i) {
+      if (batch.live[i]) distinct.insert(col.Get(i));
+    }
   }
   return static_cast<int64_t>(distinct.size());
 }
 
 std::pair<Value, Value> ObjectStore::MinMax(const AttrRef& ref) const {
   const Extent& extent = *extents_[ref.class_id];
+  const int slot = extent.SlotOf(ref.attr_id);
+  if (slot < 0) return {Value::Null(), Value::Null()};
+  const size_t uslot = static_cast<size_t>(slot);
+  if (AllSegmentsEncoded(extent, uslot, ColumnEncoding::kInt64)) {
+    bool any = false;
+    int64_t lo = 0, hi = 0;
+    for (int64_t s = 0; s < extent.num_segments(); ++s) {
+      const SegmentBatch batch = extent.Batch(s);
+      const ColumnView col = batch.column(uslot);
+      for (int64_t i = 0; i < batch.rows; ++i) {
+        if (!batch.live[i]) continue;
+        const int64_t v = col.i64[i];
+        if (!any) {
+          any = true;
+          lo = hi = v;
+        } else {
+          if (v < lo) lo = v;
+          if (v > hi) hi = v;
+        }
+      }
+    }
+    if (!any) return {Value::Null(), Value::Null()};
+    return {Value::Int(lo), Value::Int(hi)};
+  }
+  if (AllSegmentsEncoded(extent, uslot, ColumnEncoding::kFloat64)) {
+    // `<` on raw doubles is exactly Value ordering for doubles (NaN
+    // incomparable => never replaces an incumbent), so this matches
+    // the generic path bit for bit.
+    bool any = false;
+    double lo = 0, hi = 0;
+    for (int64_t s = 0; s < extent.num_segments(); ++s) {
+      const SegmentBatch batch = extent.Batch(s);
+      const ColumnView col = batch.column(uslot);
+      for (int64_t i = 0; i < batch.rows; ++i) {
+        if (!batch.live[i]) continue;
+        const double v = col.f64[i];
+        if (!any) {
+          any = true;
+          lo = hi = v;
+        } else {
+          if (v < lo) lo = v;
+          if (hi < v) hi = v;
+        }
+      }
+    }
+    if (!any) return {Value::Null(), Value::Null()};
+    return {Value::Double(lo), Value::Double(hi)};
+  }
   Value min = Value::Null();
   Value max = Value::Null();
-  for (int64_t row = 0; row < extent.size(); ++row) {
-    if (!extent.IsLive(row)) continue;
-    const Value& v = extent.ValueAt(row, ref.attr_id);
-    if (min.is_null() || v < min) min = v;
-    if (max.is_null() || max < v) max = v;
+  for (int64_t s = 0; s < extent.num_segments(); ++s) {
+    const SegmentBatch batch = extent.Batch(s);
+    const ColumnView col = batch.column(uslot);
+    for (int64_t i = 0; i < batch.rows; ++i) {
+      if (!batch.live[i]) continue;
+      Value v = col.Get(i);
+      if (min.is_null() || v < min) min = v;
+      if (max.is_null() || max < v) max = std::move(v);
+    }
   }
   return {min, max};
 }
 
 std::vector<Value> ObjectStore::LiveValues(const AttrRef& ref) const {
   const Extent& extent = *extents_[ref.class_id];
+  const int slot = extent.SlotOf(ref.attr_id);
   std::vector<Value> out;
   out.reserve(static_cast<size_t>(extent.live_count()));
-  for (int64_t row = 0; row < extent.size(); ++row) {
-    if (!extent.IsLive(row)) continue;
-    out.push_back(extent.ValueAt(row, ref.attr_id));
+  if (slot < 0) {
+    for (int64_t row = 0; row < extent.size(); ++row) {
+      if (extent.IsLive(row)) out.push_back(Value::Null());
+    }
+    return out;
+  }
+  const size_t uslot = static_cast<size_t>(slot);
+  for (int64_t s = 0; s < extent.num_segments(); ++s) {
+    const SegmentBatch batch = extent.Batch(s);
+    const ColumnView col = batch.column(uslot);
+    for (int64_t i = 0; i < batch.rows; ++i) {
+      if (batch.live[i]) out.push_back(col.Get(i));
+    }
   }
   return out;
 }
 
-Status ObjectStore::RestoreClassSlots(ClassId class_id,
-                                      std::vector<Object> objects,
-                                      std::vector<uint8_t> live) {
+Status ObjectStore::RestoreClassColumns(ClassId class_id,
+                                        std::vector<ColumnData> cols,
+                                        std::vector<uint8_t> live) {
   if (class_id < 0 ||
       class_id >= static_cast<ClassId>(extents_.size())) {
     return Status::Corruption("snapshot names an unknown class id " +
                               std::to_string(class_id));
   }
-  return extents_[class_id]->RestoreSlots(std::move(objects),
-                                          std::move(live));
+  return extents_[class_id]->RestoreColumns(std::move(cols),
+                                            std::move(live));
 }
 
 Status ObjectStore::RestoreRelationshipPairs(

@@ -140,11 +140,12 @@ class ObjectStore {
     return rels_[rel_id]->pairs;
   }
 
-  // Replaces `class_id`'s extent with deserialized slots (values for
-  // every slot, live and tombstoned alike). Indexes are NOT maintained:
-  // the snapshot restores them separately via RestoreIndexEntries.
-  Status RestoreClassSlots(ClassId class_id, std::vector<Object> objects,
-                           std::vector<uint8_t> live);
+  // Replaces `class_id`'s extent with deserialized whole-extent
+  // columns (values for every row slot, live and tombstoned alike).
+  // Indexes are NOT maintained: the snapshot restores them separately
+  // via RestoreIndexEntries.
+  Status RestoreClassColumns(ClassId class_id, std::vector<ColumnData> cols,
+                             std::vector<uint8_t> live);
 
   // Replaces `rel_id`'s instances and rebuilds both adjacency
   // directions. Endpoint rows must exist (extents restore first).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/worker_pool.h"
 #include "tests/test_util.h"
 
 namespace sqopt {
@@ -52,13 +53,13 @@ std::vector<std::string> MixedBatch(size_t copies) {
 }
 
 TEST(WorkerPoolTest, ResolveThreadsClampsAndPassesThrough) {
-  EXPECT_EQ(detail::WorkerPool::ResolveThreads(3), 3);
-  EXPECT_GE(detail::WorkerPool::ResolveThreads(0), 1);
-  EXPECT_LE(detail::WorkerPool::ResolveThreads(0), 16);
+  EXPECT_EQ(WorkerPool::ResolveThreads(3), 3);
+  EXPECT_GE(WorkerPool::ResolveThreads(0), 1);
+  EXPECT_LE(WorkerPool::ResolveThreads(0), 16);
 }
 
 TEST(WorkerPoolTest, RunsEverySubmittedTask) {
-  detail::WorkerPool pool(4);
+  WorkerPool pool(4);
   EXPECT_EQ(pool.threads(), 4);
   std::atomic<int> counter{0};
   std::mutex mu;

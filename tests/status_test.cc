@@ -37,11 +37,18 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
   EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::UnsupportedVersion("x").code(),
+            StatusCode::kUnsupportedVersion);
 }
 
 TEST(StatusTest, ServingCodesHaveStableNames) {
   EXPECT_EQ(Status::Overloaded("q full").ToString(), "Overloaded: q full");
   EXPECT_EQ(Status::Timeout("deadline").ToString(), "Timeout: deadline");
+}
+
+TEST(StatusTest, UnsupportedVersionHasStableName) {
+  EXPECT_EQ(Status::UnsupportedVersion("snapshot v1").ToString(),
+            "UnsupportedVersion: snapshot v1");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -217,6 +217,66 @@ TEST_F(StorageTest, CloneForWriteSplitsOnlyTheDirtySegment) {
   EXPECT_EQ(copy.ValueAt(1500, weight.attr_id), Value::Int(999));
 }
 
+TEST_F(StorageTest, ColumnsUseDeclaredTypedEncodings) {
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_OK(store_
+                  ->Insert(cargo_, Cargo("c" + std::to_string(i), "fuel",
+                                         i, i % 100))
+                  .status());
+  }
+  const Extent& extent = store_->extent(cargo_);
+  const SegmentBatch batch = extent.Batch(0);
+  AttrRef code = schema_.ResolveQualified("cargo.code").value();
+  AttrRef qty = schema_.ResolveQualified("cargo.quantity").value();
+  const int code_slot = extent.SlotOf(code.attr_id);
+  const int qty_slot = extent.SlotOf(qty.attr_id);
+  ASSERT_GE(code_slot, 0);
+  ASSERT_GE(qty_slot, 0);
+  // Declared string attribute: generic array. Declared int attribute:
+  // raw int64 array the vectorized kernels scan directly.
+  EXPECT_EQ(batch.column(static_cast<size_t>(code_slot)).encoding,
+            ColumnEncoding::kGeneric);
+  const ColumnView qty_col = batch.column(static_cast<size_t>(qty_slot));
+  ASSERT_EQ(qty_col.encoding, ColumnEncoding::kInt64);
+  ASSERT_EQ(qty_col.size, 10);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(qty_col.i64[i], i);
+}
+
+TEST_F(StorageTest, MismatchedValueDemotesOnlyItsChunk) {
+  // Two segments of int-typed weights...
+  for (int64_t i = 0; i < 1030; ++i) {
+    ASSERT_OK(store_
+                  ->Insert(cargo_, Cargo("c" + std::to_string(i), "fuel",
+                                         i, i % 100))
+                  .status());
+  }
+  AttrRef weight = schema_.ResolveQualified("cargo.weight").value();
+  // ...then a null overwrite lands in segment 1.
+  ASSERT_OK(store_->UpdateAttribute(cargo_, 1025, weight.attr_id,
+                                    Value::Null()));
+  const Extent& extent = store_->extent(cargo_);
+  const size_t slot = static_cast<size_t>(extent.SlotOf(weight.attr_id));
+  // Segment 0 keeps its typed array; only the touched chunk demoted.
+  EXPECT_EQ(extent.Batch(0).column(slot).encoding, ColumnEncoding::kInt64);
+  EXPECT_EQ(extent.Batch(1).column(slot).encoding,
+            ColumnEncoding::kGeneric);
+  // Reads are unchanged either way.
+  EXPECT_EQ(extent.ValueAt(1025, weight.attr_id), Value::Null());
+  EXPECT_EQ(extent.ValueAt(1024, weight.attr_id), Value::Int(1024 % 100));
+  EXPECT_EQ(extent.ValueAt(0, weight.attr_id), Value::Int(0));
+}
+
+TEST_F(StorageTest, RowAccessorsAbortOnOutOfRangeRow) {
+  ASSERT_OK(store_->Insert(cargo_, Cargo("c1", "fuel", 1, 2)).status());
+  AttrRef qty = schema_.ResolveQualified("cargo.quantity").value();
+  const Extent& extent = store_->extent(cargo_);
+  // The documented precondition: row accessors die loudly instead of
+  // reading a neighbor's memory.
+  EXPECT_DEATH(extent.ValueAt(1, qty.attr_id), "row 1 out of range");
+  EXPECT_DEATH(extent.ValueAt(-1, qty.attr_id), "row -1 out of range");
+  EXPECT_DEATH(extent.MaterializeRow(7), "row 7 out of range");
+}
+
 TEST(ExtentInheritanceTest, SubclassLayoutIncludesInheritedSlots) {
   auto schema = BuildFigure21Schema();
   ASSERT_TRUE(schema.ok());
