@@ -1,0 +1,289 @@
+// Shard-per-core scatter-gather: the parallel-scan query shape driven
+// through the ShardedEngine coordinator at 1 / 2 / 4 / 8 shards over a
+// large generated database, against a single unpartitioned Engine as
+// both the timing baseline and the correctness oracle (rows AND order
+// must match at every fleet size). Measures
+//
+//   - qps per shard count (the scatter-gather speedup),
+//   - merge overhead: fleet-of-1 wall time over the single engine's —
+//     the pure cost of the coordinator hop, plan handoff, and the
+//     provenance merge with zero parallelism to pay for it,
+//   - commit routing rates: mutation batches confined to one shard vs
+//     batches spanning shards (split + multi-shard dispatch per
+//     commit), plus the cross-shard link pre-check on the reject path.
+//
+// Emits BENCH_sharded.json for the bench-smoke regression gate.
+//
+// Flags:
+//   --quick        smaller DB + fewer reps (CI smoke mode)
+//   --threads=N    coordinator scatter pool threads (default 8)
+//   --reps=N       timed executions per shard count
+//   --out=PATH     JSON output path (default BENCH_sharded.json)
+//   --force-all    time every leg even beyond hardware_concurrency
+//
+// Shard counts above hardware_concurrency are SKIPPED on small
+// machines exactly like bench_parallel_scan's degrees: the leg's
+// fields are emitted with the 1-shard leg's values for schema
+// stability and named in "skipped_metrics" so the gate ignores them.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "shard/sharded_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace sqopt;
+  using bench::BenchJson;
+  using bench::Check;
+  using bench::Unwrap;
+
+  bool quick = false;
+  bool force_all = false;
+  int threads = 8;
+  int reps = 0;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--force-all") == 0) {
+      force_all = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const DbSpec spec = quick ? DbSpec{"sharded", 8000, 12000}
+                            : DbSpec{"sharded", 40000, 60000};
+  if (reps <= 0) reps = quick ? 10 : 30;
+  constexpr uint64_t kSeed = 20260806;
+
+  // No constraints: this bench isolates the scatter-gather path.
+  EngineOptions options;
+  options.serve.threads = threads;
+
+  std::printf("generating %lld-row database...\n",
+              static_cast<long long>(spec.class_cardinality));
+  Engine single = Unwrap(Engine::Open(SchemaSource::Experiment(),
+                                      ConstraintSource::None(), options));
+  Check(single.Load(DataSource::Generated(spec, kSeed)));
+
+  // Full extent scan + one pointer-join expansion: every shard scans
+  // and joins its own partition, the coordinator merges by provenance.
+  const std::string query_text =
+      "{cargo.code, vehicle.vehicleNo} {} {cargo.weight <= 40} "
+      "{collects} {cargo, vehicle}";
+
+  auto row_keys = [](const QueryOutcome& out) {
+    std::vector<std::string> keys;
+    keys.reserve(out.rows.rows.size());
+    for (const auto& row : out.rows.rows) {
+      std::string k;
+      for (const Value& v : row) {
+        k += v.ToString();
+        k += '|';
+      }
+      keys.push_back(std::move(k));
+    }
+    return keys;
+  };
+
+  // Single-engine baseline leg.
+  double single_wall_ms = 0.0;
+  uint64_t rows_out = 0;
+  std::vector<std::string> oracle_keys;
+  {
+    QueryOutcome warm = Unwrap(single.Execute(query_text));
+    oracle_keys = row_keys(warm);
+    rows_out = warm.meter.rows_out;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      QueryOutcome out = Unwrap(single.Execute(query_text));
+      (void)out;
+    }
+    single_wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("single engine: %7.2f ms/query  %llu rows\n",
+                single_wall_ms / reps,
+                static_cast<unsigned long long>(rows_out));
+  }
+
+  struct ShardResult {
+    int shards = 0;
+    double wall_ms = 0.0;
+    bool skipped = false;
+  };
+  std::vector<ShardResult> legs;
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("=== Sharded scan (%lld rows, %d reps, %d pool threads) ===\n",
+              static_cast<long long>(spec.class_cardinality), reps, threads);
+  for (int shards : {1, 2, 4, 8}) {
+    // Same skip policy as bench_parallel_scan's parallelism degrees:
+    // >= 4-core runners time every leg (over-subscription still
+    // overlaps to a real speedup); 1-2 core machines skip legs that
+    // could only report noise around 1x.
+    if (!force_all && hw_threads < 4 &&
+        shards > static_cast<int>(hw_threads)) {
+      std::printf("shards %d: skipped (hardware_concurrency=%u)\n", shards,
+                  hw_threads);
+      legs.push_back({shards, 0.0, /*skipped=*/true});
+      continue;
+    }
+    shard::ShardOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.engine = options;
+    shard::ShardedEngine fleet = Unwrap(shard::ShardedEngine::Open(
+        SchemaSource::Experiment(), ConstraintSource::None(),
+        shard_options));
+    Check(fleet.Load(DataSource::Generated(spec, kSeed)));
+
+    QueryOutcome warm = Unwrap(fleet.Execute(query_text));
+    if (row_keys(warm) != oracle_keys) {
+      std::fprintf(stderr,
+                   "sharded scan bench: %d shards changed the result "
+                   "(rows or order)\n",
+                   shards);
+      return 1;
+    }
+
+    ShardResult leg;
+    leg.shards = shards;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      QueryOutcome out = Unwrap(fleet.Execute(query_text));
+      (void)out;
+    }
+    leg.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("shards %d: %8.1f ms total  %7.2f ms/query\n", shards,
+                leg.wall_ms, leg.wall_ms / reps);
+    legs.push_back(leg);
+  }
+
+  // Commit routing rates at 4 shards: same-shard batches (two updates
+  // on one segment — a single sub-batch dispatch) vs cross-shard
+  // batches (updates on two segments — split + two shard commits under
+  // one coordinator version), plus the pre-check reject path.
+  double commits_single_shard_per_sec = 0.0;
+  double commits_cross_shard_per_sec = 0.0;
+  uint64_t cross_shard_rejected = 0;
+  {
+    shard::ShardOptions shard_options;
+    shard_options.shards = 4;
+    shard_options.engine = options;
+    shard::ShardedEngine fleet = Unwrap(shard::ShardedEngine::Open(
+        SchemaSource::Experiment(), ConstraintSource::None(),
+        shard_options));
+    Check(fleet.Load(DataSource::Generated(spec, kSeed)));
+    const Schema& schema = fleet.schema();
+    const ClassId supplier = schema.FindClass("supplier");
+    const AttrId name_attr = schema.FindAttribute(supplier, "name").attr_id;
+    const int commit_reps = quick ? 200 : 1000;
+
+    auto time_commits = [&](bool cross_shard) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < commit_reps; ++r) {
+        MutationBatch batch;
+        // Fixture rows: segment = row % 4 (round-robin generator), so
+        // rows r*4 and r*4+1 sit in different shards at 4 shards.
+        const int64_t base = (r % 64) * 4;
+        batch.Update(supplier, base, name_attr,
+                     Value::String("b" + std::to_string(r)));
+        batch.Update(supplier, cross_shard ? base + 1 : base, name_attr,
+                     Value::String("c" + std::to_string(r)));
+        Unwrap(fleet.Apply(batch));
+      }
+      const double wall_ms =
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::milli>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      return wall_ms > 0 ? 1000.0 * commit_reps / wall_ms : 0.0;
+    };
+    commits_single_shard_per_sec = time_commits(/*cross_shard=*/false);
+    commits_cross_shard_per_sec = time_commits(/*cross_shard=*/true);
+
+    // The reject path: a relationship instance spanning shards must be
+    // refused by the coordinator pre-check before anything commits.
+    const RelId collects = schema.FindRelationship("collects");
+    const uint64_t version = fleet.data_version();
+    for (int r = 0; r < 16; ++r) {
+      MutationBatch bad;
+      bad.Link(collects, /*cargo row=*/0, /*vehicle row=*/1);
+      if (!fleet.Apply(bad).ok()) ++cross_shard_rejected;
+    }
+    if (fleet.data_version() != version) {
+      std::fprintf(stderr,
+                   "sharded scan bench: rejected batch consumed a version\n");
+      return 1;
+    }
+    std::printf(
+        "commits/sec: %.0f single-shard  %.0f cross-shard  "
+        "(%llu cross-shard links rejected)\n",
+        commits_single_shard_per_sec, commits_cross_shard_per_sec,
+        static_cast<unsigned long long>(cross_shard_rejected));
+  }
+
+  const double wall_s1 = legs[0].wall_ms;
+  std::string skipped_metrics;
+  for (ShardResult& leg : legs) {
+    if (!leg.skipped) continue;
+    const std::string suffix = "_s" + std::to_string(leg.shards);
+    leg.wall_ms = wall_s1;
+    for (const char* metric : {"wall_ms", "qps", "speedup"}) {
+      if (!skipped_metrics.empty()) skipped_metrics += ",";
+      skipped_metrics += metric + suffix;
+    }
+  }
+
+  const double merge_overhead =
+      single_wall_ms > 0 ? wall_s1 / single_wall_ms : 0.0;
+  std::printf("merge overhead (1 shard vs single engine): %.2fx\n",
+              merge_overhead);
+
+  BenchJson json("sharded");
+  json.Set("quick", quick);
+  json.Set("db_rows", spec.class_cardinality);
+  json.Set("reps", reps);
+  json.Set("threads", threads);
+  json.Set("hw_threads", hw_threads);
+  json.Set("rows_out", rows_out);
+  json.Set("single_wall_ms", single_wall_ms);
+  json.Set("single_qps",
+           single_wall_ms > 0 ? 1000.0 * reps / single_wall_ms : 0.0);
+  json.Set("merge_overhead", merge_overhead);
+  for (const ShardResult& leg : legs) {
+    const std::string suffix = "_s" + std::to_string(leg.shards);
+    json.Set("wall_ms" + suffix, leg.wall_ms);
+    json.Set("qps" + suffix,
+             leg.wall_ms > 0 ? 1000.0 * reps / leg.wall_ms : 0.0);
+    if (leg.shards > 1) {
+      json.Set("speedup" + suffix,
+               leg.skipped ? 1.0
+                           : (leg.wall_ms > 0 ? wall_s1 / leg.wall_ms : 0.0));
+      json.Set("skipped" + suffix, leg.skipped);
+    }
+  }
+  json.Set("commits_single_shard_per_sec", commits_single_shard_per_sec);
+  json.Set("commits_cross_shard_per_sec", commits_cross_shard_per_sec);
+  json.Set("cross_shard_rejected", cross_shard_rejected);
+  json.Set("skipped_metrics", skipped_metrics);
+  json.Write(out_path);
+  return 0;
+}

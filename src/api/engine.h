@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/engine_iface.h"
 #include "api/engine_options.h"
 #include "api/mutation.h"
 #include "api/plan_cache.h"
@@ -56,6 +57,7 @@ namespace sqopt {
 namespace detail {
 struct CommitRequest;
 struct EngineState;
+struct PreparedState;
 }  // namespace detail
 
 // ---------------------------------------------------------------------
@@ -164,34 +166,25 @@ struct BatchOutcome {
   BatchStats stats;
 };
 
-// Cumulative engine counters; all reads are atomic snapshots.
-struct EngineStats {
-  uint64_t queries_parsed = 0;       // ParseQuery invocations
-  uint64_t queries_executed = 0;     // Execute() completions
-  uint64_t queries_analyzed = 0;     // Analyze() completions
-  uint64_t statements_prepared = 0;  // Prepare() completions
-  uint64_t prepared_executions = 0;  // PreparedQuery::Execute completions
-  uint64_t contradictions = 0;       // queries answered without the DB
-  uint64_t batches_served = 0;       // ExecuteBatch() completions
-  uint64_t mutation_batches_applied = 0;   // committed Apply() calls
-  uint64_t mutation_ops_applied = 0;       // ops inside committed batches
-  // Apply() batches rejected by constraint validation specifically
-  // (malformed batches — bad rows, duplicate links — are not counted).
-  uint64_t mutation_batches_rejected = 0;
-  // Completed Checkpoint() calls.
-  uint64_t checkpoints = 0;
-  // WAL records replayed by Open(dir) — the committed suffix the last
-  // checkpoint had not folded in yet. One record per commit GROUP (a
-  // group of concurrent Apply calls shares a record; a lone Apply is a
-  // group of one).
-  uint64_t wal_records_replayed = 0;
+// EngineStats lives in api/engine_iface.h (shared with every
+// EngineInterface backend).
+
+// One planned statement: the shared parse/retrieve/transform/plan
+// state Execute(text) would run with, WITHOUT executing it. Produced
+// by Engine::PlanStatement through the same plan cache Execute uses,
+// so repeated planning of one query text is a cache hit. The handle
+// shares ownership of the cached state; it stays valid across reloads
+// (it pins the data snapshot it was planned against).
+struct PlannedStatement {
+  std::shared_ptr<const detail::PreparedState> prepared;
+  bool plan_cache_hit = false;
 };
 
 // ---------------------------------------------------------------------
 // Engine.
 // ---------------------------------------------------------------------
 
-class Engine {
+class Engine : public EngineInterface {
  public:
   // Builds the schema, loads + precompiles the constraints (closure,
   // classification, grouping), and returns a ready engine. Duplicate
@@ -221,7 +214,7 @@ class Engine {
   Engine& operator=(Engine&&) noexcept = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-  ~Engine() = default;
+  ~Engine() override = default;
 
   // --- Admin path. Load() is safe to run concurrently with the read
   // path: it publishes a complete new data snapshot and invalidates
@@ -331,8 +324,15 @@ class Engine {
   // (canonicalized) query was executed or prepared since the last
   // reload: a hit skips retrieval, transformation, and planning, and
   // the outcome reports plan_cache_hit = true.
-  Result<QueryOutcome> Execute(std::string_view query_text) const;
+  Result<QueryOutcome> Execute(std::string_view query_text) const override;
   Result<QueryOutcome> Execute(const Query& query) const;
+
+  // Plans `query_text` exactly as Execute would — plan-cache fast path
+  // included — and returns the shared prepared state instead of
+  // executing it. This is the sharded engine's plan-once hook: the
+  // coordinator plans on its global planning head and scatters the one
+  // plan across every shard. Requires Load().
+  Result<PlannedStatement> PlanStatement(std::string_view query_text) const;
 
   // Fans `queries` across the engine's worker pool (sized by
   // options().serve.threads unless overridden) and returns per-query
@@ -378,6 +378,7 @@ class Engine {
   // re-read them instead (queries in flight are unaffected; they pin
   // their snapshot internally).
   const ObjectStore* store() const;
+  bool has_data() const override { return store() != nullptr; }
   const DatabaseStats* database_stats() const;
   const CostModelInterface* cost_model() const;
   // Version of the current data snapshot: 0 before the first Load, 1
@@ -385,11 +386,11 @@ class Engine {
   // 1). Lets callers detect whether a write was published.
   uint64_t data_version() const;
   const EngineOptions& options() const;
-  EngineStats stats() const;
+  EngineStats stats() const override;
 
   // Cumulative plan-cache counters (hits, misses, evictions,
   // invalidations, live entries). Safe concurrently with the read path.
-  PlanCacheStats plan_cache_stats() const;
+  PlanCacheStats plan_cache_stats() const override;
 
   // Snapshot of the per-class access counters (the read path updates
   // them under a lock; the snapshot is taken under the same lock, so

@@ -1,0 +1,63 @@
+// The minimal surface the network serving layer needs from a query
+// engine: execute one query by text, report cumulative counters, and
+// say whether data is loaded. Both the single-process Engine and the
+// scatter-gather ShardedEngine implement it, which is how one TCP
+// front end (server/server.{h,cc}) serves either backend unchanged —
+// see DESIGN.md "Sharding".
+#ifndef SQOPT_API_ENGINE_IFACE_H_
+#define SQOPT_API_ENGINE_IFACE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "api/plan_cache.h"
+#include "common/status.h"
+
+namespace sqopt {
+
+struct QueryOutcome;
+
+// Cumulative engine counters; all reads are atomic snapshots. For a
+// sharded engine these are FLEET TOTALS: per-shard counters sum (every
+// mutation op routes to exactly one shard), coordinator-level events
+// (query completions, committed batches, checkpoints) count once.
+struct EngineStats {
+  uint64_t queries_parsed = 0;       // ParseQuery invocations
+  uint64_t queries_executed = 0;     // Execute() completions
+  uint64_t queries_analyzed = 0;     // Analyze() completions
+  uint64_t statements_prepared = 0;  // Prepare() completions
+  uint64_t prepared_executions = 0;  // PreparedQuery::Execute completions
+  uint64_t contradictions = 0;       // queries answered without the DB
+  uint64_t batches_served = 0;       // ExecuteBatch() completions
+  uint64_t mutation_batches_applied = 0;   // committed Apply() calls
+  uint64_t mutation_ops_applied = 0;       // ops inside committed batches
+  // Apply() batches rejected by constraint validation specifically
+  // (malformed batches — bad rows, duplicate links — are not counted).
+  uint64_t mutation_batches_rejected = 0;
+  // Completed Checkpoint() calls.
+  uint64_t checkpoints = 0;
+  // WAL records replayed by Open(dir) — the committed suffix the last
+  // checkpoint had not folded in yet. One record per commit GROUP (a
+  // group of concurrent Apply calls shares a record; a lone Apply is a
+  // group of one).
+  uint64_t wal_records_replayed = 0;
+};
+
+class EngineInterface {
+ public:
+  virtual ~EngineInterface() = default;
+
+  // Parse -> optimize -> plan -> execute -> meter; thread-safe.
+  virtual Result<QueryOutcome> Execute(std::string_view query_text) const = 0;
+
+  virtual EngineStats stats() const = 0;
+  virtual PlanCacheStats plan_cache_stats() const = 0;
+
+  // Whether Load() (or a durable open) attached data — the serving
+  // precondition the server checks instead of poking at a store.
+  virtual bool has_data() const = 0;
+};
+
+}  // namespace sqopt
+
+#endif  // SQOPT_API_ENGINE_IFACE_H_

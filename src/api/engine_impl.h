@@ -1,5 +1,6 @@
 // INTERNAL: shared state behind the Engine pimpl. Included only by
-// engine.cc, plan_cache.cc, and prepared_query.cc — not part of the
+// engine.cc, plan_cache.cc, prepared_query.cc, and the shard/ layer
+// (which executes PlannedStatement plans directly) — not part of the
 // public API.
 //
 // Thread-safety contract: after Open()/AddConstraint()/Recompile()

@@ -77,7 +77,7 @@ Response ErrorResponse(RequestType type, const Status& status) {
 // ---------------------------------------------------------------------
 
 struct Server::Impl {
-  const Engine* engine = nullptr;
+  const EngineInterface* engine = nullptr;
   ServerOptions opts;
 
   int listen_fd = -1;
@@ -536,12 +536,12 @@ struct Server::Impl {
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
-Result<std::unique_ptr<Server>> Server::Start(const Engine* engine,
+Result<std::unique_ptr<Server>> Server::Start(const EngineInterface* engine,
                                               ServerOptions options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
-  if (engine->store() == nullptr) {
+  if (!engine->has_data()) {
     return Status::FailedPrecondition(
         "engine has no data loaded: call Engine::Load before Server::Start");
   }

@@ -86,10 +86,12 @@ struct ServerStats {
 
 class Server {
  public:
-  // Binds, listens, and spawns the I/O thread + workers. `engine` must
-  // have data loaded and must outlive the server; the server only uses
-  // the const read path (Execute / stats accessors).
-  static Result<std::unique_ptr<Server>> Start(const Engine* engine,
+  // Binds, listens, and spawns the I/O thread + workers. `engine` is
+  // any EngineInterface backend — a single Engine or a ShardedEngine
+  // fleet — that must have data loaded and must outlive the server;
+  // the server only uses the const read path (Execute / stats
+  // accessors).
+  static Result<std::unique_ptr<Server>> Start(const EngineInterface* engine,
                                                ServerOptions options);
 
   ~Server();  // implies Shutdown()

@@ -1,0 +1,157 @@
+// Shard-per-core scatter-gather execution: one coordinator fronting N
+// in-process Engine shards, each owning a disjoint key range of every
+// class (the dbgen segment is the partition key, so relationship
+// instances never span shards and per-shard execution needs no data
+// exchange).
+//
+// Reads plan ONCE on a global "planning head" — a full Engine holding
+// the unpartitioned store, whose plan cache and optimizer the
+// coordinator shares via Engine::PlanStatement — then scatter the one
+// plan across every shard over a worker pool and k-way-merge the
+// per-shard row batches by global driving row. The merge reproduces a
+// single-engine run bit for bit: same rows, same order, and the same
+// ExecutionMeter (work counters sum across shards; index_probes is the
+// per-shard max, because every shard probes its local index exactly as
+// the single engine probes its one global index).
+//
+// Writes route by partition key through per-shard sub-batches under a
+// coordinator-sequenced global version: the head validates and commits
+// the batch first (it is the constraint oracle), the coordinator log
+// makes it durable with one fsync, then each shard applies its slice
+// through its own group-commit path. Save/Open/Checkpoint extend to
+// per-shard persist directories plus a coordinator MANIFEST +
+// write-ahead log, and recovery replays every shard forward to the
+// manifest's committed prefix (see DESIGN.md "Sharding").
+//
+// Limitations (documented, by construction): a batch staging a
+// relationship instance across two shards is rejected with
+// kConstraintViolation before anything commits (on the segmented
+// experiment workload such links are constraint violations in a single
+// engine too); Load() compacts tombstones the input store may carry,
+// so meter parity is guaranteed for stores loaded live-only (fresh
+// generator output) plus any sequence of mutations applied afterwards.
+#ifndef SQOPT_SHARD_SHARDED_ENGINE_H_
+#define SQOPT_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/engine_iface.h"
+#include "api/mutation.h"
+#include "common/status.h"
+
+namespace sqopt::shard {
+
+struct ShardOptions {
+  // Shard count, 1..16. Segments map to shards by contiguous ranges
+  // (shard = segment * shards / kNumSegments), so counts above
+  // kNumSegments leave the excess shards empty but still correct.
+  int shards = 2;
+
+  // Options for the planning head AND (with the plan cache disabled
+  // and per-shard fsync off — the coordinator log is the durability
+  // point) every shard engine.
+  EngineOptions engine;
+};
+
+// The coordinator. Thread-safety mirrors Engine: the read path
+// (Execute) is const and concurrent; writers (Load / Apply /
+// ApplyGroup / Save / Checkpoint) serialize against readers on a
+// coordinator-level reader-writer lock — coarser than Engine's
+// snapshot pinning, but the routing tables a commit extends have no
+// snapshot lineage to pin.
+class ShardedEngine : public EngineInterface {
+ public:
+  // Opens the planning head plus `options.shards` shard engines from
+  // the same schema/constraint sources. Call Load() next.
+  static Result<ShardedEngine> Open(SchemaSource schema_source,
+                                    ConstraintSource constraint_source,
+                                    ShardOptions options = {});
+
+  // Opens a directory previously produced by Save()/Checkpoint():
+  // reopens every shard (each replays its own WAL), replays the
+  // coordinator log's committed suffix so every shard converges to the
+  // manifest's committed prefix, and rebuilds the planning head from
+  // the recovered shards. `options.shards` is overridden by the
+  // manifest.
+  static Result<ShardedEngine> Open(const std::string& dir,
+                                    ShardOptions options = {});
+
+  ShardedEngine(ShardedEngine&&) noexcept = default;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept = default;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine() override = default;
+
+  // Builds the global store, partitions every live row to its shard by
+  // segment (workload::SegmentOfObject), loads each shard and the
+  // head, and resets the version sequence. Rejects stores holding a
+  // relationship instance whose endpoints partition to different
+  // shards. Like Engine::Load, a reload detaches any persist dir.
+  Status Load(DataSource data_source);
+
+  // Plan once on the head (shared plan cache), execute everywhere,
+  // merge deterministically. Rows, order, and meter match a single
+  // Engine executing the same text against the unpartitioned store.
+  Result<QueryOutcome> Execute(std::string_view query_text) const override;
+
+  Result<Query> Parse(std::string_view query_text) const;
+
+  // Commits `batch` fleet-wide: cross-shard link pre-check, head
+  // commit (constraint validation against the global store),
+  // coordinator log append (one fsync), then per-shard sub-batch
+  // dispatch. The outcome's snapshot_version is the coordinator's
+  // global version.
+  Result<ApplyOutcome> Apply(const MutationBatch& batch);
+
+  // Group commit: the head decides every batch in one group (one
+  // version range), the survivors share one coordinator log record,
+  // and each survivor dispatches to its shards in commit order.
+  std::vector<Result<ApplyOutcome>> ApplyGroup(
+      std::span<const MutationBatch> batches);
+
+  // Durability: per-shard persist dirs (dir/shard<k>) + coordinator
+  // MANIFEST + coordinator.wal. See DESIGN.md "Sharding".
+  Status Save(const std::string& dir);
+  Status Checkpoint();
+  std::string persist_dir() const;
+
+  // Fleet totals (see EngineStats): per-shard counters sum, coordinator
+  // events count once, planning counters come from the head.
+  EngineStats stats() const override;
+  PlanCacheStats plan_cache_stats() const override;  // the head's
+  bool has_data() const override;
+
+  const Schema& schema() const;
+  // The head's UNPARTITIONED store — the global-row view tests and the
+  // fuzzer's reference executor read. Same lifetime caveats as
+  // Engine::store().
+  const ObjectStore* store() const;
+  // Coordinator-sequenced global version: 0 before Load, 1 after, +1
+  // per committed non-empty batch (empty batches are no-op commits,
+  // exactly like Engine).
+  uint64_t data_version() const;
+
+  int num_shards() const;
+  // Shard owning `global_row` of `class_id`; -1 when out of range.
+  // Test/introspection hook.
+  int ShardOfRow(ClassId class_id, int64_t global_row) const;
+
+  // Opaque coordinator state; public only so the implementation's file-
+  // local helpers can name it.
+  struct State;
+
+ private:
+  explicit ShardedEngine(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sqopt::shard
+
+#endif  // SQOPT_SHARD_SHARDED_ENGINE_H_

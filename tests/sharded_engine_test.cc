@@ -1,0 +1,332 @@
+// Differential gauntlet for the scatter-gather ShardedEngine: at every
+// fleet size the coordinator must be bit-identical to one Engine over
+// the unpartitioned store — same rows, same ROW ORDER, same
+// ExecutionMeter work counters — across cold and plan-cached reads,
+// committed mutation batches, group commits, cross-shard query mixes,
+// reloads, and a Save/Open recovery cycle. Any divergence pinpoints a
+// bug in partitioning, the scatter, the provenance merge, or write
+// routing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "query/query_printer.h"
+#include "shard/sharded_engine.h"
+#include "tests/test_util.h"
+#include "workload/dbgen.h"
+#include "workload/path_enum.h"
+#include "workload/query_gen.h"
+
+namespace sqopt {
+namespace {
+
+using shard::ShardOptions;
+using shard::ShardedEngine;
+
+const DbSpec kSpec{"SHARD_DIFF", 24, 48};
+constexpr uint64_t kDataSeed = 20260807;
+
+Result<Engine> OpenSingle() {
+  return Engine::Open(SchemaSource::Experiment(),
+                      ConstraintSource::Experiment());
+}
+
+Result<ShardedEngine> OpenFleet(int shards) {
+  ShardOptions options;
+  options.shards = shards;
+  return ShardedEngine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment(), options);
+}
+
+// The differential workload: every simple path of length 1..3, a
+// generated sample per path — full scans, index probes, and
+// multi-class pointer chases whose results mix rows from every shard.
+std::vector<std::string> WorkloadTexts(const Schema& schema, uint64_t seed,
+                                       int per_batch) {
+  std::vector<SchemaPath> paths = EnumerateSimplePaths(schema, 1, 3);
+  QueryGenerator gen(&schema, seed);
+  auto queries = gen.Sample(paths, per_batch);
+  EXPECT_TRUE(queries.ok()) << queries.status().ToString();
+  std::vector<std::string> texts;
+  for (const Query& q : *queries) texts.push_back(PrintQuery(schema, q));
+  return texts;
+}
+
+void ExpectMeterEq(const ExecutionMeter& single, const ExecutionMeter& fleet,
+                   const std::string& context) {
+  EXPECT_EQ(single.instances_scanned, fleet.instances_scanned) << context;
+  EXPECT_EQ(single.index_probes, fleet.index_probes) << context;
+  EXPECT_EQ(single.pointer_traversals, fleet.pointer_traversals) << context;
+  EXPECT_EQ(single.predicate_evals, fleet.predicate_evals) << context;
+  EXPECT_EQ(single.rows_out, fleet.rows_out) << context;
+}
+
+// One differential pass: executes every text on both engines and
+// demands identical outcomes — rows in order, meters, contradiction
+// handling, and plan-cache hit/miss behavior.
+void ExpectDifferentialMatch(const Engine& single, const ShardedEngine& fleet,
+                             const std::vector<std::string>& texts) {
+  for (const std::string& text : texts) {
+    auto s = single.Execute(text);
+    auto f = fleet.Execute(text);
+    ASSERT_TRUE(s.ok()) << s.status().ToString() << "\n" << text;
+    ASSERT_TRUE(f.ok()) << f.status().ToString() << "\n" << text;
+    EXPECT_EQ(s->answered_without_database, f->answered_without_database)
+        << text;
+    EXPECT_EQ(s->executed, f->executed) << text;
+    EXPECT_EQ(s->plan_cache_hit, f->plan_cache_hit) << text;
+    ASSERT_EQ(s->rows.rows.size(), f->rows.rows.size()) << text;
+    // Exact ORDER, not just the multiset: the k-way provenance merge
+    // must reproduce single-engine row order bit for bit.
+    EXPECT_EQ(s->rows.rows, f->rows.rows) << text;
+    ExpectMeterEq(s->meter, f->meter, text);
+  }
+}
+
+// A constraint-consistent growth batch: same-segment inserts linked
+// through pending handles (exercising per-shard handle renumbering),
+// links from new to pre-existing rows, unconstrained attribute
+// updates, and a tombstone delete.
+MutationBatch GrowthBatch(const Schema& schema, int salt) {
+  const ClassId supplier = schema.FindClass("supplier");
+  const ClassId cargo = schema.FindClass("cargo");
+  const ClassId driver = schema.FindClass("driver");
+  const RelId supplies = schema.FindRelationship("supplies");
+  const RelId collects = schema.FindRelationship("collects");
+
+  MutationBatch batch;
+  const int seg = salt % kNumSegments;
+  auto s_obj = MakeSegmentObject(schema, supplier, seg, 1000 + salt);
+  auto c_obj = MakeSegmentObject(schema, cargo, seg, 2000 + salt);
+  EXPECT_TRUE(s_obj.ok() && c_obj.ok());
+  const int64_t hs = batch.Insert(supplier, *s_obj);
+  const int64_t hc = batch.Insert(cargo, *c_obj);
+  batch.Link(supplies, hs, hc);
+  // Existing vehicle of the same segment: generator segments are
+  // row-major round robin, so global row `seg` belongs to segment seg.
+  batch.Link(collects, hc, /*vehicle row=*/seg);
+  batch.Update(supplier, /*row=*/salt % 4, schema.FindAttribute(
+                   supplier, "name").attr_id,
+               Value::String("renamed-" + std::to_string(salt)));
+  batch.Delete(driver, /*row=*/8 + salt);
+  return batch;
+}
+
+// A batch whose link pairs a segment-0 cargo with a segment-1 vehicle:
+// a constraint violation for a single engine and (at fleet sizes that
+// separate the segments) a cross-shard link for the coordinator —
+// both must reject with kConstraintViolation and no version consumed.
+MutationBatch CrossSegmentLinkBatch(const Schema& schema) {
+  MutationBatch batch;
+  batch.Link(schema.FindRelationship("collects"), /*cargo row=*/0,
+             /*vehicle row=*/1);
+  return batch;
+}
+
+class ShardedDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedDifferentialTest, ReadsMatchSingleEngine) {
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+
+  const std::vector<std::string> texts =
+      WorkloadTexts(single.schema(), 7101, 20);
+  ExpectDifferentialMatch(single, fleet, texts);  // cold: plan misses
+  ExpectDifferentialMatch(single, fleet, texts);  // warm: plan hits
+  EXPECT_EQ(single.stats().queries_executed, fleet.stats().queries_executed);
+  EXPECT_EQ(single.stats().contradictions, fleet.stats().contradictions);
+}
+
+TEST_P(ShardedDifferentialTest, MutationsMatchSingleEngine) {
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+  const Schema& schema = single.schema();
+
+  for (int salt = 0; salt < 8; ++salt) {
+    const MutationBatch batch = GrowthBatch(schema, salt);
+    ASSERT_OK_AND_ASSIGN(ApplyOutcome s, single.Apply(batch));
+    ASSERT_OK_AND_ASSIGN(ApplyOutcome f, fleet.Apply(batch));
+    EXPECT_EQ(s.snapshot_version, f.snapshot_version);
+    // Global row allocation must agree — the fleet's inserted rows ARE
+    // global ids.
+    EXPECT_EQ(s.inserted_rows, f.inserted_rows);
+    EXPECT_EQ(s.inserts, f.inserts);
+    EXPECT_EQ(s.links, f.links);
+    EXPECT_EQ(s.deletes, f.deletes);
+  }
+  EXPECT_EQ(single.data_version(), fleet.data_version());
+  EXPECT_EQ(single.stats().mutation_batches_applied,
+            fleet.stats().mutation_batches_applied);
+  EXPECT_EQ(single.stats().mutation_ops_applied,
+            fleet.stats().mutation_ops_applied);
+
+  // The mutated stores (new rows, new links, tombstones) must still
+  // read back identically, meters included.
+  ExpectDifferentialMatch(single, fleet,
+                          WorkloadTexts(schema, 7202, 15));
+}
+
+TEST_P(ShardedDifferentialTest, CrossSegmentLinkRejectedIdentically) {
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+
+  const MutationBatch bad = CrossSegmentLinkBatch(single.schema());
+  auto s = single.Apply(bad);
+  auto f = fleet.Apply(bad);
+  ASSERT_FALSE(s.ok());
+  ASSERT_FALSE(f.ok());
+  // Single engine: constraint validation. Fleet: either the head's
+  // validator (co-resident segments) or the coordinator's cross-shard
+  // pre-check — the SAME typed status either way.
+  EXPECT_EQ(s.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(f.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(single.data_version(), 1u);
+  EXPECT_EQ(fleet.data_version(), 1u);
+}
+
+TEST_P(ShardedDifferentialTest, ApplyGroupMatchesSingleEngine) {
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+  const Schema& schema = single.schema();
+
+  // Mixed group: two survivors, one no-op, one constraint violation.
+  std::vector<MutationBatch> group;
+  group.push_back(GrowthBatch(schema, 1));
+  group.push_back(MutationBatch{});  // empty: no-op, no version
+  group.push_back(CrossSegmentLinkBatch(schema));
+  group.push_back(GrowthBatch(schema, 2));
+
+  std::vector<Result<ApplyOutcome>> s = single.ApplyGroup(group);
+  std::vector<Result<ApplyOutcome>> f = fleet.ApplyGroup(group);
+  ASSERT_EQ(s.size(), group.size());
+  ASSERT_EQ(f.size(), group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    ASSERT_EQ(s[i].ok(), f[i].ok()) << "slot " << i;
+    if (!s[i].ok()) {
+      EXPECT_EQ(s[i].status().code(), f[i].status().code()) << "slot " << i;
+      continue;
+    }
+    EXPECT_EQ(s[i]->snapshot_version, f[i]->snapshot_version) << "slot " << i;
+    EXPECT_EQ(s[i]->inserted_rows, f[i]->inserted_rows) << "slot " << i;
+  }
+  EXPECT_EQ(single.data_version(), fleet.data_version());
+  ExpectDifferentialMatch(single, fleet, WorkloadTexts(schema, 7303, 12));
+}
+
+TEST_P(ShardedDifferentialTest, ReloadInvalidatesAndRealigns) {
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+
+  const std::vector<std::string> texts =
+      WorkloadTexts(single.schema(), 7404, 10);
+  ExpectDifferentialMatch(single, fleet, texts);  // warm the caches
+  ASSERT_OK(single.Apply(GrowthBatch(single.schema(), 3)).status());
+  ASSERT_OK(fleet.Apply(GrowthBatch(fleet.schema(), 3)).status());
+  EXPECT_GT(fleet.data_version(), 1u);
+
+  // Reload with a DIFFERENT database: versions restart, cached plans
+  // must not leak stale handles, and the differential must hold on the
+  // new data (including the first, cache-missing pass).
+  const DbSpec spec2{"SHARD_DIFF2", 20, 40};
+  ASSERT_OK(single.Load(DataSource::Generated(spec2, kDataSeed + 1)));
+  ASSERT_OK(fleet.Load(DataSource::Generated(spec2, kDataSeed + 1)));
+  EXPECT_EQ(single.data_version(), 1u);
+  EXPECT_EQ(fleet.data_version(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryOutcome first_single, single.Execute(texts[0]));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome first_fleet, fleet.Execute(texts[0]));
+  EXPECT_FALSE(first_single.plan_cache_hit);
+  EXPECT_FALSE(first_fleet.plan_cache_hit);
+  ExpectDifferentialMatch(single, fleet, texts);
+}
+
+TEST_P(ShardedDifferentialTest, SaveOpenRecoversCommittedPrefix) {
+  const std::string dir = ::testing::TempDir() + "/sqopt_sharded_" +
+                          std::to_string(GetParam());
+  std::filesystem::remove_all(dir);
+
+  ASSERT_OK_AND_ASSIGN(Engine single, OpenSingle());
+  ASSERT_OK(single.Load(DataSource::Generated(kSpec, kDataSeed)));
+  {
+    ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(GetParam()));
+    ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+    ASSERT_OK(fleet.Save(dir));
+    // Post-Save commits land in the coordinator log only (no
+    // checkpoint), so the reopen below must replay them.
+    for (int salt = 0; salt < 4; ++salt) {
+      ASSERT_OK(single.Apply(GrowthBatch(single.schema(), salt)).status());
+      ASSERT_OK(fleet.Apply(GrowthBatch(fleet.schema(), salt)).status());
+    }
+    EXPECT_EQ(fleet.persist_dir(), dir);
+  }
+
+  ASSERT_OK_AND_ASSIGN(ShardedEngine reopened, ShardedEngine::Open(dir));
+  EXPECT_EQ(reopened.num_shards(), GetParam());
+  EXPECT_EQ(reopened.data_version(), single.data_version());
+  EXPECT_GT(reopened.stats().wal_records_replayed, 0u);
+  ExpectDifferentialMatch(single, reopened,
+                          WorkloadTexts(single.schema(), 7505, 12));
+
+  // And the recovered fleet keeps committing in lockstep.
+  ASSERT_OK_AND_ASSIGN(ApplyOutcome s,
+                       single.Apply(GrowthBatch(single.schema(), 9)));
+  ASSERT_OK_AND_ASSIGN(ApplyOutcome f,
+                       reopened.Apply(GrowthBatch(reopened.schema(), 9)));
+  EXPECT_EQ(s.snapshot_version, f.snapshot_version);
+  EXPECT_EQ(s.inserted_rows, f.inserted_rows);
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedDifferentialTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ShardedEngineTest, RoutingFollowsSegments) {
+  ASSERT_OK_AND_ASSIGN(ShardedEngine fleet, OpenFleet(4));
+  ASSERT_OK(fleet.Load(DataSource::Generated(kSpec, kDataSeed)));
+  const Schema& schema = fleet.schema();
+  const ObjectStore* store = fleet.store();
+  ASSERT_NE(store, nullptr);
+  // At 4 shards the segment IS the shard, and generator segments are
+  // row-major round robin.
+  for (size_t c = 0; c < schema.num_classes(); ++c) {
+    const ClassId cid = static_cast<ClassId>(c);
+    for (int64_t row = 0; row < store->NumObjects(cid); ++row) {
+      EXPECT_EQ(fleet.ShardOfRow(cid, row), SegmentOfRow(row));
+    }
+  }
+  // Relationship endpoints never span shards.
+  for (size_t r = 0; r < schema.num_relationships(); ++r) {
+    const RelId rid = static_cast<RelId>(r);
+    const Relationship& rel = schema.relationship(rid);
+    for (const auto& [a, b] : store->Pairs(rid)) {
+      EXPECT_EQ(fleet.ShardOfRow(rel.a, a), fleet.ShardOfRow(rel.b, b));
+    }
+  }
+}
+
+TEST(ShardedEngineTest, RejectsInvalidShardCounts) {
+  ShardOptions options;
+  options.shards = 0;
+  EXPECT_FALSE(ShardedEngine::Open(SchemaSource::Experiment(),
+                                   ConstraintSource::Experiment(), options)
+                   .ok());
+  options.shards = 64;
+  EXPECT_FALSE(ShardedEngine::Open(SchemaSource::Experiment(),
+                                   ConstraintSource::Experiment(), options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sqopt
