@@ -1,0 +1,185 @@
+// Replication bench: what WAL shipping costs the leader and what the
+// follower pipeline delivers. In one process it measures (1) leader
+// commit throughput alone vs with a ReplicationLog, a serving socket,
+// and TWO live FollowerAppliers subscribed (the gated overhead — the
+// commit listener encodes the group record under the commit lock, the
+// socket pump runs off it), (2) replication lag: submit-to-applied
+// p50/p95 per record, sampled on a follower's on_record_applied hook
+// against the leader's submit timestamps, and (3) catch-up throughput:
+// a cold follower subscribing after the fact replays the whole history
+// — records/s from subscribe to convergence. Verifies both streaming
+// followers converge to the leader's exact version before reporting.
+// Emits BENCH_replication.json for the bench-smoke CI regression gate.
+//
+// Flags:
+//   --quick        fewer commits (CI smoke mode)
+//   --commits=N    commit count per phase
+//   --out=PATH     JSON output path (default BENCH_replication.json)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "replica/follower.h"
+#include "replica/replication_log.h"
+#include "server/server.h"
+#include "workload/mutation_script.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace sqopt;  // NOLINT(build/namespaces) — bench binary
+
+constexpr uint64_t kSeed = 20260807;
+const DbSpec kSpec{"replication_bench", 104, 154};
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             Clock::now() - start)
+      .count();
+}
+
+Engine LoadedEngine() {
+  Engine engine = bench::OpenExperimentEngine();
+  bench::Check(engine.Load(DataSource::Generated(kSpec, kSeed)));
+  return engine;
+}
+
+std::vector<int64_t> BaseRows(const Engine& engine) {
+  std::vector<int64_t> rows;
+  for (const ObjectClass& oc : engine.schema().classes()) {
+    rows.push_back(engine.store()->NumObjects(oc.id));
+  }
+  return rows;
+}
+
+// Applies `commits` script batches; returns commits/sec.
+double DriveCommits(Engine& engine, int commits,
+                    std::vector<Clock::time_point>* submit_times) {
+  MutationScript script(&engine.schema(), BaseRows(engine), kSeed);
+  const auto start = Clock::now();
+  for (int i = 0; i < commits; ++i) {
+    MutationBatch batch = bench::Unwrap(script.Next());
+    if (submit_times != nullptr) {
+      // Indexed by the version this apply will commit as; stored
+      // before Apply so the follower hook can always read it.
+      (*submit_times)[static_cast<size_t>(engine.data_version()) + 1] =
+          Clock::now();
+    }
+    bench::Check(engine.Apply(batch).status());
+  }
+  return commits / SecondsSince(start);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int commits = 480;
+  std::string out = "BENCH_replication.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      commits = 96;
+    } else if (std::strncmp(argv[i], "--commits=", 10) == 0) {
+      commits = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    }
+  }
+
+  bench::BenchJson json("replication");
+  json.Set("quick", commits <= 96);
+  json.Set("commits", commits);
+
+  // --- Phase 1: the leader alone, no replication machinery. ---------
+  double alone;
+  {
+    Engine engine = LoadedEngine();
+    alone = DriveCommits(engine, commits, nullptr);
+  }
+
+  // --- Phase 2: leader + log + server + 2 streaming followers. ------
+  Engine leader = LoadedEngine();
+  replica::ReplicationLog log;
+  log.AttachTo(&leader);
+  server::ServerOptions options;
+  options.port = 0;
+  std::unique_ptr<server::Server> server =
+      bench::Unwrap(server::Server::Start(&leader, options, &log));
+
+  // Submit-to-applied lag, sampled on follower 1.
+  std::vector<Clock::time_point> submit_times(
+      static_cast<size_t>(commits) + 2);
+  std::mutex lag_mu;
+  std::vector<double> lag_us;
+  Engine f1 = LoadedEngine();
+  replica::FollowerOptions fopts;
+  fopts.leader_port = server->port();
+  fopts.poll_interval_ms = 50;
+  fopts.on_record_applied = [&](uint64_t version) {
+    if (version >= submit_times.size()) return;
+    const double us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            Clock::now() - submit_times[version])
+            .count();
+    std::lock_guard<std::mutex> hold(lag_mu);
+    lag_us.push_back(us);
+  };
+  std::unique_ptr<replica::FollowerApplier> a1 =
+      bench::Unwrap(replica::FollowerApplier::Start(&f1, fopts));
+
+  Engine f2 = LoadedEngine();
+  replica::FollowerOptions fopts2 = fopts;
+  fopts2.on_record_applied = nullptr;
+  std::unique_ptr<replica::FollowerApplier> a2 =
+      bench::Unwrap(replica::FollowerApplier::Start(&f2, fopts2));
+
+  const double replicated = DriveCommits(leader, commits, &submit_times);
+  const uint64_t tip = leader.data_version();
+  const bool converged =
+      a1->WaitForVersion(tip, 60000) && a2->WaitForVersion(tip, 60000) &&
+      f1.data_version() == tip && f2.data_version() == tip;
+
+  // --- Phase 3: cold catch-up from version 1. ------------------------
+  Engine cold = LoadedEngine();
+  replica::FollowerOptions copts;
+  copts.leader_port = server->port();
+  copts.poll_interval_ms = 50;
+  const auto catchup_start = Clock::now();
+  std::unique_ptr<replica::FollowerApplier> a3 =
+      bench::Unwrap(replica::FollowerApplier::Start(&cold, copts));
+  const bool caught_up = a3->WaitForVersion(tip, 60000);
+  const double catchup_secs = SecondsSince(catchup_start);
+  const uint64_t caught_records = a3->stats().records_applied;
+
+  a1->Stop();
+  a2->Stop();
+  a3->Stop();
+  server->Shutdown();
+
+  const double overhead = alone > 0 ? 1.0 - replicated / alone : 0.0;
+  json.Set("commits_per_sec_alone", alone);
+  json.Set("commits_per_sec_replicated", replicated);
+  json.Set("follower_overhead", overhead < 0 ? 0.0 : overhead);
+  json.Set("lag_p50_us", Percentile(lag_us, 0.50));
+  json.Set("lag_p95_us", Percentile(lag_us, 0.95));
+  json.Set("lag_samples", lag_us.size());
+  json.Set("catchup_records_per_sec",
+           catchup_secs > 0 ? caught_records / catchup_secs : 0.0);
+  json.Set("followers_converged", (converged && caught_up) ? 1 : 0);
+  json.Set("final_version", tip);
+  json.Write(out);
+  return (converged && caught_up) ? 0 : 1;
+}

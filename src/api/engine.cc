@@ -1060,6 +1060,17 @@ void Engine::CommitGroupLocked(
                                            std::memory_order_relaxed);
   state.mutation_ops_applied.fetch_add(group_ops,
                                        std::memory_order_relaxed);
+
+  // Replication tap: the published group, in commit order, gap-free
+  // (we still hold commit_mutex). Independent of WAL attachment so
+  // in-memory leaders replicate too.
+  if (state.commit_listener && !survivors.empty()) {
+    std::vector<MutationBatch> committed;
+    committed.reserve(survivors.size());
+    for (PendingCommit* pc : survivors) committed.push_back(*pc->req->batch);
+    state.commit_listener(base->version + 1, committed);
+  }
+
   for (PendingCommit* pc : survivors) {
     pc->req->result = std::move(pc->out);
   }
@@ -1088,6 +1099,13 @@ Status Engine::Recompile() {
 Status Engine::Recompile(const PrecompileOptions& precompile) {
   state_->options.precompile = precompile;
   return Recompile();
+}
+
+void Engine::SetCommitListener(CommitListener listener) {
+  // Same lock CommitGroupLocked holds while invoking it: attaching or
+  // detaching never races a commit in flight.
+  std::lock_guard<std::mutex> lock(state_->commit_mutex);
+  state_->commit_listener = std::move(listener);
 }
 
 void Engine::SetOptimizerOptions(const OptimizerOptions& optimizer) {

@@ -247,7 +247,7 @@ class Engine : public EngineInterface {
   // that sequence recovers to exactly the pre- or post-checkpoint
   // state (WAL replay is version-idempotent). Requires a durable
   // engine (Save or Open(dir)).
-  Status Checkpoint();
+  Status Checkpoint() override;
 
   // Directory this engine persists to; empty when purely in-memory.
   std::string persist_dir() const;
@@ -280,7 +280,7 @@ class Engine : public EngineInterface {
   // leader's outcome. Each batch keeps its own typed status — a
   // follower's kConstraintViolation (or malformed batch) rejects that
   // batch alone and never poisons its group-mates.
-  Result<ApplyOutcome> Apply(const MutationBatch& batch);
+  Result<ApplyOutcome> Apply(const MutationBatch& batch) override;
 
   // Commits `batches` as ONE explicit commit group (the same protocol
   // concurrent Apply callers converge on, minus the queueing): batches
@@ -291,7 +291,19 @@ class Engine : public EngineInterface {
   // is base + (number of surviving batches before it) + 1; a rejected
   // batch consumes no version. An empty span returns an empty vector.
   std::vector<Result<ApplyOutcome>> ApplyGroup(
-      std::span<const MutationBatch> batches);
+      std::span<const MutationBatch> batches) override;
+
+  // Observer for committed groups, the leader-side replication tap:
+  // called after every published commit with the group's first
+  // snapshot version and its surviving batches, in commit order, while
+  // the commit lock is still held (so invocations are totally ordered
+  // and gap-free). Fires for every commit — durable or in-memory —
+  // but never during Open(dir) replay, so attaching after Open sees
+  // exactly the post-recovery suffix. Pass nullptr to detach. The
+  // callback must not re-enter Apply.
+  using CommitListener = std::function<void(
+      uint64_t first_version, const std::vector<MutationBatch>& batches)>;
+  void SetCommitListener(CommitListener listener);
 
   // Adds one constraint and re-precompiles the catalog (closure +
   // grouping re-run; semantic constraints change rarely — the paper's
@@ -384,7 +396,7 @@ class Engine : public EngineInterface {
   // Version of the current data snapshot: 0 before the first Load, 1
   // after it, +1 per committed Apply (a reload restarts the lineage at
   // 1). Lets callers detect whether a write was published.
-  uint64_t data_version() const;
+  uint64_t data_version() const override;
   const EngineOptions& options() const;
   EngineStats stats() const override;
 

@@ -1,15 +1,21 @@
-// The minimal surface the network serving layer needs from a query
-// engine: execute one query by text, report cumulative counters, and
-// say whether data is loaded. Both the single-process Engine and the
-// scatter-gather ShardedEngine implement it, which is how one TCP
-// front end (server/server.{h,cc}) serves either backend unchanged —
-// see DESIGN.md "Sharding".
+// The full serving surface the network layer needs from a query
+// engine: execute queries, commit mutation batches, checkpoint, and
+// report the snapshot version and cumulative counters. The
+// single-process Engine, the scatter-gather ShardedEngine, and the
+// wire-speaking shard::RemoteShard all implement it, which is how one
+// TCP front end (server/server.{h,cc}) serves any backend — and how
+// the sharded coordinator can target in-process and remote shards
+// through one seam — with no downcasts. See DESIGN.md "Sharding" and
+// "Replication".
 #ifndef SQOPT_API_ENGINE_IFACE_H_
 #define SQOPT_API_ENGINE_IFACE_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
+#include "api/mutation.h"
 #include "api/plan_cache.h"
 #include "common/status.h"
 
@@ -49,6 +55,26 @@ class EngineInterface {
 
   // Parse -> optimize -> plan -> execute -> meter; thread-safe.
   virtual Result<QueryOutcome> Execute(std::string_view query_text) const = 0;
+
+  // Commits one mutation batch atomically (group-commit with
+  // concurrent callers where the backend supports it). Thread-safe;
+  // serializes against other writers inside the backend.
+  virtual Result<ApplyOutcome> Apply(const MutationBatch& batch) = 0;
+
+  // Commits `batches` as one explicit commit group; each slot of the
+  // returned vector (input order) carries that batch's own outcome or
+  // typed failure. An empty span returns an empty vector.
+  virtual std::vector<Result<ApplyOutcome>> ApplyGroup(
+      std::span<const MutationBatch> batches) = 0;
+
+  // Folds the WAL into a fresh snapshot. Backends without an attached
+  // persistence directory return kFailedPrecondition.
+  virtual Status Checkpoint() = 0;
+
+  // Version of the current data snapshot: 0 before the first Load, 1
+  // after it, +1 per committed batch. The replication protocol's
+  // currency: a follower subscribes from its own data_version().
+  virtual uint64_t data_version() const = 0;
 
   virtual EngineStats stats() const = 0;
   virtual PlanCacheStats plan_cache_stats() const = 0;

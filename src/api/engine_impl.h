@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -144,6 +145,12 @@ struct EngineState {
   // lineage, so the caller must Save() again to re-attach.
   std::unique_ptr<persist::WalWriter> wal;
   std::string persist_dir;
+
+  // Replication tap (Engine::SetCommitListener): invoked under
+  // commit_mutex after every published commit group with
+  // (first_version, surviving batches) — total order, no gaps.
+  std::function<void(uint64_t, const std::vector<MutationBatch>&)>
+      commit_listener;
 
   // Shared plan cache for Execute/Prepare (internally synchronized).
   mutable PlanCache plan_cache;

@@ -140,6 +140,34 @@ std::string HeaderBytes() {
 
 }  // namespace
 
+std::string EncodeWalRecordPayload(const WalRecord& record) {
+  return EncodeRecordPayload(record.first_version, record.batches);
+}
+
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload) {
+  return DecodeRecordPayload(payload);
+}
+
+std::string EncodeMutationBatch(const MutationBatch& batch) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(batch.ops().size()));
+  for (const Mutation& op : batch.ops()) PutMutation(&w, op);
+  return w.Take();
+}
+
+Result<MutationBatch> DecodeMutationBatch(std::string_view bytes) {
+  ByteReader r(bytes);
+  MutationBatch batch;
+  SQOPT_ASSIGN_OR_RETURN(uint32_t ops, r.U32());
+  for (uint32_t i = 0; i < ops; ++i) {
+    SQOPT_RETURN_IF_ERROR(ReadMutationInto(&r, &batch));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after mutation batch");
+  }
+  return batch;
+}
+
 Result<WalReadResult> ReadWal(const std::string& path) {
   WalReadResult out;
   std::ifstream in(path, std::ios::binary | std::ios::ate);

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/mutation.h"
@@ -65,6 +66,20 @@ struct WalReadResult {
 // semantics cannot distinguish a torn append from later corruption, so
 // both end the log there.
 Result<WalReadResult> ReadWal(const std::string& path);
+
+// The record payload codec, exposed for replication: the leader ships
+// exactly these bytes over the wire (inside a kReplicate response) and
+// the follower decodes them with the same rules recovery uses, so the
+// wire payload and the on-disk record body are byte-identical.
+// Decoding a truncated or mangled payload returns kCorruption.
+std::string EncodeWalRecordPayload(const WalRecord& record);
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload);
+
+// One batch's ops on the same codec record bodies use (u32 op count +
+// ops) — the kApply wire serde, so a batch that crossed the wire and a
+// batch replayed from the log decode through identical paths.
+std::string EncodeMutationBatch(const MutationBatch& batch);
+Result<MutationBatch> DecodeMutationBatch(std::string_view bytes);
 
 // Append handle. Exactly one writer per directory (the engine holds it
 // behind its commit lock).

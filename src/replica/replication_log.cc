@@ -1,0 +1,97 @@
+#include "replica/replication_log.h"
+
+#include <utility>
+
+#include "persist/wal.h"
+
+namespace sqopt::replica {
+
+ReplicationLog::ReplicationLog(size_t max_records)
+    : max_records_(max_records == 0 ? 1 : max_records) {}
+
+void ReplicationLog::Append(uint64_t first_version,
+                            const std::vector<MutationBatch>& batches) {
+  if (batches.empty()) return;
+  persist::WalRecord record;
+  record.first_version = first_version;
+  record.batches = batches;
+
+  EncodedRecord encoded;
+  encoded.first_version = first_version;
+  encoded.last_version = first_version + batches.size() - 1;
+  encoded.payload = persist::EncodeWalRecordPayload(record);
+
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The very first record pins the retention floor: a WAL primed
+    // after a checkpoint starts mid-history, and a subscriber below
+    // that point needs a re-seed, not a bogus "divergence" gap.
+    if (last_ == 0 && first_version > 0) floor_ = first_version - 1;
+    records_.push_back(std::move(encoded));
+    last_ = records_.back().last_version;
+    while (records_.size() > max_records_) {
+      floor_ = records_.front().last_version;
+      records_.pop_front();
+    }
+    notify = notifier_;
+  }
+  if (notify) notify();
+}
+
+Status ReplicationLog::PrimeFromWal(const std::string& path) {
+  SQOPT_ASSIGN_OR_RETURN(persist::WalReadResult wal, persist::ReadWal(path));
+  for (const persist::WalRecord& record : wal.records) {
+    if (record.batches.empty()) continue;
+    Append(record.first_version, record.batches);
+  }
+  return Status::OK();
+}
+
+void ReplicationLog::AttachTo(Engine* engine) {
+  engine->SetCommitListener(
+      [this](uint64_t first_version,
+             const std::vector<MutationBatch>& batches) {
+        Append(first_version, batches);
+      });
+}
+
+Result<std::vector<EncodedRecord>> ReplicationLog::ReadFrom(
+    uint64_t from_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_version < floor_) {
+    return Status::OutOfRange(
+        "subscriber at version " + std::to_string(from_version) +
+        " is behind the replication log's retention floor (version " +
+        std::to_string(floor_) +
+        "): re-seed the follower from a leader snapshot");
+  }
+  std::vector<EncodedRecord> out;
+  for (const EncodedRecord& record : records_) {
+    if (record.last_version <= from_version) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+uint64_t ReplicationLog::last_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+uint64_t ReplicationLog::floor_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floor_;
+}
+
+size_t ReplicationLog::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void ReplicationLog::SetNotifier(std::function<void()> notifier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notifier_ = std::move(notifier);
+}
+
+}  // namespace sqopt::replica

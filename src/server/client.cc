@@ -49,7 +49,9 @@ Result<Client> Client::Connect(const std::string& host, int port,
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      protocol_(other.protocol_) {
   other.fd_ = -1;
 }
 
@@ -58,6 +60,7 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     reader_ = std::move(other.reader_);
+    protocol_ = other.protocol_;
     other.fd_ = -1;
   }
   return *this;
@@ -120,7 +123,7 @@ Result<Response> Client::ReceiveResponse() {
 }
 
 Result<Response> Client::Call(const Request& request) {
-  SQOPT_RETURN_IF_ERROR(SendRaw(EncodeRequest(request)));
+  SQOPT_RETURN_IF_ERROR(SendRaw(EncodeRequest(request, protocol_)));
   return ReceiveResponse();
 }
 
@@ -145,6 +148,51 @@ Status Client::Ping() {
   request.type = RequestType::kPing;
   SQOPT_ASSIGN_OR_RETURN(Response response, Call(request));
   return response.ToStatus();
+}
+
+Result<Response> Client::Hello(uint32_t version) {
+  Request request;
+  request.type = RequestType::kHello;
+  request.protocol_version = version;
+  SQOPT_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (response.ok()) protocol_ = response.protocol_version;
+  return response;
+}
+
+Result<Response> Client::Apply(const MutationBatch& batch,
+                               uint32_t deadline_ms) {
+  if (protocol_ < 2) {
+    return Status::UnsupportedVersion(
+        "Apply requires wire protocol v2: call Hello() first");
+  }
+  Request request;
+  request.type = RequestType::kApply;
+  request.deadline_ms = deadline_ms;
+  request.batch = batch;
+  return Call(request);
+}
+
+Status Client::Checkpoint(uint32_t deadline_ms) {
+  if (protocol_ < 2) {
+    return Status::UnsupportedVersion(
+        "Checkpoint requires wire protocol v2: call Hello() first");
+  }
+  Request request;
+  request.type = RequestType::kCheckpoint;
+  request.deadline_ms = deadline_ms;
+  SQOPT_ASSIGN_OR_RETURN(Response response, Call(request));
+  return response.ToStatus();
+}
+
+Result<Response> Client::Subscribe(uint64_t from_version) {
+  if (protocol_ < 2) {
+    return Status::UnsupportedVersion(
+        "Subscribe requires wire protocol v2: call Hello() first");
+  }
+  Request request;
+  request.type = RequestType::kSubscribe;
+  request.from_version = from_version;
+  return Call(request);
 }
 
 }  // namespace sqopt::server

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/mutation.h"
 #include "common/status.h"
 #include "server/wire.h"
 
@@ -39,6 +40,26 @@ class Client {
   Result<std::string> Stats();
   Status Ping();
 
+  // Negotiates the wire protocol up (v2 by default). On success every
+  // subsequent request encodes with the negotiated version — required
+  // before Apply/Subscribe/Checkpoint. A v2-only server answers any
+  // pre-HELLO request with kUnsupportedVersion and closes.
+  Result<Response> Hello(uint32_t version = kProtocolVersionMax);
+
+  // v2 write surface. The Response carries the typed outcome
+  // (snapshot_version, inserted rows) or the server's rejection code.
+  Result<Response> Apply(const MutationBatch& batch,
+                         uint32_t deadline_ms = 0);
+  Status Checkpoint(uint32_t deadline_ms = 0);
+
+  // Starts the replication stream: the server acks with its current
+  // version, then pushes kReplicate responses (read them with
+  // ReceiveResponse) starting at from_version + 1.
+  Result<Response> Subscribe(uint64_t from_version);
+
+  // The protocol this connection negotiated (1 until Hello succeeds).
+  uint32_t protocol() const { return protocol_; }
+
   // Raw access for protocol tests: send arbitrary bytes / read one
   // framed response off the wire.
   Status SendRaw(std::string_view bytes);
@@ -52,6 +73,7 @@ class Client {
 
   int fd_ = -1;
   FrameReader reader_;
+  uint32_t protocol_ = kProtocolVersionMin;
 };
 
 }  // namespace sqopt::server

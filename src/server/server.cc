@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "replica/replication_log.h"
 #include "server/wire.h"
 
 namespace sqopt::server {
@@ -51,6 +52,8 @@ struct Conn {
   FrameReader reader;
   Clock::time_point last_activity;
   bool close_after_flush = false;
+  // Wire protocol this connection negotiated (HELLO upgrades it).
+  uint32_t protocol = kProtocolVersionMin;
 
   // --- Shared with workers, guarded by mu. ---
   std::mutex mu;
@@ -60,6 +63,10 @@ struct Conn {
   // Requests admitted for this connection and not yet answered; the
   // reaper never closes a connection with one pending.
   std::atomic<int> inflight{0};
+
+  // Replication subscriber: a caught-up follower is quiet by design,
+  // so the idle reaper leaves it alone.
+  std::atomic<bool> subscribed{false};
 };
 
 Response ErrorResponse(RequestType type, const Status& status) {
@@ -77,8 +84,9 @@ Response ErrorResponse(RequestType type, const Status& status) {
 // ---------------------------------------------------------------------
 
 struct Server::Impl {
-  const EngineInterface* engine = nullptr;
+  EngineInterface* engine = nullptr;
   ServerOptions opts;
+  replica::ReplicationLog* replication = nullptr;
 
   int listen_fd = -1;
   int bound_port = 0;
@@ -102,6 +110,17 @@ struct Server::Impl {
   // Connection registry; I/O thread only.
   std::unordered_map<int, std::shared_ptr<Conn>> conns;
 
+  // Replication subscribers. Pumped from the I/O thread (at subscribe
+  // time) AND from committing threads (the log's notifier), so the
+  // registry has its own lock. `version` is the subscriber's current
+  // applied version; the next record shipped starts at version + 1.
+  struct Subscriber {
+    std::shared_ptr<Conn> conn;
+    uint64_t version = 0;
+  };
+  std::mutex sub_mu;
+  std::vector<Subscriber> subscribers;
+
   std::atomic<bool> draining{false};
   // Admitted requests not yet answered (queued + executing).
   std::atomic<uint64_t> inflight{0};
@@ -113,6 +132,9 @@ struct Server::Impl {
   std::atomic<uint64_t> rejected_overloaded{0}, timed_out{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> queue_depth{0}, queue_depth_hwm{0};
+  std::atomic<uint64_t> applies_ok{0}, applies_rejected{0};
+  std::atomic<uint64_t> records_replicated{0}, subscribers_active{0};
+  std::atomic<uint64_t> unsupported_version{0};
 
   // Await/join latch.
   std::mutex join_mu;
@@ -152,6 +174,72 @@ struct Server::Impl {
   // Worker side.
   // ------------------------------------------------------------------
 
+  // Executes one admitted request against the engine; fills the
+  // response (whose type is already set).
+  void Execute(const Request& request, Response* response) {
+    switch (request.type) {
+      case RequestType::kQuery: {
+        const Clock::time_point t0 = Clock::now();
+        Result<QueryOutcome> outcome = engine->Execute(request.query_text);
+        response->exec_micros = MicrosSince(t0);
+        if (!outcome.ok()) {
+          queries_failed.fetch_add(1, std::memory_order_relaxed);
+          response->code = outcome.status().code();
+          response->message = outcome.status().message();
+        } else {
+          queries_ok.fetch_add(1, std::memory_order_relaxed);
+          response->plan_cache_hit = outcome->plan_cache_hit;
+          response->answered_without_database =
+              outcome->answered_without_database;
+          response->rows = std::move(outcome->rows.rows);
+        }
+        break;
+      }
+      case RequestType::kStats:
+        response->stats_text = MetricsText();
+        break;
+      case RequestType::kPing:
+        break;
+      case RequestType::kApply: {
+        if (opts.read_only) {
+          applies_rejected.fetch_add(1, std::memory_order_relaxed);
+          response->code = StatusCode::kFailedPrecondition;
+          response->message =
+              "read-only follower: send mutations to the leader";
+          break;
+        }
+        const Clock::time_point t0 = Clock::now();
+        Result<ApplyOutcome> outcome = engine->Apply(request.batch);
+        response->exec_micros = MicrosSince(t0);
+        if (!outcome.ok()) {
+          applies_rejected.fetch_add(1, std::memory_order_relaxed);
+          response->code = outcome.status().code();
+          response->message = outcome.status().message();
+        } else {
+          applies_ok.fetch_add(1, std::memory_order_relaxed);
+          response->snapshot_version = outcome->snapshot_version;
+          response->inserted_rows = std::move(outcome->inserted_rows);
+          response->group_size = static_cast<uint32_t>(outcome->group_size);
+        }
+        break;
+      }
+      case RequestType::kCheckpoint: {
+        // Legal on a follower too: checkpointing folds ITS OWN WAL
+        // into a snapshot — local compaction, not a mutation.
+        const Status status = engine->Checkpoint();
+        response->code = status.code();
+        response->message = status.message();
+        break;
+      }
+      default:
+        // kHello/kSubscribe are handled inline on the I/O thread and
+        // kReplicate is never admitted; an entry here is a bug.
+        response->code = StatusCode::kInternal;
+        response->message = "request type cannot be executed by a worker";
+        break;
+    }
+  }
+
   void WorkerLoop() {
     for (;;) {
       Task task;
@@ -164,8 +252,11 @@ struct Server::Impl {
         queue_depth.store(queue.size(), std::memory_order_relaxed);
       }
 
+      // The deadline covers queue wait for EVERY request type, not
+      // just queries: a saturated server answers an expired kStats or
+      // kApply with kTimeout instead of executing it late.
       Response response;
-      response.type = RequestType::kQuery;
+      response.type = task.request.type;
       if (Clock::now() > task.deadline) {
         timed_out.fetch_add(1, std::memory_order_relaxed);
         response.code = StatusCode::kTimeout;
@@ -175,21 +266,7 @@ struct Server::Impl {
           std::this_thread::sleep_for(
               std::chrono::milliseconds(opts.execute_delay_ms));
         }
-        const Clock::time_point t0 = Clock::now();
-        Result<QueryOutcome> outcome =
-            engine->Execute(task.request.query_text);
-        response.exec_micros = MicrosSince(t0);
-        if (!outcome.ok()) {
-          queries_failed.fetch_add(1, std::memory_order_relaxed);
-          response.code = outcome.status().code();
-          response.message = outcome.status().message();
-        } else {
-          queries_ok.fetch_add(1, std::memory_order_relaxed);
-          response.plan_cache_hit = outcome->plan_cache_hit;
-          response.answered_without_database =
-              outcome->answered_without_database;
-          response.rows = std::move(outcome->rows.rows);
-        }
+        Execute(task.request, &response);
       }
       Respond(task.conn, response);
       task.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
@@ -205,7 +282,7 @@ struct Server::Impl {
   void Admit(const std::shared_ptr<Conn>& conn, Request request) {
     if (draining.load(std::memory_order_relaxed)) {
       rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
-      Respond(conn, ErrorResponse(RequestType::kQuery,
+      Respond(conn, ErrorResponse(request.type,
                                   Status::Overloaded("server is draining")));
       return;
     }
@@ -213,7 +290,7 @@ struct Server::Impl {
       rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
       Respond(conn,
               ErrorResponse(
-                  RequestType::kQuery,
+                  request.type,
                   Status::Overloaded(
                       "admission queue full (" +
                       std::to_string(opts.max_queue) + " requests)")));
@@ -244,29 +321,147 @@ struct Server::Impl {
   void HandleFrame(const std::shared_ptr<Conn>& conn,
                    std::string_view payload) {
     requests_received.fetch_add(1, std::memory_order_relaxed);
-    Result<Request> request = DecodeRequest(payload);
+    Result<Request> request = DecodeRequest(payload, conn->protocol);
     if (!request.ok()) {
-      protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      Respond(conn, ErrorResponse(RequestType::kQuery, request.status()));
+      // Echo the type byte when it at least parsed, so the client can
+      // match the error to its request.
+      RequestType echo = RequestType::kQuery;
+      if (!payload.empty()) {
+        const auto raw = static_cast<uint8_t>(payload[0]);
+        if (raw >= 1 && raw <= 8) echo = static_cast<RequestType>(raw);
+      }
+      if (request.status().code() == StatusCode::kUnsupportedVersion) {
+        unsupported_version.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      Respond(conn, ErrorResponse(echo, request.status()));
       return;
     }
-    switch (request->type) {
-      case RequestType::kPing: {
-        Response r;
-        r.type = RequestType::kPing;
-        Respond(conn, r);
-        break;
+
+    if (request->type == RequestType::kHello) {
+      // Version-invariant layout, answered inline: negotiate down to
+      // what both sides speak; below the endpoint's minimum gets one
+      // typed kUnsupportedVersion naming both versions, then a clean
+      // close (the snapshot-v3 precedent: a version gap is not
+      // corruption).
+      const uint32_t negotiated =
+          std::min(request->protocol_version, kProtocolVersionMax);
+      if (negotiated < opts.min_protocol ||
+          request->protocol_version < kProtocolVersionMin) {
+        unsupported_version.fetch_add(1, std::memory_order_relaxed);
+        Respond(conn,
+                ErrorResponse(
+                    RequestType::kHello,
+                    Status::UnsupportedVersion(
+                        "client speaks wire protocol v" +
+                        std::to_string(request->protocol_version) +
+                        " but this endpoint requires v" +
+                        std::to_string(opts.min_protocol) + " through v" +
+                        std::to_string(kProtocolVersionMax))));
+        conn->close_after_flush = true;
+        return;
       }
-      case RequestType::kStats: {
-        Response r;
-        r.type = RequestType::kStats;
-        r.stats_text = MetricsText();
-        Respond(conn, r);
-        break;
+      conn->protocol = negotiated;
+      Response r;
+      r.type = RequestType::kHello;
+      r.protocol_version = negotiated;
+      if (replication != nullptr) r.feature_bits |= kFeatureReplication;
+      Respond(conn, r);
+      return;
+    }
+
+    if (conn->protocol < opts.min_protocol) {
+      unsupported_version.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn,
+              ErrorResponse(
+                  request->type,
+                  Status::UnsupportedVersion(
+                      "this endpoint requires wire protocol v" +
+                      std::to_string(opts.min_protocol) +
+                      " but the connection is still v" +
+                      std::to_string(conn->protocol) +
+                      ": send HELLO first (server speaks up to v" +
+                      std::to_string(kProtocolVersionMax) + ")")));
+      conn->close_after_flush = true;
+      return;
+    }
+
+    if (request->type == RequestType::kSubscribe) {
+      // Connection state, so handled inline by the I/O thread: ack
+      // with the leader's version, register, then pump — the ack
+      // always precedes the first kReplicate frame in the outbuf.
+      if (replication == nullptr) {
+        Respond(conn,
+                ErrorResponse(RequestType::kSubscribe,
+                              Status::FailedPrecondition(
+                                  "this server is not a replication "
+                                  "leader (no replication log attached)")));
+        return;
       }
-      case RequestType::kQuery:
-        Admit(conn, std::move(*request));
-        break;
+      Response r;
+      r.type = RequestType::kSubscribe;
+      r.leader_version = engine->data_version();
+      Respond(conn, r);
+      conn->subscribed.store(true, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(sub_mu);
+        subscribers.push_back({conn, request->from_version});
+        subscribers_active.store(subscribers.size(),
+                                 std::memory_order_relaxed);
+      }
+      PumpReplication();
+      return;
+    }
+
+    // Everything else — queries, stats, pings, applies, checkpoints —
+    // goes through admission, so backpressure, overload rejection,
+    // and the dequeue-time deadline check apply uniformly.
+    Admit(conn, std::move(*request));
+  }
+
+  // Ships every retained record past each subscriber's version.
+  // Called from the I/O thread (subscribe) and from committing
+  // threads (the replication log's notifier); sub_mu serializes them,
+  // so each subscriber's stream stays in order and gap-free.
+  void PumpReplication() {
+    if (replication == nullptr) return;
+    std::lock_guard<std::mutex> lock(sub_mu);
+    bool changed = false;
+    for (auto it = subscribers.begin(); it != subscribers.end();) {
+      {
+        std::lock_guard<std::mutex> conn_lock(it->conn->mu);
+        if (it->conn->closed) {
+          it = subscribers.erase(it);
+          changed = true;
+          continue;
+        }
+      }
+      Result<std::vector<replica::EncodedRecord>> records =
+          replication->ReadFrom(it->version);
+      if (!records.ok()) {
+        // Behind the retention floor: one typed error, then the
+        // follower must re-seed from a snapshot.
+        Respond(it->conn,
+                ErrorResponse(RequestType::kReplicate, records.status()));
+        it = subscribers.erase(it);
+        changed = true;
+        continue;
+      }
+      for (const replica::EncodedRecord& record : *records) {
+        Response r;
+        r.type = RequestType::kReplicate;
+        r.first_version = record.first_version;
+        r.wal_record = record.payload;
+        Respond(it->conn, r);
+        it->version = record.last_version;
+        records_replicated.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++it;
+    }
+    if (changed) {
+      subscribers_active.store(subscribers.size(),
+                               std::memory_order_relaxed);
     }
   }
 
@@ -343,6 +538,18 @@ struct Server::Impl {
       conn->closed = true;
       conn->outbuf.clear();
     }
+    {
+      std::lock_guard<std::mutex> lock(sub_mu);
+      for (auto it = subscribers.begin(); it != subscribers.end();) {
+        if (it->conn == conn) {
+          it = subscribers.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      subscribers_active.store(subscribers.size(),
+                               std::memory_order_relaxed);
+    }
     ::close(conn->fd);
     conns.erase(conn->fd);
     active.fetch_sub(1, std::memory_order_relaxed);
@@ -385,6 +592,7 @@ struct Server::Impl {
     for (auto& [fd, conn] : conns) {
       if (conn->last_activity > cutoff) continue;
       if (conn->inflight.load(std::memory_order_relaxed) > 0) continue;
+      if (conn->subscribed.load(std::memory_order_relaxed)) continue;
       std::lock_guard<std::mutex> lock(conn->mu);
       if (!conn->outbuf.empty()) continue;
       victims.push_back(conn);
@@ -504,6 +712,11 @@ struct Server::Impl {
     put("server_protocol_errors", protocol_errors.load());
     put("server_queue_depth", queue_depth.load());
     put("server_queue_depth_hwm", queue_depth_hwm.load());
+    put("server_applies_ok", applies_ok.load());
+    put("server_applies_rejected", applies_rejected.load());
+    put("server_records_replicated", records_replicated.load());
+    put("server_subscribers_active", subscribers_active.load());
+    put("server_unsupported_version", unsupported_version.load());
     const EngineStats es = engine->stats();
     put("engine_queries_parsed", es.queries_parsed);
     put("engine_queries_executed", es.queries_executed);
@@ -517,6 +730,7 @@ struct Server::Impl {
     put("engine_mutation_batches_rejected", es.mutation_batches_rejected);
     put("engine_checkpoints", es.checkpoints);
     put("engine_wal_records_replayed", es.wal_records_replayed);
+    put("engine_data_version", engine->data_version());
     const PlanCacheStats pc = engine->plan_cache_stats();
     put("plan_cache_hits", pc.hits);
     put("plan_cache_misses", pc.misses);
@@ -536,8 +750,9 @@ struct Server::Impl {
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
-Result<std::unique_ptr<Server>> Server::Start(const EngineInterface* engine,
-                                              ServerOptions options) {
+Result<std::unique_ptr<Server>> Server::Start(
+    EngineInterface* engine, ServerOptions options,
+    replica::ReplicationLog* replication) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
@@ -555,6 +770,7 @@ Result<std::unique_ptr<Server>> Server::Start(const EngineInterface* engine,
   auto impl = std::make_unique<Impl>();
   impl->engine = engine;
   impl->opts = options;
+  impl->replication = replication;
 
   impl->listen_fd =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -589,6 +805,11 @@ Result<std::unique_ptr<Server>> Server::Start(const EngineInterface* engine,
   impl->wake_wr = pipe_fds[1];
 
   Impl* raw = impl.get();
+  if (replication != nullptr) {
+    // Every committed group pumps the subscriber streams; detached in
+    // Await() once the threads are joined.
+    replication->SetNotifier([raw] { raw->PumpReplication(); });
+  }
   impl->workers.reserve(static_cast<size_t>(options.threads));
   for (int i = 0; i < options.threads; ++i) {
     impl->workers.emplace_back([raw] { raw->WorkerLoop(); });
@@ -617,6 +838,8 @@ void Server::Await() {
   for (std::thread& w : impl_->workers) {
     if (w.joinable()) w.join();
   }
+  // Commits after shutdown must not pump a dead server.
+  if (impl_->replication != nullptr) impl_->replication->SetNotifier(nullptr);
 }
 
 void Server::Shutdown() {
@@ -638,6 +861,11 @@ ServerStats Server::stats() const {
   s.protocol_errors = impl_->protocol_errors.load();
   s.queue_depth = impl_->queue_depth.load();
   s.queue_depth_hwm = impl_->queue_depth_hwm.load();
+  s.applies_ok = impl_->applies_ok.load();
+  s.applies_rejected = impl_->applies_rejected.load();
+  s.records_replicated = impl_->records_replicated.load();
+  s.subscribers_active = impl_->subscribers_active.load();
+  s.unsupported_version = impl_->unsupported_version.load();
   return s;
 }
 

@@ -24,6 +24,15 @@
 // call it directly) stops accepting and stops reading, finishes every
 // queued and in-flight request, flushes every response, then closes.
 // See DESIGN.md "Network serving".
+//
+// Replication (v2): pass a replica::ReplicationLog to Start and the
+// server becomes a LEADER — kSubscribe registers the connection as a
+// follower and committed groups are pushed as kReplicate frames (the
+// log's notifier pumps subscribers on every commit). With
+// `read_only` set the server is a FOLLOWER front end: kApply gets a
+// typed kFailedPrecondition pointing writers at the leader, while
+// queries serve normally from whatever the local applier has caught
+// up to. See DESIGN.md "Replication".
 #ifndef SQOPT_SERVER_SERVER_H_
 #define SQOPT_SERVER_SERVER_H_
 
@@ -34,6 +43,11 @@
 
 #include "api/engine.h"
 #include "common/status.h"
+#include "server/wire.h"
+
+namespace sqopt::replica {
+class ReplicationLog;
+}  // namespace sqopt::replica
 
 namespace sqopt::server {
 
@@ -66,6 +80,16 @@ struct ServerOptions {
   // executing a query. Lets tests and the overload bench pin the
   // server's capacity deterministically. 0 in production.
   uint32_t execute_delay_ms = 0;
+
+  // Lowest wire protocol version this endpoint serves. Connections
+  // below it (including fresh v1 connections that never sent HELLO)
+  // get one typed kUnsupportedVersion response naming both versions,
+  // then a clean close. Default accepts v1 clients.
+  uint32_t min_protocol = kProtocolVersionMin;
+
+  // Follower mode: reject kApply with a typed kFailedPrecondition
+  // (mutations must go to the leader). Queries serve normally.
+  bool read_only = false;
 };
 
 // Cumulative server-side counters; reads are atomic snapshots.
@@ -82,17 +106,26 @@ struct ServerStats {
   uint64_t protocol_errors = 0;     // bad CRC, bad payload, oversized frame
   uint64_t queue_depth = 0;         // instantaneous admitted-not-started
   uint64_t queue_depth_hwm = 0;     // high-water mark since start
+  uint64_t applies_ok = 0;          // kApply responses with code kOk
+  uint64_t applies_rejected = 0;    // typed kApply failures (incl. read-only)
+  uint64_t records_replicated = 0;  // kReplicate frames pushed to followers
+  uint64_t subscribers_active = 0;  // registered replication subscribers
+  uint64_t unsupported_version = 0; // version-gap rejections
 };
 
 class Server {
  public:
   // Binds, listens, and spawns the I/O thread + workers. `engine` is
-  // any EngineInterface backend — a single Engine or a ShardedEngine
-  // fleet — that must have data loaded and must outlive the server;
-  // the server only uses the const read path (Execute / stats
-  // accessors).
-  static Result<std::unique_ptr<Server>> Start(const EngineInterface* engine,
-                                               ServerOptions options);
+  // any EngineInterface backend — a single Engine, a ShardedEngine
+  // fleet, or a RemoteShard — that must have data loaded and must
+  // outlive the server. The read path stays const; kApply/kCheckpoint
+  // drive the interface's write surface. A non-null `replication`
+  // makes this server a replication leader (it must outlive the
+  // server; the server installs itself as the log's notifier and
+  // detaches on shutdown).
+  static Result<std::unique_ptr<Server>> Start(
+      EngineInterface* engine, ServerOptions options,
+      replica::ReplicationLog* replication = nullptr);
 
   ~Server();  // implies Shutdown()
 

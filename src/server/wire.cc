@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "persist/serde.h"
+#include "persist/wal.h"
 
 namespace sqopt::server {
 
@@ -25,9 +26,34 @@ Result<RequestType> ReadRequestType(uint8_t raw) {
       return RequestType::kStats;
     case static_cast<uint8_t>(RequestType::kPing):
       return RequestType::kPing;
+    case static_cast<uint8_t>(RequestType::kHello):
+      return RequestType::kHello;
+    case static_cast<uint8_t>(RequestType::kApply):
+      return RequestType::kApply;
+    case static_cast<uint8_t>(RequestType::kSubscribe):
+      return RequestType::kSubscribe;
+    case static_cast<uint8_t>(RequestType::kReplicate):
+      return RequestType::kReplicate;
+    case static_cast<uint8_t>(RequestType::kCheckpoint):
+      return RequestType::kCheckpoint;
     default:
       return Status::Corruption("unknown request type byte " +
                                 std::to_string(static_cast<int>(raw)));
+  }
+}
+
+// Whether `type` exists at all under protocol `version` (a v2-only
+// type on a v1 connection is a version gap, not corruption).
+bool TypeInVersion(RequestType type, uint32_t version) {
+  if (version >= 2) return true;
+  switch (type) {
+    case RequestType::kQuery:
+    case RequestType::kStats:
+    case RequestType::kPing:
+    case RequestType::kHello:
+      return true;
+    default:
+      return false;
   }
 }
 
@@ -41,10 +67,40 @@ std::string EncodeFrame(std::string_view payload) {
   return w.Take();
 }
 
-std::string EncodeRequest(const Request& request) {
+std::string EncodeMutationOps(const MutationBatch& batch) {
+  return persist::EncodeMutationBatch(batch);
+}
+
+Result<MutationBatch> DecodeMutationOps(std::string_view bytes) {
+  return persist::DecodeMutationBatch(bytes);
+}
+
+std::string EncodeRequest(const Request& request, uint32_t protocol_version) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(request.type));
-  if (request.type == RequestType::kQuery) {
+  if (request.type == RequestType::kHello) {
+    // Version-invariant layout: HELLO must be encodable before the
+    // versions have been agreed.
+    w.PutU32(request.protocol_version);
+    w.PutU64(request.feature_bits);
+    return EncodeFrame(w.buffer());
+  }
+  if (protocol_version >= 2) {
+    w.PutU32(request.deadline_ms);
+    switch (request.type) {
+      case RequestType::kQuery:
+        w.PutString(request.query_text);
+        break;
+      case RequestType::kApply:
+        w.PutString(persist::EncodeMutationBatch(request.batch));
+        break;
+      case RequestType::kSubscribe:
+        w.PutU64(request.from_version);
+        break;
+      default:
+        break;  // kStats / kPing / kCheckpoint carry nothing further
+    }
+  } else if (request.type == RequestType::kQuery) {
     w.PutU32(request.deadline_ms);
     w.PutString(request.query_text);
   }
@@ -74,19 +130,79 @@ std::string EncodeResponse(const Response& response) {
       case RequestType::kStats:
         w.PutString(response.stats_text);
         break;
+      case RequestType::kHello:
+        w.PutU32(response.protocol_version);
+        w.PutU64(response.feature_bits);
+        break;
+      case RequestType::kApply:
+        w.PutU64(response.snapshot_version);
+        w.PutU64(response.exec_micros);
+        w.PutU32(static_cast<uint32_t>(response.inserted_rows.size()));
+        for (int64_t row : response.inserted_rows) w.PutI64(row);
+        w.PutU32(response.group_size);
+        break;
+      case RequestType::kSubscribe:
+        w.PutU64(response.leader_version);
+        break;
+      case RequestType::kReplicate:
+        w.PutU64(response.first_version);
+        w.PutString(response.wal_record);
+        break;
       case RequestType::kPing:
+      case RequestType::kCheckpoint:
         break;
     }
   }
   return EncodeFrame(w.buffer());
 }
 
-Result<Request> DecodeRequest(std::string_view payload) {
+Result<Request> DecodeRequest(std::string_view payload,
+                              uint32_t protocol_version) {
   ByteReader r(payload);
   SQOPT_ASSIGN_OR_RETURN(uint8_t raw_type, r.U8());
   Request request;
   SQOPT_ASSIGN_OR_RETURN(request.type, ReadRequestType(raw_type));
-  if (request.type == RequestType::kQuery) {
+  if (request.type == RequestType::kReplicate) {
+    return Status::Corruption(
+        "kReplicate is a server-push response type, not a request");
+  }
+  if (!TypeInVersion(request.type, protocol_version)) {
+    return Status::UnsupportedVersion(
+        "request type " + std::to_string(static_cast<int>(raw_type)) +
+        " requires wire protocol v2; this connection negotiated v" +
+        std::to_string(protocol_version) +
+        " (send HELLO to upgrade, server speaks up to v" +
+        std::to_string(kProtocolVersionMax) + ")");
+  }
+  if (request.type == RequestType::kHello) {
+    SQOPT_ASSIGN_OR_RETURN(request.protocol_version, r.U32());
+    SQOPT_ASSIGN_OR_RETURN(request.feature_bits, r.U64());
+    if (!r.AtEnd()) {
+      return Status::Corruption("trailing bytes after request payload");
+    }
+    return request;
+  }
+  if (protocol_version >= 2) {
+    SQOPT_ASSIGN_OR_RETURN(request.deadline_ms, r.U32());
+    switch (request.type) {
+      case RequestType::kQuery: {
+        SQOPT_ASSIGN_OR_RETURN(request.query_text, r.String());
+        break;
+      }
+      case RequestType::kApply: {
+        SQOPT_ASSIGN_OR_RETURN(std::string encoded, r.String());
+        SQOPT_ASSIGN_OR_RETURN(request.batch,
+                               persist::DecodeMutationBatch(encoded));
+        break;
+      }
+      case RequestType::kSubscribe: {
+        SQOPT_ASSIGN_OR_RETURN(request.from_version, r.U64());
+        break;
+      }
+      default:
+        break;
+    }
+  } else if (request.type == RequestType::kQuery) {
     SQOPT_ASSIGN_OR_RETURN(request.deadline_ms, r.U32());
     SQOPT_ASSIGN_OR_RETURN(request.query_text, r.String());
   }
@@ -102,7 +218,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   Response response;
   SQOPT_ASSIGN_OR_RETURN(response.type, ReadRequestType(raw_type));
   SQOPT_ASSIGN_OR_RETURN(uint8_t raw_code, r.U8());
-  if (raw_code > static_cast<uint8_t>(StatusCode::kTimeout)) {
+  if (raw_code > static_cast<uint8_t>(StatusCode::kUnsupportedVersion)) {
     return Status::Corruption("unknown status code byte " +
                               std::to_string(static_cast<int>(raw_code)));
   }
@@ -133,7 +249,34 @@ Result<Response> DecodeResponse(std::string_view payload) {
         SQOPT_ASSIGN_OR_RETURN(response.stats_text, r.String());
         break;
       }
+      case RequestType::kHello: {
+        SQOPT_ASSIGN_OR_RETURN(response.protocol_version, r.U32());
+        SQOPT_ASSIGN_OR_RETURN(response.feature_bits, r.U64());
+        break;
+      }
+      case RequestType::kApply: {
+        SQOPT_ASSIGN_OR_RETURN(response.snapshot_version, r.U64());
+        SQOPT_ASSIGN_OR_RETURN(response.exec_micros, r.U64());
+        SQOPT_ASSIGN_OR_RETURN(uint32_t n_inserted, r.U32());
+        response.inserted_rows.reserve(r.CappedCount(n_inserted, 8));
+        for (uint32_t i = 0; i < n_inserted; ++i) {
+          SQOPT_ASSIGN_OR_RETURN(int64_t row, r.I64());
+          response.inserted_rows.push_back(row);
+        }
+        SQOPT_ASSIGN_OR_RETURN(response.group_size, r.U32());
+        break;
+      }
+      case RequestType::kSubscribe: {
+        SQOPT_ASSIGN_OR_RETURN(response.leader_version, r.U64());
+        break;
+      }
+      case RequestType::kReplicate: {
+        SQOPT_ASSIGN_OR_RETURN(response.first_version, r.U64());
+        SQOPT_ASSIGN_OR_RETURN(response.wal_record, r.String());
+        break;
+      }
       case RequestType::kPing:
+      case RequestType::kCheckpoint:
         break;
     }
   }

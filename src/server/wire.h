@@ -17,10 +17,34 @@
 // length itself cannot be trusted, so there is no boundary to resync
 // at); the connection must be closed after one typed error response.
 //
-// Request payload:
-//   u8  type           (RequestType)
+// PROTOCOL VERSIONS. A connection starts at v1. A HELLO request (whose
+// layout is version-independent) negotiates up: the server answers
+// with min(client version, kProtocolVersionMax) and both sides speak
+// that from the next frame on. v2 adds the write/replication surface
+// (kApply, kSubscribe, kReplicate, kCheckpoint, kHello) and
+// generalizes deadline_ms to every request type. A v2-only request
+// arriving on a v1 connection — or any request on a connection below
+// the server's configured minimum — gets one typed
+// kUnsupportedVersion response naming both versions (the snapshot-v3
+// precedent: a version gap is NOT corruption).
+//
+// Request payload, v1:
+//   u8  type           (RequestType: kQuery/kStats/kPing/kHello only)
 //   u32 deadline_ms    kQuery only; 0 = server default
 //   string query_text  kQuery only (u32 length + bytes)
+//
+// Request payload, v2:
+//   u8  type           (any RequestType except kReplicate)
+//   u32 deadline_ms    ALL types (0 = server default); absent for kHello
+//   -- kQuery --    string query_text
+//   -- kApply --    string batch  (persist serde, see EncodeMutationOps)
+//   -- kSubscribe -- u64 from_version (subscriber's current snapshot
+//                    version; streaming starts at from_version + 1)
+//   -- kStats / kPing / kCheckpoint -- nothing further
+//
+// kHello request payload (identical under v1 and v2 decode rules —
+// that is what makes the upgrade possible):
+//   u8 type = kHello; u32 protocol_version; u64 feature_bits
 //
 // Response payload:
 //   u8  type           echo of the request type
@@ -32,6 +56,17 @@
 //   u32 n_rows; per row: u32 n_values; per value: serde PutValue
 //   -- kStats, code == kOk --
 //   string stats_text  plaintext "name value\n" lines
+//   -- kHello, code == kOk --
+//   u32 protocol_version (negotiated); u64 feature_bits
+//   -- kApply, code == kOk --
+//   u64 snapshot_version; u64 exec_micros;
+//   u32 n_inserted; per: i64 row; u32 group_size
+//   -- kSubscribe, code == kOk --
+//   u64 leader_version (the leader's version at subscribe time)
+//   -- kReplicate (server-push after a kSubscribe OK), code == kOk --
+//   u64 first_version; string wal_record (persist::EncodeWalRecordPayload
+//   bytes — the WAL record body VERBATIM, CRC-framed by the frame layer)
+//   -- kCheckpoint / kPing, code == kOk -- nothing further
 #ifndef SQOPT_SERVER_WIRE_H_
 #define SQOPT_SERVER_WIRE_H_
 
@@ -40,6 +75,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/mutation.h"
 #include "common/status.h"
 #include "types/value.h"
 
@@ -50,18 +86,45 @@ namespace sqopt::server {
 // length field from driving a multi-gigabyte allocation.
 inline constexpr uint32_t kMaxFramePayload = 8u << 20;  // 8 MiB
 
+// Every connection starts at kProtocolVersionMin; HELLO negotiates up
+// to min(client, kProtocolVersionMax).
+inline constexpr uint32_t kProtocolVersionMin = 1;
+inline constexpr uint32_t kProtocolVersionMax = 2;
+
+// Feature bits advertised in HELLO. None are load-bearing yet: the
+// version number gates behavior, the bits exist so a future v2.x can
+// advertise optional capability without another version bump.
+inline constexpr uint64_t kFeatureReplication = 1u << 0;
+
 enum class RequestType : uint8_t {
-  kQuery = 1,  // execute one query, reply with rows
-  kStats = 2,  // plaintext metrics snapshot
-  kPing = 3,   // liveness probe, empty OK reply
+  kQuery = 1,       // execute one query, reply with rows
+  kStats = 2,       // plaintext metrics snapshot
+  kPing = 3,        // liveness probe, empty OK reply
+  kHello = 4,       // version negotiation (layout is version-invariant)
+  kApply = 5,       // v2: commit one MutationBatch
+  kSubscribe = 6,   // v2: start the replication stream at from_version+1
+  kReplicate = 7,   // v2: server-push WAL record (appears only as a
+                    // Response type; a client must never send it)
+  kCheckpoint = 8,  // v2: fold the WAL into a fresh snapshot
 };
 
 struct Request {
   RequestType type = RequestType::kQuery;
-  // Total budget for queue wait + execution start, in milliseconds.
+  // Total budget for queue wait + execution start, in milliseconds,
+  // for EVERY request type under v2 (kQuery only under v1).
   // 0 = the server's configured default.
   uint32_t deadline_ms = 0;
   std::string query_text;
+
+  // kHello.
+  uint32_t protocol_version = kProtocolVersionMax;
+  uint64_t feature_bits = 0;
+
+  // kApply.
+  MutationBatch batch;
+
+  // kSubscribe: the subscriber's current snapshot version.
+  uint64_t from_version = 0;
 };
 
 struct Response {
@@ -78,6 +141,25 @@ struct Response {
   // kStats success payload.
   std::string stats_text;
 
+  // kHello success payload.
+  uint32_t protocol_version = 0;
+  uint64_t feature_bits = 0;
+
+  // kApply success payload (exec_micros above is shared).
+  uint64_t snapshot_version = 0;
+  std::vector<int64_t> inserted_rows;
+  uint32_t group_size = 0;
+
+  // kSubscribe success payload.
+  uint64_t leader_version = 0;
+
+  // kReplicate payload: the WAL group record body, byte-identical to
+  // what persist::WalWriter would frame on disk. first_version is
+  // redundant with the record's own header — it rides along so a
+  // follower can cheaply skip without decoding.
+  uint64_t first_version = 0;
+  std::string wal_record;
+
   bool ok() const { return code == StatusCode::kOk; }
   // The outcome as a Status (OK for success responses).
   Status ToStatus() const {
@@ -88,14 +170,24 @@ struct Response {
 // Wraps `payload` in a frame header (length + CRC).
 std::string EncodeFrame(std::string_view payload);
 
-std::string EncodeRequest(const Request& request);
+// `protocol_version` selects the layout negotiated for the connection.
+std::string EncodeRequest(const Request& request,
+                          uint32_t protocol_version = kProtocolVersionMin);
 std::string EncodeResponse(const Response& response);
 
 // Payload decoding (the framing has already been stripped and CRC
 // verified by FrameReader). Malformed payloads — unknown type byte,
-// truncated fields — return kCorruption.
-Result<Request> DecodeRequest(std::string_view payload);
+// truncated fields, trailing bytes — return kCorruption; a
+// structurally valid v2-only request decoded under v1 rules returns
+// kUnsupportedVersion (the payload is fine, the connection isn't).
+Result<Request> DecodeRequest(std::string_view payload,
+                              uint32_t protocol_version = kProtocolVersionMin);
 Result<Response> DecodeResponse(std::string_view payload);
+
+// MutationBatch <-> bytes on the persist serde conventions (the same
+// op encoding WAL records use). Exposed for kApply and its tests.
+std::string EncodeMutationOps(const MutationBatch& batch);
+Result<MutationBatch> DecodeMutationOps(std::string_view bytes);
 
 // Incremental frame extraction from a byte stream: Append() received
 // bytes, then call Next() until it returns kNeedMore. One FrameReader

@@ -107,18 +107,18 @@ class ShardedEngine : public EngineInterface {
   // coordinator log append (one fsync), then per-shard sub-batch
   // dispatch. The outcome's snapshot_version is the coordinator's
   // global version.
-  Result<ApplyOutcome> Apply(const MutationBatch& batch);
+  Result<ApplyOutcome> Apply(const MutationBatch& batch) override;
 
   // Group commit: the head decides every batch in one group (one
   // version range), the survivors share one coordinator log record,
   // and each survivor dispatches to its shards in commit order.
   std::vector<Result<ApplyOutcome>> ApplyGroup(
-      std::span<const MutationBatch> batches);
+      std::span<const MutationBatch> batches) override;
 
   // Durability: per-shard persist dirs (dir/shard<k>) + coordinator
   // MANIFEST + coordinator.wal. See DESIGN.md "Sharding".
   Status Save(const std::string& dir);
-  Status Checkpoint();
+  Status Checkpoint() override;
   std::string persist_dir() const;
 
   // Fleet totals (see EngineStats): per-shard counters sum, coordinator
@@ -135,7 +135,7 @@ class ShardedEngine : public EngineInterface {
   // Coordinator-sequenced global version: 0 before Load, 1 after, +1
   // per committed non-empty batch (empty batches are no-op commits,
   // exactly like Engine).
-  uint64_t data_version() const;
+  uint64_t data_version() const override;
 
   int num_shards() const;
   // Shard owning `global_row` of `class_id`; -1 when out of range.

@@ -1,0 +1,409 @@
+// Integration tests for WAL-shipping replication (src/replica/) and
+// the v2 serving surface it rides on: HELLO version negotiation and
+// the typed kUnsupportedVersion refusal, kApply/kCheckpoint over real
+// loopback sockets, read-only follower endpoints, commit streaming to
+// a live FollowerApplier with bit-identical convergence, catch-up from
+// a stale version, gap detection halting the applier as divergence,
+// the retention-floor re-seed signal, and RemoteShard — the
+// EngineInterface that speaks v2 to a remote server. The process-level
+// SIGKILL legs live in tools/replica_harness.cpp (CI replication-smoke).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "replica/follower.h"
+#include "replica/replication_log.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "shard/remote_shard.h"
+#include "tests/test_util.h"
+#include "workload/mutation_script.h"
+
+namespace sqopt::replica {
+namespace {
+
+using server::Client;
+using server::Request;
+using server::RequestType;
+using server::Response;
+using server::Server;
+using server::ServerOptions;
+
+constexpr uint64_t kSeed = 20260807;
+const DbSpec kSpec{"replica_test", 40, 60};
+
+Engine OpenLoadedEngine() {
+  auto opened = Engine::Open(SchemaSource::Experiment(),
+                             ConstraintSource::Experiment());
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine engine = std::move(opened).value();
+  Status s = engine.Load(DataSource::Generated(kSpec, kSeed));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return engine;
+}
+
+std::vector<int64_t> BaseRows(const Engine& engine) {
+  std::vector<int64_t> rows;
+  for (const ObjectClass& oc : engine.schema().classes()) {
+    rows.push_back(engine.store()->NumObjects(oc.id));
+  }
+  return rows;
+}
+
+std::unique_ptr<Server> StartServer(EngineInterface* engine,
+                                    ServerOptions options = {},
+                                    ReplicationLog* log = nullptr) {
+  options.port = 0;
+  auto started = Server::Start(engine, options, log);
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  return std::move(started).value();
+}
+
+Client MustConnect(const Server& server) {
+  auto client = Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+// Two engines agree when every fixture query returns the same distinct
+// result set (the engine's query equality notion).
+void ExpectConverged(const Engine& a, const Engine& b) {
+  ASSERT_EQ(a.data_version(), b.data_version());
+  for (const std::string& text : MutationScript::QueryPool()) {
+    auto ra = a.Execute(text);
+    auto rb = b.Execute(text);
+    ASSERT_TRUE(ra.ok() && rb.ok()) << text;
+    EXPECT_TRUE(ra->rows.SameDistinctRows(rb->rows)) << "diverged on " << text;
+  }
+}
+
+void AwaitHalt(const FollowerApplier& applier, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    if (!applier.status().ok()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// --- Handshake -----------------------------------------------------
+
+TEST(ReplicaTest, HelloNegotiatesV2AndAdvertisesReplication) {
+  Engine engine = OpenLoadedEngine();
+  ReplicationLog log;
+  log.AttachTo(&engine);
+  std::unique_ptr<Server> leader = StartServer(&engine, {}, &log);
+
+  Client client = MustConnect(*leader);
+  EXPECT_EQ(client.protocol(), 1u);
+  ASSERT_OK_AND_ASSIGN(Response hello, client.Hello());
+  ASSERT_TRUE(hello.ok()) << hello.message;
+  EXPECT_EQ(hello.protocol_version, 2u);
+  EXPECT_EQ(client.protocol(), 2u);
+  EXPECT_NE(hello.feature_bits & server::kFeatureReplication, 0u);
+  leader->Shutdown();
+
+  // A plain server negotiates v2 too but does not advertise the
+  // replication feature — it has no log to stream from.
+  Engine plain = OpenLoadedEngine();
+  std::unique_ptr<Server> basic = StartServer(&plain);
+  Client c2 = MustConnect(*basic);
+  ASSERT_OK_AND_ASSIGN(Response h2, c2.Hello());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2.feature_bits & server::kFeatureReplication, 0u);
+}
+
+TEST(ReplicaTest, V1ClientAgainstV2OnlyEndpointGetsTypedRefusal) {
+  Engine engine = OpenLoadedEngine();
+  ServerOptions options;
+  options.min_protocol = 2;
+  std::unique_ptr<Server> server = StartServer(&engine, options);
+
+  // A v1 client's very first request — no HELLO — must come back as
+  // ONE typed kUnsupportedVersion naming both versions, then a clean
+  // close; never a hang or an unframeable response.
+  Client v1 = MustConnect(*server);
+  Request query;
+  query.type = RequestType::kQuery;
+  query.query_text = "{cargo.code} {} {} {} {cargo}";
+  ASSERT_OK(v1.SendRaw(EncodeRequest(query, /*protocol_version=*/1)));
+  ASSERT_OK_AND_ASSIGN(Response refusal, v1.ReceiveResponse());
+  EXPECT_EQ(refusal.code, StatusCode::kUnsupportedVersion);
+  EXPECT_NE(refusal.message.find("v1"), std::string::npos) << refusal.message;
+  EXPECT_NE(refusal.message.find("v2"), std::string::npos) << refusal.message;
+  EXPECT_FALSE(v1.ReceiveResponse().ok());  // connection closed
+
+  // An explicit HELLO asking for v1 gets the same refusal.
+  Client hello1 = MustConnect(*server);
+  ASSERT_OK_AND_ASSIGN(Response h, hello1.Hello(/*version=*/1));
+  EXPECT_EQ(h.code, StatusCode::kUnsupportedVersion);
+  EXPECT_FALSE(hello1.ReceiveResponse().ok());
+
+  // A v2 handshake sails through the same endpoint.
+  Client v2 = MustConnect(*server);
+  ASSERT_OK_AND_ASSIGN(Response ok, v2.Hello());
+  EXPECT_TRUE(ok.ok()) << ok.message;
+  EXPECT_GE(server->stats().unsupported_version, 2u);
+}
+
+TEST(ReplicaTest, V2TypeBeforeHelloIsRefusedBothSides) {
+  Engine engine = OpenLoadedEngine();
+  std::unique_ptr<Server> server = StartServer(&engine);
+  Client client = MustConnect(*server);
+
+  // Client-side gate: the wrapper refuses to encode v2 types on a v1
+  // connection.
+  MutationScript script(&engine.schema(), BaseRows(engine), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+  auto early = client.Apply(batch);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kUnsupportedVersion);
+
+  // Server-side gate: v2 bytes shoved down a v1 connection get the
+  // typed refusal, not corruption.
+  Request raw;
+  raw.type = RequestType::kSubscribe;
+  raw.from_version = 1;
+  ASSERT_OK(client.SendRaw(EncodeRequest(raw, /*protocol_version=*/2)));
+  ASSERT_OK_AND_ASSIGN(Response refusal, client.ReceiveResponse());
+  EXPECT_EQ(refusal.code, StatusCode::kUnsupportedVersion);
+}
+
+// --- The v2 write surface ------------------------------------------
+
+TEST(ReplicaTest, ApplyAndCheckpointOverWire) {
+  Engine engine = OpenLoadedEngine();
+  // Checkpoint needs a durable engine (it folds the WAL into the
+  // snapshot on disk).
+  ASSERT_OK(engine.Save(::testing::TempDir() + "/replica_apply_ck"));
+  std::unique_ptr<Server> server = StartServer(&engine);
+  Client client = MustConnect(*server);
+  ASSERT_OK_AND_ASSIGN(Response hello, client.Hello());
+  ASSERT_TRUE(hello.ok());
+
+  MutationScript script(&engine.schema(), BaseRows(engine), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+  ASSERT_OK_AND_ASSIGN(Response applied, client.Apply(batch));
+  ASSERT_TRUE(applied.ok()) << applied.message;
+  EXPECT_EQ(applied.snapshot_version, 2u);
+  EXPECT_EQ(engine.data_version(), 2u);
+
+  ASSERT_OK(client.Checkpoint());
+  EXPECT_GE(engine.stats().checkpoints, 1u);
+  server->Shutdown();
+  EXPECT_EQ(server->stats().applies_ok, 1u);
+  EXPECT_EQ(server->stats().protocol_errors, 0u);
+}
+
+TEST(ReplicaTest, ReadOnlyEndpointRejectsApplyTyped) {
+  Engine engine = OpenLoadedEngine();
+  ServerOptions options;
+  options.read_only = true;
+  std::unique_ptr<Server> server = StartServer(&engine, options);
+  Client client = MustConnect(*server);
+  ASSERT_OK_AND_ASSIGN(Response hello, client.Hello());
+  ASSERT_TRUE(hello.ok());
+
+  MutationScript script(&engine.schema(), BaseRows(engine), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+  ASSERT_OK_AND_ASSIGN(Response rejected, client.Apply(batch));
+  EXPECT_EQ(rejected.code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.message.find("leader"), std::string::npos)
+      << rejected.message;
+  EXPECT_EQ(engine.data_version(), 1u);  // nothing applied
+
+  // Reads still serve.
+  ASSERT_OK_AND_ASSIGN(Response read,
+                       client.Query("{cargo.code} {} {} {} {cargo}"));
+  EXPECT_TRUE(read.ok()) << read.message;
+}
+
+TEST(ReplicaTest, SubscribeToNonLeaderIsTyped) {
+  Engine engine = OpenLoadedEngine();
+  std::unique_ptr<Server> server = StartServer(&engine);  // no log
+  Client client = MustConnect(*server);
+  ASSERT_OK_AND_ASSIGN(Response hello, client.Hello());
+  ASSERT_TRUE(hello.ok());
+  ASSERT_OK_AND_ASSIGN(Response sub, client.Subscribe(1));
+  EXPECT_EQ(sub.code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(sub.message.find("leader"), std::string::npos) << sub.message;
+}
+
+// --- Streaming replication -----------------------------------------
+
+TEST(ReplicaTest, CommitsStreamToFollowerBitIdentically) {
+  Engine leader = OpenLoadedEngine();
+  ReplicationLog log;
+  log.AttachTo(&leader);
+  std::unique_ptr<Server> server = StartServer(&leader, {}, &log);
+
+  Engine follower = OpenLoadedEngine();  // same deterministic fixture
+  FollowerOptions fopts;
+  fopts.leader_port = server->port();
+  fopts.poll_interval_ms = 50;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FollowerApplier> applier,
+                       FollowerApplier::Start(&follower, fopts));
+
+  // Commit through the engine directly — the commit listener, not the
+  // serving path, is what feeds the log.
+  MutationScript script(&leader.schema(), BaseRows(leader), kSeed);
+  constexpr int kBatches = 8;
+  for (int i = 0; i < kBatches; ++i) {
+    ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+    ASSERT_OK(leader.Apply(batch).status());
+  }
+  ASSERT_TRUE(applier->WaitForVersion(1 + kBatches, 10000))
+      << applier->status().ToString();
+  ExpectConverged(leader, follower);
+
+  const FollowerStats fstats = applier->stats();
+  EXPECT_EQ(fstats.records_applied, static_cast<uint64_t>(kBatches));
+  EXPECT_TRUE(applier->status().ok());
+  EXPECT_GE(server->stats().records_replicated,
+            static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(server->stats().subscribers_active, 1u);
+  applier->Stop();
+  server->Shutdown();
+}
+
+TEST(ReplicaTest, StaleFollowerCatchesUpThenStreams) {
+  Engine leader = OpenLoadedEngine();
+  ReplicationLog log;
+  log.AttachTo(&leader);
+  std::unique_ptr<Server> server = StartServer(&leader, {}, &log);
+
+  // The leader commits before any follower exists; the log retains.
+  MutationScript script(&leader.schema(), BaseRows(leader), kSeed);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+    ASSERT_OK(leader.Apply(batch).status());
+  }
+
+  Engine follower = OpenLoadedEngine();
+  FollowerOptions fopts;
+  fopts.leader_port = server->port();
+  fopts.poll_interval_ms = 50;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FollowerApplier> applier,
+                       FollowerApplier::Start(&follower, fopts));
+  ASSERT_TRUE(applier->WaitForVersion(6, 10000))
+      << applier->status().ToString();
+  ExpectConverged(leader, follower);
+
+  // And the stream continues live past the catch-up point. A restarted
+  // applier (same engine, fresh subscription from its own version)
+  // picks up exactly where the old one stopped.
+  applier->Stop();
+  applier.reset();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+    ASSERT_OK(leader.Apply(batch).status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FollowerApplier> resumed,
+                       FollowerApplier::Start(&follower, fopts));
+  ASSERT_TRUE(resumed->WaitForVersion(9, 10000))
+      << resumed->status().ToString();
+  ExpectConverged(leader, follower);
+  EXPECT_TRUE(resumed->status().ok());
+}
+
+TEST(ReplicaTest, GapInStreamHaltsFollowerAsDivergence) {
+  Engine leader = OpenLoadedEngine();
+  Engine follower = OpenLoadedEngine();
+  MutationScript script(&follower.schema(), BaseRows(follower), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch b1, script.Next());
+  ASSERT_OK_AND_ASSIGN(MutationBatch b2, script.Next());
+
+  // A hand-built log with a hole: versions 3..4 never shipped.
+  ReplicationLog log;
+  log.Append(2, {b1});
+  log.Append(5, {b2});
+  std::unique_ptr<Server> server = StartServer(&leader, {}, &log);
+
+  FollowerOptions fopts;
+  fopts.leader_port = server->port();
+  fopts.poll_interval_ms = 50;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FollowerApplier> applier,
+                       FollowerApplier::Start(&follower, fopts));
+  AwaitHalt(*applier);
+  const Status halted = applier->status();
+  ASSERT_FALSE(halted.ok());
+  EXPECT_EQ(halted.code(), StatusCode::kCorruption);
+  EXPECT_NE(halted.message().find("diverged"), std::string::npos)
+      << halted.ToString();
+  // The contiguous prefix WAS applied before the gap stopped the world.
+  EXPECT_EQ(follower.data_version(), 2u);
+}
+
+TEST(ReplicaTest, RetentionFloorDemandsReseed) {
+  Engine leader = OpenLoadedEngine();
+  Engine follower = OpenLoadedEngine();
+  MutationScript script(&follower.schema(), BaseRows(follower), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch batch, script.Next());
+
+  // A log whose first retained record starts far past the follower:
+  // the follower's version 1 is below the retention floor.
+  ReplicationLog log;
+  log.Append(10, {batch});
+  EXPECT_EQ(log.floor_version(), 9u);
+  std::unique_ptr<Server> server = StartServer(&leader, {}, &log);
+
+  FollowerOptions fopts;
+  fopts.leader_port = server->port();
+  fopts.poll_interval_ms = 50;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FollowerApplier> applier,
+                       FollowerApplier::Start(&follower, fopts));
+  AwaitHalt(*applier);
+  const Status halted = applier->status();
+  ASSERT_FALSE(halted.ok());
+  EXPECT_EQ(halted.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(halted.message().find("re-seed"), std::string::npos)
+      << halted.ToString();
+  EXPECT_EQ(follower.data_version(), 1u);  // nothing applied
+}
+
+// --- RemoteShard ---------------------------------------------------
+
+TEST(ReplicaTest, RemoteShardIsAnEngineInterfaceOverTheWire) {
+  Engine engine = OpenLoadedEngine();
+  ASSERT_OK(engine.Save(::testing::TempDir() + "/replica_remote_shard"));
+  std::unique_ptr<Server> server = StartServer(&engine);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<shard::RemoteShard> remote,
+                       shard::RemoteShard::Connect("127.0.0.1",
+                                                   server->port()));
+  EXPECT_TRUE(remote->has_data());
+  EXPECT_EQ(remote->data_version(), engine.data_version());
+
+  // Reads through the interface match in-process execution.
+  const std::string query = "{cargo.code} {} {} {} {cargo}";
+  ASSERT_OK_AND_ASSIGN(QueryOutcome local, engine.Execute(query));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome viaRemote, remote->Execute(query));
+  EXPECT_TRUE(viaRemote.rows.SameDistinctRows(local.rows));
+
+  // Writes through the interface reach the remote engine.
+  MutationScript script(&engine.schema(), BaseRows(engine), kSeed);
+  ASSERT_OK_AND_ASSIGN(MutationBatch b1, script.Next());
+  ASSERT_OK_AND_ASSIGN(MutationBatch b2, script.Next());
+  ASSERT_OK_AND_ASSIGN(ApplyOutcome outcome, remote->Apply(b1));
+  EXPECT_EQ(outcome.snapshot_version, 2u);
+  EXPECT_EQ(engine.data_version(), 2u);
+
+  std::vector<MutationBatch> group;
+  group.push_back(std::move(b2));
+  std::vector<Result<ApplyOutcome>> outcomes =
+      remote->ApplyGroup(std::span<const MutationBatch>(group));
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].status().ToString();
+  EXPECT_EQ(remote->data_version(), 3u);
+
+  ASSERT_OK(remote->Checkpoint());
+  EXPECT_EQ(remote->stats().mutation_batches_applied,
+            engine.stats().mutation_batches_applied);
+  EXPECT_GE(remote->stats().checkpoints, 1u);
+}
+
+}  // namespace
+}  // namespace sqopt::replica

@@ -47,7 +47,7 @@ Engine OpenLoadedEngine() {
   return engine;
 }
 
-std::unique_ptr<Server> StartServer(const EngineInterface* engine,
+std::unique_ptr<Server> StartServer(EngineInterface* engine,
                                     ServerOptions options = {}) {
   options.port = 0;
   auto started = Server::Start(engine, options);
@@ -333,6 +333,40 @@ TEST(ServerTest, ExpiredDeadlineAnswersTypedTimeout) {
                        Client::Connect("127.0.0.1", server->port()));
   ASSERT_OK_AND_ASSIGN(Response late, hurried.Query(kSingleClassQuery, 50));
   EXPECT_EQ(late.code, StatusCode::kTimeout) << late.message;
+
+  ASSERT_OK_AND_ASSIGN(Response blocked, blocker.ReceiveResponse());
+  EXPECT_TRUE(blocked.ok()) << blocked.message;
+  server->Shutdown();
+  EXPECT_GE(server->stats().timed_out, 1u);
+}
+
+TEST(ServerTest, StatsUnderSaturationHonorsDeadlineLikeEveryType) {
+  // v2 generalized deadline_ms to every request type: a kStats queued
+  // behind a pinned worker expires with the same typed kTimeout a
+  // query would, instead of the old bypass-the-clock special case.
+  Engine engine = OpenLoadedEngine();
+  ServerOptions options;
+  options.threads = 1;
+  options.execute_delay_ms = 300;  // pin the single worker
+  std::unique_ptr<Server> server = StartServer(&engine, options);
+
+  ASSERT_OK_AND_ASSIGN(Client blocker,
+                       Client::Connect("127.0.0.1", server->port()));
+  ASSERT_OK(blocker.SendRaw(EncodeRequest(
+      Request{RequestType::kQuery, 5000, kSingleClassQuery})));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ASSERT_OK_AND_ASSIGN(Client hurried,
+                       Client::Connect("127.0.0.1", server->port()));
+  ASSERT_OK_AND_ASSIGN(Response hello, hurried.Hello());
+  ASSERT_TRUE(hello.ok()) << hello.message;
+  Request stats;
+  stats.type = RequestType::kStats;
+  stats.deadline_ms = 50;
+  ASSERT_OK(hurried.SendRaw(EncodeRequest(stats, hurried.protocol())));
+  ASSERT_OK_AND_ASSIGN(Response late, hurried.ReceiveResponse());
+  EXPECT_EQ(late.code, StatusCode::kTimeout) << late.message;
+  EXPECT_EQ(late.type, RequestType::kStats);
 
   ASSERT_OK_AND_ASSIGN(Response blocked, blocker.ReceiveResponse());
   EXPECT_TRUE(blocked.ok()) << blocked.message;

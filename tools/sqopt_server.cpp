@@ -4,6 +4,15 @@
 // until SIGTERM/SIGINT, then drains gracefully — stops accepting,
 // finishes in-flight requests, flushes every response — and exits 0.
 //
+// Topology (wire protocol v2, see DESIGN.md "Replication"): every
+// --dir server is a replication LEADER — it primes a ReplicationLog
+// from its WAL's committed suffix and streams commits to kSubscribe
+// followers. --follow=HOST:PORT turns the process into a FOLLOWER:
+// it opens its own directory (normally a copy of the leader's), runs
+// a FollowerApplier that replays the leader's stream through the
+// ordinary Apply path into its own WAL, and serves reads; kApply is
+// rejected read-only.
+//
 // Usage:
 //   sqopt_server --dir FIXTURE_DIR [flags]     serve a persisted engine
 //   sqopt_server --gen ROWS [flags]            serve a generated DB
@@ -17,6 +26,10 @@
 //   --deadline-ms=N     default per-request deadline (default 5000)
 //   --idle-timeout-ms=N idle connection reaping (default 60000)
 //   --seed=N            generation seed for --gen (default 42)
+//   --follow=HOST:PORT  follower mode: replicate from this leader
+//                       (implies --read-only)
+//   --read-only         reject kApply with a typed error
+//   --min-protocol=N    refuse connections below wire protocol N
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +37,9 @@
 #include <string>
 
 #include "api/engine.h"
+#include "persist/snapshot.h"
+#include "replica/follower.h"
+#include "replica/replication_log.h"
 #include "server/server.h"
 
 namespace {
@@ -47,6 +63,7 @@ int main(int argc, char** argv) {
 
   std::string dir;
   std::string port_file;
+  std::string follow;
   int64_t gen_rows = 0;
   uint64_t seed = 42;
   server::ServerOptions options;
@@ -78,6 +95,13 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = static_cast<uint32_t>(std::atoll(v));
     } else if (const char* v = value("--seed=")) {
       seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--follow=")) {
+      follow = v;
+      options.read_only = true;
+    } else if (std::strcmp(arg, "--read-only") == 0) {
+      options.read_only = true;
+    } else if (const char* v = value("--min-protocol=")) {
+      options.min_protocol = static_cast<uint32_t>(std::atoi(v));
     } else {
       Die(std::string("unknown flag ") + arg);
     }
@@ -106,9 +130,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed));
   }
 
-  auto started = server::Server::Start(&engine, options);
+  // A leader (anything not following) streams its commits; prime the
+  // log with the WAL's committed suffix so followers that were
+  // mid-stream at the last shutdown can resume without a re-seed.
+  replica::ReplicationLog replication_log;
+  replica::ReplicationLog* replication = nullptr;
+  if (follow.empty()) {
+    if (!dir.empty()) {
+      Status primed = replication_log.PrimeFromWal(
+          dir + "/" + persist::kWalFileName);
+      if (!primed.ok()) Die("prime replication: " + primed.ToString());
+    }
+    replication_log.AttachTo(&engine);
+    replication = &replication_log;
+  }
+
+  auto started = server::Server::Start(&engine, options, replication);
   if (!started.ok()) Die("start: " + started.status().ToString());
   g_server = started->get();
+
+  // Follower mode: start the applier after the server so local reads
+  // serve immediately while catch-up streams in.
+  std::unique_ptr<replica::FollowerApplier> applier;
+  if (!follow.empty()) {
+    const size_t colon = follow.rfind(':');
+    if (colon == std::string::npos) Die("--follow needs HOST:PORT");
+    replica::FollowerOptions fopts;
+    fopts.leader_host = follow.substr(0, colon);
+    fopts.leader_port = std::atoi(follow.c_str() + colon + 1);
+    auto follower = replica::FollowerApplier::Start(&engine, fopts);
+    if (!follower.ok()) Die("follow: " + follower.status().ToString());
+    applier = std::move(follower).value();
+    std::printf("sqopt_server: following %s from version %llu\n",
+                follow.c_str(),
+                static_cast<unsigned long long>(engine.data_version()));
+  }
 
   struct sigaction sa {};
   sa.sa_handler = HandleTermination;
@@ -129,6 +185,21 @@ int main(int argc, char** argv) {
 
   (*started)->Await();  // returns once a signal triggered a clean drain
   g_server = nullptr;
+  if (applier != nullptr) {
+    applier->Stop();
+    const Status health = applier->status();
+    const replica::FollowerStats fs = applier->stats();
+    std::printf(
+        "sqopt_server: follower stopped at version %llu — %llu records "
+        "applied, %llu skipped, %llu reconnects%s%s\n",
+        static_cast<unsigned long long>(fs.last_applied_version),
+        static_cast<unsigned long long>(fs.records_applied),
+        static_cast<unsigned long long>(fs.records_skipped),
+        static_cast<unsigned long long>(fs.reconnects),
+        health.ok() ? "" : " — HALTED: ",
+        health.ok() ? "" : health.ToString().c_str());
+    if (!health.ok()) return 3;
+  }
 
   const server::ServerStats stats = (*started)->stats();
   std::printf(
